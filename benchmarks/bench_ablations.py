@@ -1,0 +1,71 @@
+"""E8-E11: ablations over the design choices DESIGN.md calls out."""
+
+from repro.experiments import (
+    AblationConfig,
+    run_backend_ablation,
+    run_codebook_ablation,
+    run_dimension_ablation,
+    run_level_vs_circular,
+    run_ring_dtype_ablation,
+)
+
+from .conftest import config_for, emit
+
+
+def test_ablation_dimension(benchmark, capsys, profile):
+    """E8: hypervector width vs robustness."""
+    config = config_for(AblationConfig, profile)
+    result = benchmark.pedantic(
+        run_dimension_ablation, args=(config,), rounds=1, iterations=1
+    )
+    emit(capsys, result)
+    series = [row["mismatch_pct_mean"] for row in result.rows]
+    assert series[-1] <= series[0] + 0.5
+
+
+def test_ablation_codebook(benchmark, capsys, profile):
+    """E9: codebook size vs collisions and uniformity."""
+    config = config_for(AblationConfig, profile)
+    result = benchmark.pedantic(
+        run_codebook_ablation, args=(config,), rounds=1, iterations=1
+    )
+    emit(capsys, result)
+    probes = [row["probed_servers"] for row in result.rows]
+    assert probes[-1] <= probes[0]  # collisions fade as n grows
+
+
+def test_ablation_backends(benchmark, capsys, profile):
+    """E10: popcount kernels; search-backend fragility; scalar vs vector."""
+    config = config_for(AblationConfig, profile)
+    result = benchmark.pedantic(
+        run_backend_ablation, args=(config,), rounds=1, iterations=1
+    )
+    emit(capsys, result)
+    count = result.filtered(subject="consistent-search", variant="count")[0]
+    bisect = result.filtered(subject="consistent-search", variant="bisect")[0]
+    assert count["value"] >= bisect["value"]
+
+
+def test_ablation_level_vs_circular(benchmark, capsys, profile):
+    """E11: the wrap-around cost of a level codebook."""
+    config = config_for(AblationConfig, profile)
+    result = benchmark.pedantic(
+        run_level_vs_circular, args=(config,), rounds=1, iterations=1
+    )
+    emit(capsys, result)
+    circular = result.filtered(codebook="circular")[0]
+    level = result.filtered(codebook="level")[0]
+    assert level["violations"] > circular["violations"]
+
+
+def test_ablation_ring_dtype(benchmark, capsys, profile):
+    """E14: IEEE-float rings lose uniformity under corruption."""
+    config = config_for(AblationConfig, profile)
+    result = benchmark.pedantic(
+        run_ring_dtype_ablation, args=(config,), rounds=1, iterations=1
+    )
+    emit(capsys, result)
+    float_row = result.filtered(position_dtype="float32")[0]
+    fixed_row = result.filtered(position_dtype="fixed32")[0]
+    assert float_row["chi2_ratio"] > fixed_row["chi2_ratio"] * 0.9
+    assert float_row["mismatch_pct_mean"] > fixed_row["mismatch_pct_mean"]

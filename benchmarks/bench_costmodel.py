@@ -1,0 +1,15 @@
+"""E12: modelled per-lookup cycles, including the single-cycle HDC tier."""
+
+from repro.experiments import CostModelConfig, run_cost_model
+
+from .conftest import config_for, emit
+
+
+def test_costmodel_table(benchmark, capsys, profile):
+    config = config_for(CostModelConfig, profile)
+    result = benchmark.pedantic(
+        run_cost_model, args=(config,), rounds=1, iterations=1
+    )
+    emit(capsys, result)
+    accel_hd = result.column("cycles", machine="hdc-accelerator", algorithm="hd")
+    assert max(accel_hd) == min(accel_hd)  # O(1) on the accelerator

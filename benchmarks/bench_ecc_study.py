@@ -1,0 +1,30 @@
+"""E15: SECDED scrubbing vs algorithmic robustness."""
+
+from repro.experiments import EccStudyConfig, run_ecc_study
+
+from .conftest import config_for, emit
+
+
+def test_ecc_study(benchmark, capsys, profile):
+    config = config_for(EccStudyConfig, profile)
+    result = benchmark.pedantic(
+        run_ecc_study, args=(config,), rounds=1, iterations=1
+    )
+    emit(capsys, result)
+    # SECDED must erase scattered SEUs for the fragile baselines...
+    for algorithm in ("consistent",):
+        rows = result.filtered(algorithm=algorithm, ecc="secded")
+        scattered = [r for r in rows if "single-bit" in r["error_model"]][0]
+        unprotected = [
+            r
+            for r in result.filtered(algorithm=algorithm, ecc="none")
+            if "single-bit" in r["error_model"]
+        ][0]
+        assert scattered["mismatch_pct_mean"] < unprotected["mismatch_pct_mean"]
+    # ...but the burst sails through SECDED for the ring.
+    burst_rows = [
+        r
+        for r in result.filtered(algorithm="consistent", ecc="secded")
+        if "burst" in r["error_model"]
+    ]
+    assert burst_rows[0]["uncorrectable_words"] > 0

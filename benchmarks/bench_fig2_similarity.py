@@ -1,0 +1,59 @@
+"""Figure 2: similarity profiles of random/level/circular hypervectors.
+
+Benchmarks the basis constructions and regenerates the pairwise
+similarity matrices (printed as profile rows against vector 0).
+"""
+
+import numpy as np
+
+from repro.experiments import (
+    SimilarityProfileConfig,
+    profile_against_reference,
+    run_similarity_profiles,
+)
+from repro.hdc import circular_basis, level_basis, random_basis
+
+from .conftest import config_for, emit
+
+
+def test_fig2_similarity_profiles(benchmark, capsys, profile):
+    config = config_for(SimilarityProfileConfig, profile)
+    result = benchmark.pedantic(
+        run_similarity_profiles, args=(config,), rounds=1, iterations=1
+    )
+    emit(capsys, result)
+    with capsys.disabled():
+        for kind in ("random", "level", "circular"):
+            series = np.round(profile_against_reference(result, kind), 3)
+            print("{:>9} profile vs c0: {}".format(kind, series.tolist()))
+
+
+def test_fig2_circular_basis_construction(benchmark, profile):
+    config = config_for(SimilarityProfileConfig, profile)
+    rng_seed = config.seed
+
+    def build():
+        return circular_basis(
+            64, config.dim, np.random.default_rng(rng_seed)
+        )
+
+    basis = benchmark(build)
+    assert basis.count == 64
+
+
+def test_fig2_level_basis_construction(benchmark, profile):
+    config = config_for(SimilarityProfileConfig, profile)
+
+    def build():
+        return level_basis(64, config.dim, np.random.default_rng(config.seed))
+
+    assert benchmark(build).count == 64
+
+
+def test_fig2_random_basis_construction(benchmark, profile):
+    config = config_for(SimilarityProfileConfig, profile)
+
+    def build():
+        return random_basis(64, config.dim, np.random.default_rng(config.seed))
+
+    assert benchmark(build).count == 64

@@ -1,0 +1,56 @@
+"""Figure 5 + headline MCU claim: mismatches under memory bit errors."""
+
+from repro.experiments import (
+    RobustnessConfig,
+    run_mcu_headline,
+    run_robustness,
+)
+
+from .conftest import config_for, emit
+
+
+def test_fig5_mismatch_sweep(benchmark, capsys, profile):
+    config = config_for(RobustnessConfig, profile)
+    result = benchmark.pedantic(
+        run_robustness, args=(config,), rounds=1, iterations=1
+    )
+    emit(capsys, result)
+    # Shape assertions at the largest error level of each pool size.
+    worst_bits = max(config.bit_errors)
+    for servers in config.server_counts:
+        if servers >= config.hd_codebook_size:
+            continue
+        hd = result.column(
+            "mismatch_pct_mean",
+            algorithm="hd",
+            servers=servers,
+            bit_errors=worst_bits,
+        )[0]
+        rendezvous = result.column(
+            "mismatch_pct_mean",
+            algorithm="rendezvous",
+            servers=servers,
+            bit_errors=worst_bits,
+        )[0]
+        assert hd < rendezvous, "HD must beat rendezvous at k={}".format(servers)
+
+
+def test_fig5_mcu_headline(benchmark, capsys, profile):
+    config = config_for(RobustnessConfig, profile)
+    servers = 512 if profile != "fast" else 16
+    result = benchmark.pedantic(
+        run_mcu_headline,
+        args=(config,),
+        kwargs={"servers": servers, "burst_length": 10},
+        rounds=1,
+        iterations=1,
+    )
+    emit(capsys, result)
+    scattered = {
+        row["algorithm"]: row["mismatch_pct_mean"]
+        for row in result.rows
+        if "single-bit" in row["error_model"]
+    }
+    if "hd" in scattered:
+        assert scattered["hd"] < scattered["rendezvous"]
+        assert scattered["hd"] < scattered["consistent"]

@@ -1,0 +1,35 @@
+"""Figure 6: chi-squared uniformity of load distributions under noise."""
+
+from repro.experiments import UniformityConfig, run_uniformity
+
+from .conftest import config_for, emit
+
+
+def test_fig6_uniformity(benchmark, capsys, profile):
+    config = config_for(UniformityConfig, profile)
+    result = benchmark.pedantic(
+        run_uniformity, args=(config,), rounds=1, iterations=1
+    )
+    emit(capsys, result)
+    for servers in config.server_counts:
+        if servers >= config.hd_codebook_size:
+            continue
+        consistent = result.column(
+            "chi2_mean", algorithm="consistent", servers=servers, bit_errors=0
+        )[0]
+        hd = result.column(
+            "chi2_mean", algorithm="hd", servers=servers, bit_errors=0
+        )[0]
+        rendezvous = result.column(
+            "chi2_mean", algorithm="rendezvous", servers=servers, bit_errors=0
+        )[0]
+        # Paper's ordering: HD more uniform than consistent; rendezvous
+        # pseudo-perfect.
+        assert hd < consistent, "k={}".format(servers)
+        assert rendezvous < hd, "k={}".format(servers)
+        # HD's chi2 must be flat under noise.
+        worst = max(config.bit_errors)
+        hd_noisy = result.column(
+            "chi2_mean", algorithm="hd", servers=servers, bit_errors=worst
+        )[0]
+        assert abs(hd_noisy - hd) / hd < 0.25, "k={}".format(servers)

@@ -1,0 +1,21 @@
+"""E13: flat vs hierarchical HD hashing (Section 5.1's scaling remark)."""
+
+from repro.experiments import HierarchyConfig, run_hierarchy_study
+
+from .conftest import config_for, emit
+
+
+def test_hierarchy_study(benchmark, capsys, profile):
+    config = config_for(HierarchyConfig, profile)
+    result = benchmark.pedantic(
+        run_hierarchy_study, args=(config,), rounds=1, iterations=1
+    )
+    emit(capsys, result)
+    flat = result.filtered(topology="flat")[0]
+    hierarchical = result.filtered(topology="hierarchical")[0]
+    # Both stay in the minimal-disruption regime.
+    assert flat["leave_remap"] < 0.2
+    assert hierarchical["leave_remap"] < 0.2
+    if profile != "fast":
+        # At scale the two narrow lookups beat one wide inference.
+        assert hierarchical["us_per_lookup"] < flat["us_per_lookup"] * 1.5

@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the computational kernels everything rests on."""
+
+import numpy as np
+import pytest
+
+from repro.hashfn import splitmix64_vec, xxh64
+from repro.hdc import ItemMemory, pack_bits
+from repro.hdc.packing import BACKENDS, hamming_packed_matrix
+
+
+@pytest.fixture(scope="module")
+def packed_inputs():
+    rng = np.random.default_rng(0)
+    queries = pack_bits(rng.integers(0, 2, (256, 10_000), dtype=np.uint8))
+    memory = pack_bits(rng.integers(0, 2, (512, 10_000), dtype=np.uint8))
+    return queries, memory
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_hamming_matrix_backend(benchmark, packed_inputs, backend):
+    """256 queries x 512 servers x 10,000 bits -- one inference batch."""
+    queries, memory = packed_inputs
+
+    def sweep():
+        return hamming_packed_matrix(queries, memory, backend=backend)
+
+    matrix = benchmark(sweep)
+    assert matrix.shape == (256, 512)
+
+
+def test_item_memory_batch_query(benchmark, packed_inputs):
+    queries, memory_rows = packed_inputs
+    memory = ItemMemory(dim=10_000)
+    for index in range(memory_rows.shape[0]):
+        memory.add_packed(index, memory_rows[index])
+
+    def query():
+        return memory.query_batch(queries)
+
+    indices, distances = benchmark(query)
+    assert indices.shape == (256,)
+
+
+def test_splitmix64_vec_throughput(benchmark):
+    words = np.arange(1 << 16, dtype=np.uint64)
+
+    def mix():
+        return splitmix64_vec(words)
+
+    out = benchmark(mix)
+    assert out.shape == words.shape
+
+
+def test_xxh64_string_keys(benchmark):
+    data = b"GET /api/v1/resource/12345?tenant=acme HTTP/1.1"
+
+    def digest():
+        return xxh64(data)
+
+    assert benchmark(digest) == xxh64(data)

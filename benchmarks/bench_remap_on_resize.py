@@ -1,0 +1,18 @@
+"""E7: remap-on-resize motivation table (Section 1 of the paper)."""
+
+from repro.experiments import RemappingConfig, run_remapping
+
+from .conftest import config_for, emit
+
+
+def test_remap_on_resize(benchmark, capsys, profile):
+    config = config_for(RemappingConfig, profile)
+    result = benchmark.pedantic(
+        run_remapping, args=(config,), rounds=1, iterations=1
+    )
+    emit(capsys, result)
+    for row in result.rows:
+        if row["algorithm"] == "modular":
+            assert row["join_remap"] > 0.5
+        else:
+            assert row["join_remap"] < 6 * row["ideal_join"]

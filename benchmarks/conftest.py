@@ -1,0 +1,37 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one paper artefact (table/figure) via the
+experiment harness and prints the resulting ASCII table, so running
+
+    REPRO_PROFILE=bench pytest benchmarks/ --benchmark-only
+
+reproduces the evaluation section end to end.  Profiles:
+
+* ``fast``  -- smoke scale (CI).
+* ``bench`` -- default; minutes, preserves every qualitative shape.
+* ``full``  -- the paper's protocol (10,000 requests, 2..2048 servers,
+  full trial counts); expect tens of minutes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import active_profile
+
+
+@pytest.fixture(scope="session")
+def profile() -> str:
+    """The active experiment profile (REPRO_PROFILE, default bench)."""
+    return active_profile(default="bench")
+
+
+def config_for(config_cls, profile_name: str):
+    """Instantiate ``config_cls`` at the requested profile."""
+    return getattr(config_cls, profile_name)()
+
+
+def emit(capsys, result) -> None:
+    """Print an experiment table past pytest's capture."""
+    with capsys.disabled():
+        print("\n" + result.to_table() + "\n")

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""A miniature Figure 5: sweep memory errors, print the mismatch table.
+
+Uses the same campaign machinery as the benchmark suite, at a scale that
+finishes in under a minute, and renders the three-way comparison the
+paper's abstract summarises: "a realistic level of memory errors causes
+more than 20% mismatches for consistent hashing while HD hashing remains
+unaffected."
+
+Run:  python examples/fault_injection_study.py
+"""
+
+import numpy as np
+
+from repro import (
+    ConsistentHashTable,
+    HDHashTable,
+    MismatchCampaign,
+    RendezvousHashTable,
+    SingleBitFlips,
+)
+
+
+def main():
+    k = 256
+    n_requests = 10_000
+    trials = 10
+    factories = {
+        "consistent": lambda: ConsistentHashTable(seed=17),
+        "rendezvous": lambda: RendezvousHashTable(seed=17),
+        "hd": lambda: HDHashTable(seed=17, dim=10_000, codebook_size=1_024),
+    }
+    words = np.random.default_rng(8).integers(
+        0, 2 ** 64, n_requests, dtype=np.uint64
+    )
+    rng = np.random.default_rng(2024)
+
+    print(
+        "mismatched requests (% of {:,}) with {} servers, "
+        "mean of {} trials\n".format(n_requests, k, trials)
+    )
+    bit_levels = (0, 1, 2, 4, 6, 8, 10)
+    print("{:>12} ".format("bit errors") + "".join(
+        "{:>9}".format(bits) for bits in bit_levels))
+    print("-" * (13 + 9 * len(bit_levels)))
+    for name, factory in factories.items():
+        table = factory()
+        for index in range(k):
+            table.join(index)
+        campaign = MismatchCampaign(table, words)
+        cells = []
+        for bits in bit_levels:
+            if bits == 0:
+                cells.append(0.0)
+                continue
+            outcome = campaign.run(SingleBitFlips(bits), trials=trials, rng=rng)
+            cells.append(100.0 * outcome.mean_mismatch)
+        print("{:>12} ".format(name) + "".join(
+            "{:>8.2f}%".format(cell) for cell in cells))
+
+    print(
+        "\nper-bit sensitivity differs by *structure*: a flipped ring"
+        "\nposition silently displaces a server across the key space; a"
+        "\nflipped rendezvous word re-keys one server (~2/k of traffic); a"
+        "\nflipped hypervector bit moves one similarity score by 1/d."
+    )
+
+
+if __name__ == "__main__":
+    main()

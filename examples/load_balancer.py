@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Cloud load balancing with elasticity: the paper's motivating scenario.
+
+A front-end tier autoscales between 8 and 24 cache servers while serving
+Zipf-distributed web traffic (popular objects dominate, as in real CDN
+logs).  We compare the paper's four algorithms on the two operational
+metrics Section 1 motivates:
+
+* **churn cost** -- how many live sessions move when the autoscaler acts;
+* **load balance** -- chi-squared of requests per server.
+
+Run:  python examples/load_balancer.py
+"""
+
+import numpy as np
+
+from repro import (
+    ConsistentHashTable,
+    HDHashTable,
+    ModularHashTable,
+    RendezvousHashTable,
+)
+from repro.analysis import remap_fraction, summarize_loads, uniformity_chi2
+from repro.emulator import ZipfKeys
+
+
+def build_pool(factory, names):
+    table = factory()
+    for name in names:
+        table.join(name)
+    return table
+
+
+def autoscale_episode(factory, traffic):
+    """One autoscaling episode: 8 -> 12 -> 24 -> 16 servers."""
+    names = ["cache-{:02d}".format(i) for i in range(24)]
+    table = build_pool(factory, names[:8])
+    total_moved = 0.0
+    steps = 0
+
+    def assignments():
+        # lookup_batch hashes the application keys before routing.
+        return table.lookup_batch(traffic)
+
+    current = assignments()
+    for target in (12, 24, 16):
+        while table.server_count < target:
+            table.join(names[table.server_count])
+            after = assignments()
+            total_moved += remap_fraction(current, after)
+            current = after
+            steps += 1
+        while table.server_count > target:
+            table.leave(table.server_ids[-1])
+            after = assignments()
+            total_moved += remap_fraction(current, after)
+            current = after
+            steps += 1
+    return total_moved / steps, current, table
+
+
+def main():
+    rng = np.random.default_rng(42)
+    # Zipf request population: 50k requests over 100k distinct objects.
+    traffic = ZipfKeys(universe=100_000, exponent=1.05).sample(50_000, rng)
+
+    factories = {
+        "modular": lambda: ModularHashTable(seed=3),
+        "consistent": lambda: ConsistentHashTable(seed=3),
+        "rendezvous": lambda: RendezvousHashTable(seed=3),
+        "hd": lambda: HDHashTable(seed=3, dim=4_096, codebook_size=512),
+    }
+
+    print("autoscaling episode: 8 -> 12 -> 24 -> 16 cache servers")
+    print("traffic: 50,000 Zipf(1.05) requests over 100,000 objects\n")
+    header = "{:>12}  {:>16}  {:>12}  {:>10}  {:>9}".format(
+        "algorithm", "avg moved/step", "chi2 (load)", "max/mean", "p99 load"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, factory in factories.items():
+        moved, final_assignment, table = autoscale_episode(factory, traffic)
+        slots = np.asarray(
+            [table.server_ids.index(s) for s in final_assignment]
+        )
+        counts = np.bincount(slots, minlength=table.server_count)
+        chi2 = uniformity_chi2(slots, table.server_count)
+        summary = summarize_loads(counts)
+        p99 = np.percentile(counts, 99)
+        print("{:>12}  {:>15.1%}  {:>12.0f}  {:>10.2f}  {:>9.0f}".format(
+            name, moved, chi2, summary.max_to_mean, p99))
+
+    print(
+        "\nmodular pays ~90% session churn per scaling step; the"
+        "\nminimal-disruption algorithms pay ~1/k.  HD hashing matches"
+        "\nconsistent hashing's churn while spreading load more evenly"
+        "\n(lower chi2), and -- per Figure 5 -- keeps routing correct under"
+        "\nmemory errors."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""P2P network under churn and memory faults (the emulator end to end).
+
+Peers join and leave continuously (cloud elasticity / peer availability,
+Section 1 of the paper) while lookups stream through the full emulation
+pipeline: generator -> buffer -> hash-table module.  Midway through, the
+routing memory of each table takes a burst of bit errors -- a multi-cell
+upset -- and we count how many lookups each algorithm misroutes relative
+to a pristine replica.
+
+Run:  python examples/p2p_churn.py
+"""
+
+import numpy as np
+
+from repro import (
+    BurstError,
+    ConsistentHashTable,
+    HDHashTable,
+    MismatchCampaign,
+    RendezvousHashTable,
+)
+from repro.emulator import HashTableModule, RequestGenerator
+
+
+def run_churn_phase(factory, seed):
+    """Drive 40 churn events with 500 lookups between each."""
+    generator = RequestGenerator(seed=seed)
+    table = factory()
+    module = HashTableModule(table, batch_size=256)
+    peers = ["peer-{:03d}".format(i) for i in range(48)]
+    stream = list(generator.joins(peers[:32]))
+    stream += list(
+        generator.churn(
+            peers[:32], peers[32:], events=40, lookups_between=500
+        )
+    )
+    report = module.process(stream)
+    return table, report
+
+
+def main():
+    factories = {
+        "consistent": lambda: ConsistentHashTable(seed=13),
+        "rendezvous": lambda: RendezvousHashTable(seed=13),
+        "hd": lambda: HDHashTable(seed=13, dim=10_000, codebook_size=1_024),
+    }
+
+    print("phase 1: 40 churn events, 20,000 lookups through the emulator\n")
+    tables = {}
+    for name, factory in factories.items():
+        table, report = run_churn_phase(factory, seed=99)
+        tables[name] = table
+        print(
+            "  {:>10}: {} peers alive, {} lookups served, "
+            "{:.1f} us/lookup, load imbalance {:.2f}".format(
+                name,
+                table.server_count,
+                report.n_lookups,
+                report.timing.mean_lookup_micros,
+                report.load.imbalance(),
+            )
+        )
+
+    print("\nphase 2: a 10-bit multi-cell upset hits each routing memory\n")
+    words = np.random.default_rng(7).integers(0, 2 ** 64, 20_000, dtype=np.uint64)
+    rng = np.random.default_rng(1234)
+    for name, table in tables.items():
+        campaign = MismatchCampaign(table, words)
+        outcome = campaign.run(BurstError(length=10), trials=20, rng=rng)
+        print(
+            "  {:>10}: mean {:6.2%}  worst {:6.2%} of lookups misrouted".format(
+                name, outcome.mean_mismatch, outcome.max_mismatch
+            )
+        )
+
+    print(
+        "\nthe hypervector memory absorbs the burst: every corrupted bit"
+        "\nmoves one similarity score by 1/10000th, far below the"
+        "\ninter-node similarity gap, so the nearest server never changes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs (`pip install -e . --no-use-pep517`)
+in offline environments that lack the `wheel` package."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,137 @@
+"""Hyperdimensional Hashing -- a robust and efficient dynamic hash table.
+
+Full reproduction of Heddes et al., DAC 2022 (arXiv:2205.07850): the HD
+hashing algorithm with its circular-hypervector construction, the
+consistent / rendezvous / modular baselines, the emulation framework with
+bit-level memory fault injection, and the experiment harness regenerating
+every figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import HDHashTable
+>>> table = HDHashTable(seed=7, dim=4096, codebook_size=512)
+>>> for name in ("alpha", "beta", "gamma"):
+...     table.join(name)
+>>> table.lookup("user-42") in {"alpha", "beta", "gamma"}
+True
+"""
+
+from .analysis import (
+    chi_squared_statistic,
+    chi_squared_test,
+    remap_fraction,
+    summarize_loads,
+    uniformity_chi2,
+)
+from .costmodel import DEFAULT_MACHINES, CostModel, MachineParameters
+from .emulator import (
+    Emulator,
+    HashTableModule,
+    HotspotKeys,
+    RequestGenerator,
+    UniformKeys,
+    ZipfKeys,
+    server_names,
+)
+from .errors import (
+    CapacityError,
+    DuplicateServerError,
+    EmptyTableError,
+    ReproError,
+    UnknownServerError,
+)
+from .hashfn import HashFamily
+from .hdc import (
+    BasisSet,
+    CodebookEncoder,
+    ItemMemory,
+    PeriodicEncoder,
+    circular_basis,
+    circular_hypervectors,
+    cosine_similarity,
+    hamming_distance,
+    level_basis,
+    random_basis,
+    similarity_matrix,
+)
+from .hashing import (
+    ALL_ALGORITHMS,
+    PAPER_ALGORITHMS,
+    BoundedLoadConsistentHashTable,
+    ConsistentHashTable,
+    DynamicHashTable,
+    HDHashTable,
+    HierarchicalHashTable,
+    JumpHashTable,
+    MaglevHashTable,
+    ModularHashTable,
+    MultiProbeConsistentHashTable,
+    RendezvousHashTable,
+    WeightedRendezvousHashTable,
+)
+from .memory import (
+    BitErrorRate,
+    BurstError,
+    FaultInjector,
+    MemoryRegion,
+    MismatchCampaign,
+    SecdedScrubber,
+    SingleBitFlips,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_ALGORITHMS",
+    "PAPER_ALGORITHMS",
+    "BasisSet",
+    "BitErrorRate",
+    "BoundedLoadConsistentHashTable",
+    "BurstError",
+    "CapacityError",
+    "CodebookEncoder",
+    "ConsistentHashTable",
+    "CostModel",
+    "DEFAULT_MACHINES",
+    "DuplicateServerError",
+    "DynamicHashTable",
+    "Emulator",
+    "EmptyTableError",
+    "FaultInjector",
+    "HDHashTable",
+    "HashFamily",
+    "HashTableModule",
+    "HierarchicalHashTable",
+    "HotspotKeys",
+    "ItemMemory",
+    "JumpHashTable",
+    "MachineParameters",
+    "MaglevHashTable",
+    "MemoryRegion",
+    "MismatchCampaign",
+    "ModularHashTable",
+    "MultiProbeConsistentHashTable",
+    "PeriodicEncoder",
+    "RendezvousHashTable",
+    "SecdedScrubber",
+    "ReproError",
+    "RequestGenerator",
+    "UniformKeys",
+    "UnknownServerError",
+    "WeightedRendezvousHashTable",
+    "ZipfKeys",
+    "chi_squared_statistic",
+    "chi_squared_test",
+    "circular_basis",
+    "circular_hypervectors",
+    "cosine_similarity",
+    "hamming_distance",
+    "level_basis",
+    "random_basis",
+    "remap_fraction",
+    "server_names",
+    "similarity_matrix",
+    "summarize_loads",
+    "uniformity_chi2",
+    "__version__",
+]

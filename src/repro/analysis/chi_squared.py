@@ -1,0 +1,79 @@
+"""Pearson's chi-squared goodness-of-fit test (Figure 6's metric).
+
+The paper measures "the discrepancy between the distribution of requests
+per server obtained by each algorithm and the uniform distribution" with
+
+    chi2 = sum_i (R(s_i) - E)^2 / E,      E = |R| / |S|
+
+where ``R(s_i)`` is the number of requests mapped to server ``s_i``.  We
+implement the statistic directly (and cross-check it against
+``scipy.stats.chisquare`` in the test suite); the p-value uses scipy's
+chi-squared survival function when scipy is importable and is ``None``
+otherwise, keeping the core library dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "chi_squared_statistic",
+    "chi_squared_test",
+    "uniformity_chi2",
+]
+
+
+def chi_squared_statistic(
+    counts: np.ndarray, expected: Optional[np.ndarray] = None
+) -> float:
+    """Pearson chi-squared statistic of ``counts`` against ``expected``.
+
+    ``expected`` defaults to the uniform expectation ``total / bins``
+    (the paper's ``E``).
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.ndim != 1 or counts.size == 0:
+        raise ValueError("counts must be a non-empty 1-D array")
+    if np.any(counts < 0):
+        raise ValueError("counts must be non-negative")
+    if expected is None:
+        expected = np.full(counts.size, counts.sum() / counts.size)
+    else:
+        expected = np.asarray(expected, dtype=np.float64)
+        if expected.shape != counts.shape:
+            raise ValueError("expected must match counts in shape")
+    if np.any(expected <= 0):
+        raise ValueError("expected frequencies must be positive")
+    return float(np.sum((counts - expected) ** 2 / expected))
+
+
+def chi_squared_test(
+    counts: np.ndarray, expected: Optional[np.ndarray] = None
+) -> Tuple[float, Optional[float]]:
+    """Statistic plus p-value (``None`` when scipy is unavailable)."""
+    statistic = chi_squared_statistic(counts, expected)
+    dof = np.asarray(counts).size - 1
+    try:
+        from scipy.stats import chi2 as chi2_distribution
+    except ImportError:  # pragma: no cover - scipy is present in CI
+        return statistic, None
+    if dof <= 0:
+        return statistic, None
+    return statistic, float(chi2_distribution.sf(statistic, dof))
+
+
+def uniformity_chi2(slots: np.ndarray, n_servers: int) -> float:
+    """Chi-squared of a slot-index assignment against uniformity.
+
+    ``slots`` are server slot indices in ``[0, n_servers)``; servers that
+    received zero requests still count as bins (they are part of ``|S|``).
+    """
+    slots = np.asarray(slots)
+    if n_servers <= 0:
+        raise ValueError("n_servers must be positive")
+    counts = np.bincount(slots, minlength=n_servers)
+    if counts.size > n_servers:
+        raise ValueError("slot index out of range")
+    return chi_squared_statistic(counts.astype(np.float64))

@@ -1,0 +1,58 @@
+"""Load-distribution metrics for request-to-server assignments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LoadSummary", "summarize_loads", "remap_fraction"]
+
+
+@dataclass(frozen=True)
+class LoadSummary:
+    """Summary statistics of per-server request counts."""
+
+    n_servers: int
+    total_requests: int
+    mean: float
+    minimum: int
+    maximum: int
+    std: float
+    coefficient_of_variation: float
+    max_to_mean: float
+
+
+def summarize_loads(counts: np.ndarray) -> LoadSummary:
+    """Summarise a per-server request count vector."""
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.ndim != 1 or counts.size == 0:
+        raise ValueError("counts must be a non-empty 1-D array")
+    mean = float(counts.mean())
+    std = float(counts.std())
+    return LoadSummary(
+        n_servers=int(counts.size),
+        total_requests=int(counts.sum()),
+        mean=mean,
+        minimum=int(counts.min()),
+        maximum=int(counts.max()),
+        std=std,
+        coefficient_of_variation=std / mean if mean else 0.0,
+        max_to_mean=float(counts.max()) / mean if mean else 0.0,
+    )
+
+
+def remap_fraction(before: np.ndarray, after: np.ndarray) -> float:
+    """Fraction of keys whose assigned server changed across a resize.
+
+    This quantifies the paper's motivation (Section 1): modular hashing
+    remaps ~everything on resize, the minimal-disruption algorithms
+    ~1/k.
+    """
+    before = np.asarray(before)
+    after = np.asarray(after)
+    if before.shape != after.shape:
+        raise ValueError("assignment arrays must have equal shape")
+    if before.size == 0:
+        return 0.0
+    return float(np.mean(before != after))

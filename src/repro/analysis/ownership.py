@@ -1,0 +1,94 @@
+"""Exact key-space ownership analysis.
+
+Sampling-based load measurements (Figure 6) carry multinomial noise; for
+the ring- and circle-structured algorithms the *exact* ownership
+fraction of every server is computable in closed form from the routing
+state:
+
+* **consistent hashing** -- each ring entry owns the arc from its
+  predecessor (exclusive) to itself (inclusive); a server's share is the
+  sum of its entries' arcs.
+* **HD hashing** -- the circle has ``n`` discrete nodes and every node
+  routes deterministically, so sweeping all ``n`` positions yields each
+  server's exact share of an idealised uniform key stream (up to the
+  within-node remainder of ``2^64 mod n``, which is < n/2^64 and ignored).
+* **modular hashing** -- every slot owns exactly ``1/k``.
+
+These exact shares feed the deterministic load assertions in the test
+suite and let examples report imbalance without routing millions of
+keys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..hashing.consistent import ConsistentHashTable
+from ..hashing.hd import HDHashTable
+from ..hashing.modular import ModularHashTable
+
+__all__ = ["ownership_fractions", "imbalance_from_fractions"]
+
+
+def _consistent_ownership(table: ConsistentHashTable) -> np.ndarray:
+    positions = table._ring_positions
+    slots = table._ring_slots
+    if positions.size == 0:
+        raise ValueError("table has no servers")
+    if table.position_dtype == "fixed32":
+        space = float(1 << 32)
+        values = positions.astype(np.float64)
+    else:
+        space = 1.0
+        values = positions.astype(np.float64)
+    # Arc owned by entry i spans from its predecessor to itself; the
+    # first entry also owns the wrap-around span after the last entry.
+    arcs = np.empty(positions.size, dtype=np.float64)
+    arcs[1:] = np.diff(values)
+    arcs[0] = values[0] + (space - values[-1])
+    shares = np.zeros(table.server_count, dtype=np.float64)
+    np.add.at(shares, slots, arcs / space)
+    return shares
+
+
+def _hd_ownership(table: HDHashTable) -> np.ndarray:
+    n = table.codebook_size
+    routed = table.route_batch(np.arange(n, dtype=np.uint64))
+    counts = np.bincount(routed, minlength=table.server_count)
+    return counts.astype(np.float64) / float(n)
+
+
+def ownership_fractions(table) -> Dict[object, float]:
+    """Exact per-server ownership of a uniform key space.
+
+    Supported: :class:`ConsistentHashTable` (arc lengths),
+    :class:`HDHashTable` (full circle sweep), :class:`ModularHashTable`
+    (uniform slots).  Raises ``TypeError`` for sampling-only algorithms
+    (rendezvous has no closed-form share; use route_batch sampling).
+    """
+    if isinstance(table, HDHashTable):
+        shares = _hd_ownership(table)
+    elif isinstance(table, ConsistentHashTable):
+        shares = _consistent_ownership(table)
+    elif isinstance(table, ModularHashTable):
+        if table.server_count == 0:
+            raise ValueError("table has no servers")
+        shares = np.full(table.server_count, 1.0 / table.server_count)
+    else:
+        raise TypeError(
+            "no closed-form ownership for {!r}".format(type(table).__name__)
+        )
+    return {
+        server_id: float(share)
+        for server_id, share in zip(table.server_ids, shares)
+    }
+
+
+def imbalance_from_fractions(fractions: Dict[object, float]) -> float:
+    """Max-to-mean load ratio implied by exact ownership fractions."""
+    if not fractions:
+        raise ValueError("no fractions given")
+    values = np.asarray(list(fractions.values()), dtype=np.float64)
+    return float(values.max() * values.size)

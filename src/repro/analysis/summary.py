@@ -1,0 +1,49 @@
+"""Small statistical helpers shared by experiments and reports."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["MeanWithError", "mean_with_error", "geometric_mean"]
+
+
+@dataclass(frozen=True)
+class MeanWithError:
+    """A sample mean with its standard error and sample count."""
+
+    mean: float
+    std_error: float
+    count: int
+
+    def interval(self, z: float = 1.96) -> tuple:
+        """Normal-approximation confidence interval at ``z`` sigmas."""
+        return (self.mean - z * self.std_error, self.mean + z * self.std_error)
+
+
+def mean_with_error(samples: Sequence[float]) -> MeanWithError:
+    """Mean and standard error of a sample list."""
+    values = np.asarray(list(samples), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("need at least one sample")
+    std_error = (
+        float(values.std(ddof=1) / math.sqrt(values.size))
+        if values.size > 1
+        else 0.0
+    )
+    return MeanWithError(
+        mean=float(values.mean()), std_error=std_error, count=int(values.size)
+    )
+
+
+def geometric_mean(samples: Sequence[float]) -> float:
+    """Geometric mean of positive samples (speedup aggregation)."""
+    values = np.asarray(list(samples), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("need at least one sample")
+    if np.any(values <= 0):
+        raise ValueError("geometric mean requires positive samples")
+    return float(np.exp(np.mean(np.log(values))))

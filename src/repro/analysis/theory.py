@@ -1,0 +1,106 @@
+"""Closed-form expectations behind the paper's experimental shapes.
+
+Each function predicts one measurable quantity from first principles;
+the test suite checks the *measured* experiments against these
+predictions, so a regression in either the math or the simulator shows
+up as a disagreement between theory and measurement.
+
+Derivations (sketches):
+
+* **Rendezvous mismatch.**  A corrupted server word re-keys one server:
+  it loses its own ~1/k share and wins a fresh ~1/k share, so each
+  corrupted word costs ~2/k mismatches.  ``f`` scattered flips over
+  ``k`` stored words corrupt ``k * (1 - (1 - 1/k)^f)`` distinct words in
+  expectation.
+* **Consistent hashing chi-squared.**  With one ring point per server,
+  arc lengths are a uniform stick-breaking (Dirichlet(1,...,1)) sample:
+  ``E[sum_i (p_i - 1/k)^2] = (k-1) / (k(k+1)) ~ 1/k``, hence
+  ``E[chi2] ~ |R| * k * 1/k = |R| * (k-1)/(k+1) ~ |R|``: the statistic
+  scales with the *request count*, not the pool size -- exactly the flat
+  lines of Figure 6.
+* **HD hashing chi-squared.**  Nearest-node assignment gives each server
+  the inner halves of its two adjacent gaps, i.e. the *average* of two
+  (asymptotically independent) gap variables.  Averaging halves the
+  variance term, so ``E[chi2] ~ |R| / 2``.
+* **Rendezvous chi-squared.**  Placement is an iid uniform multinomial:
+  ``E[chi2] = k - 1`` (the degrees of freedom).
+* **Codebook collisions.**  Placing ``k`` servers on ``n`` circle nodes
+  uniformly: expected number of servers probed past an occupied node is
+  ``k - n * (1 - (1 - 1/n)^k)`` (occupied-node surplus).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "expected_rendezvous_mismatch",
+    "expected_corrupted_words",
+    "expected_consistent_chi2",
+    "expected_hd_chi2",
+    "expected_rendezvous_chi2",
+    "expected_codebook_collisions",
+]
+
+
+def expected_corrupted_words(flips: int, words: int, word_bits: int = 64) -> float:
+    """Expected number of distinct words hit by ``flips`` uniform flips."""
+    if words <= 0 or word_bits <= 0:
+        raise ValueError("words and word_bits must be positive")
+    if flips < 0:
+        raise ValueError("flips must be non-negative")
+    total_bits = words * word_bits
+    if flips > total_bits:
+        raise ValueError("more flips than bits")
+    miss_probability = 1.0
+    for index in range(flips):
+        miss_probability *= (total_bits - word_bits - index) / (
+            total_bits - index
+        )
+    return words * (1.0 - miss_probability)
+
+
+def expected_rendezvous_mismatch(flips: int, n_servers: int) -> float:
+    """Expected mismatch fraction for rendezvous hashing under flips.
+
+    ~2/k per corrupted server word; see module docstring.
+    """
+    if n_servers <= 0:
+        raise ValueError("n_servers must be positive")
+    corrupted = expected_corrupted_words(flips, n_servers)
+    return min(1.0, 2.0 * corrupted / n_servers)
+
+
+def expected_consistent_chi2(n_requests: int, n_servers: int) -> float:
+    """Expected Pearson chi2 for single-point consistent hashing."""
+    if n_requests <= 0 or n_servers <= 1:
+        raise ValueError("need requests and at least two servers")
+    spread = n_requests * (n_servers - 1) / (n_servers + 1)
+    return spread + (n_servers - 1)
+
+
+def expected_hd_chi2(n_requests: int, n_servers: int) -> float:
+    """Expected Pearson chi2 for HD hashing (half the consistent term)."""
+    if n_requests <= 0 or n_servers <= 1:
+        raise ValueError("need requests and at least two servers")
+    spread = 0.5 * n_requests * (n_servers - 1) / (n_servers + 1)
+    return spread + (n_servers - 1)
+
+
+def expected_rendezvous_chi2(n_servers: int) -> float:
+    """Expected Pearson chi2 for an iid-uniform placement: the dof."""
+    if n_servers <= 1:
+        raise ValueError("need at least two servers")
+    return float(n_servers - 1)
+
+
+def expected_codebook_collisions(n_servers: int, codebook_size: int) -> float:
+    """Expected servers displaced by probing when k hash onto n nodes."""
+    if codebook_size <= 0:
+        raise ValueError("codebook size must be positive")
+    if n_servers < 0 or n_servers > codebook_size:
+        raise ValueError("0 <= k <= n required")
+    occupied = codebook_size * (
+        1.0 - math.pow(1.0 - 1.0 / codebook_size, n_servers)
+    )
+    return n_servers - occupied

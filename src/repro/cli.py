@@ -1,0 +1,194 @@
+"""Command-line interface: regenerate any paper artefact directly.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig4 --profile fast
+    python -m repro run fig5 --profile bench --csv fig5.csv
+    python -m repro run all --profile fast
+
+The registry maps artefact names to experiment runners; ``--profile``
+selects the ``fast`` / ``bench`` / ``full`` preset of each config.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Tuple
+
+from .experiments import (
+    AblationConfig,
+    CostModelConfig,
+    EccStudyConfig,
+    EfficiencyConfig,
+    RemappingConfig,
+    RobustnessConfig,
+    SimilarityProfileConfig,
+    UniformityConfig,
+    run_backend_ablation,
+    run_codebook_ablation,
+    run_cost_model,
+    run_dimension_ablation,
+    run_ecc_study,
+    run_efficiency,
+    run_level_vs_circular,
+    run_mcu_headline,
+    run_remapping,
+    run_ring_dtype_ablation,
+    run_robustness,
+    run_similarity_profiles,
+    run_uniformity,
+)
+from .experiments.base import PROFILES
+from .experiments.hierarchy import HierarchyConfig, run_hierarchy_study
+
+__all__ = ["REGISTRY", "main"]
+
+#: artefact name -> (description, config class, runner)
+REGISTRY: Dict[str, Tuple[str, type, Callable]] = {
+    "fig2": (
+        "Figure 2: basis-hypervector similarity profiles",
+        SimilarityProfileConfig,
+        run_similarity_profiles,
+    ),
+    "fig4": (
+        "Figure 4: average request handling duration",
+        EfficiencyConfig,
+        run_efficiency,
+    ),
+    "fig5": (
+        "Figure 5: mismatches under memory bit errors",
+        RobustnessConfig,
+        run_robustness,
+    ),
+    "mcu": (
+        "Headline claim: one 10-bit MCU at 512 servers",
+        RobustnessConfig,
+        run_mcu_headline,
+    ),
+    "fig6": (
+        "Figure 6: chi-squared load uniformity",
+        UniformityConfig,
+        run_uniformity,
+    ),
+    "remap": (
+        "Section 1 motivation: remap fraction on resize",
+        RemappingConfig,
+        run_remapping,
+    ),
+    "dimension": (
+        "E8: HD robustness vs hypervector dimension",
+        AblationConfig,
+        run_dimension_ablation,
+    ),
+    "codebook": (
+        "E9: codebook size vs collisions/uniformity",
+        AblationConfig,
+        run_codebook_ablation,
+    ),
+    "backends": (
+        "E10: popcount/search/vectorization backends",
+        AblationConfig,
+        run_backend_ablation,
+    ),
+    "level-vs-circular": (
+        "E11: level codebooks break the wrap-around",
+        AblationConfig,
+        run_level_vs_circular,
+    ),
+    "costmodel": (
+        "E12: modelled cycles incl. HDC accelerator",
+        CostModelConfig,
+        run_cost_model,
+    ),
+    "hierarchy": (
+        "E13: flat vs hierarchical deployment",
+        HierarchyConfig,
+        run_hierarchy_study,
+    ),
+    "ring-dtype": (
+        "E14: fixed-point vs IEEE-float ring corruption",
+        AblationConfig,
+        run_ring_dtype_ablation,
+    ),
+    "ecc": (
+        "E15: SECDED scrubbing vs algorithmic robustness",
+        EccStudyConfig,
+        run_ecc_study,
+    ),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hyperdimensional-hashing reproduction harness",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("list", help="list available artefacts")
+    run = commands.add_parser("run", help="regenerate an artefact")
+    run.add_argument(
+        "artefact",
+        choices=sorted(REGISTRY) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    run.add_argument(
+        "--profile",
+        choices=PROFILES,
+        default="fast",
+        help="experiment scale (default: fast)",
+    )
+    run.add_argument(
+        "--csv",
+        default=None,
+        help="also write the result rows to this CSV path",
+    )
+    run.add_argument(
+        "--plot",
+        action="store_true",
+        help="render an ASCII chart after the table (fig2/fig4/fig5/fig6)",
+    )
+    return parser
+
+
+def _run_one(
+    name: str, profile: str, csv_path: Optional[str], out, plot: bool = False
+) -> None:
+    __, config_cls, runner = REGISTRY[name]
+    config = getattr(config_cls, profile)()
+    result = runner(config)
+    print(result.to_table(), file=out)
+    print("", file=out)
+    if plot:
+        from .experiments.asciiplot import render_figure
+
+        try:
+            print(render_figure(name, result), file=out)
+            print("", file=out)
+        except KeyError:
+            print("(no chart renderer for {!r})".format(name), file=out)
+    if csv_path is not None:
+        result.to_csv(csv_path)
+        print("wrote {}".format(csv_path), file=out)
+
+
+def main(argv=None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in REGISTRY)
+        for name in sorted(REGISTRY):
+            description = REGISTRY[name][0]
+            print("{:<{width}}  {}".format(name, description, width=width),
+                  file=out)
+        return 0
+    if args.artefact == "all":
+        for name in sorted(REGISTRY):
+            if args.csv is not None:
+                raise SystemExit("--csv requires a single artefact")
+            _run_one(name, args.profile, None, out)
+        return 0
+    _run_one(args.artefact, args.profile, args.csv, out, plot=args.plot)
+    return 0

@@ -1,0 +1,5 @@
+"""Analytical cycle-cost models (the accelerator tier of the efficiency claim)."""
+
+from .model import DEFAULT_MACHINES, CostModel, MachineParameters
+
+__all__ = ["DEFAULT_MACHINES", "CostModel", "MachineParameters"]

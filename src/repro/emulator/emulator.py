@@ -1,0 +1,74 @@
+"""The top-level emulator: generator -> buffer -> hash-table module.
+
+A thin orchestration layer reproducing the paper's "purpose built
+emulation framework" (Section 5.1): build a table, feed it a workload,
+collect timing, load and assignment statistics, and (through
+:mod:`repro.memory`) inject noise between phases.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..hashfn import Key
+from ..hashing.base import DynamicHashTable
+from .distributions import KeyDistribution
+from .generator import RequestGenerator
+from .module import EmulationReport, HashTableModule
+
+__all__ = ["Emulator"]
+
+
+class Emulator:
+    """Functional emulator for dynamic-hash-table experiments."""
+
+    def __init__(
+        self,
+        table_factory: Callable[[], DynamicHashTable],
+        batch_size: int = 256,
+        vectorized: bool = True,
+        seed: int = 0,
+    ):
+        self._table_factory = table_factory
+        self._batch_size = batch_size
+        self._vectorized = vectorized
+        self._seed = seed
+
+    def run_standard(
+        self,
+        server_ids: Sequence[Key],
+        n_requests: int,
+        distribution: Optional[KeyDistribution] = None,
+        record_assignments: bool = True,
+    ) -> EmulationReport:
+        """Run the paper's standard workload on a fresh table.
+
+        Joins every server, then serves ``n_requests`` lookups; returns
+        the module's report (Figure 4 reads
+        ``report.timing.mean_lookup_seconds``).
+        """
+        table = self._table_factory()
+        generator = RequestGenerator(self._seed)
+        module = HashTableModule(
+            table,
+            batch_size=self._batch_size,
+            vectorized=self._vectorized,
+            record_assignments=record_assignments,
+        )
+        workload = generator.standard_workload(
+            server_ids, n_requests, distribution
+        )
+        return module.process(workload)
+
+    def run_stream(
+        self, requests, record_assignments: bool = True
+    ) -> EmulationReport:
+        """Run an arbitrary request stream on a fresh table."""
+        table = self._table_factory()
+        module = HashTableModule(
+            table,
+            batch_size=self._batch_size,
+            vectorized=self._vectorized,
+            record_assignments=record_assignments,
+        )
+        return module.process(requests)

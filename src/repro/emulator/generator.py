@@ -1,0 +1,124 @@
+"""The request generator: "emulates the requests from the outside world".
+
+Produces streams of :class:`~repro.emulator.requests.Request` objects --
+join waves, lookup bursts, leave waves and random churn -- from explicit
+seeds, so every experiment replays bit-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..hashfn import Key
+from .distributions import KeyDistribution, UniformKeys
+from .requests import JoinRequest, LeaveRequest, LookupBurst, Request
+
+__all__ = ["RequestGenerator", "server_names"]
+
+
+def server_names(count: int, prefix: str = "server") -> List[str]:
+    """Human-readable server identifiers ``prefix-0 .. prefix-(count-1)``."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return ["{}-{}".format(prefix, index) for index in range(count)]
+
+
+class RequestGenerator:
+    """Seeded producer of emulator request streams."""
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def seed(self) -> int:
+        """The seed this generator was constructed with."""
+        return self._seed
+
+    def joins(self, server_ids: Iterable[Key]) -> Iterator[Request]:
+        """A join request per server identifier."""
+        for server_id in server_ids:
+            yield JoinRequest(server_id)
+
+    def leaves(self, server_ids: Iterable[Key]) -> Iterator[Request]:
+        """A leave request per server identifier."""
+        for server_id in server_ids:
+            yield LeaveRequest(server_id)
+
+    def lookups(
+        self,
+        count: int,
+        distribution: Optional[KeyDistribution] = None,
+        burst_size: int = 65_536,
+    ) -> Iterator[Request]:
+        """``count`` lookup requests, emitted as key bursts.
+
+        Keys are drawn from ``distribution`` (uniform by default) in
+        bursts of at most ``burst_size`` so arbitrarily long workloads
+        stream in bounded memory.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if burst_size <= 0:
+            raise ValueError("burst_size must be positive")
+        distribution = distribution or UniformKeys()
+        remaining = count
+        while remaining > 0:
+            size = min(remaining, burst_size)
+            yield LookupBurst(distribution.sample(size, self._rng))
+            remaining -= size
+
+    def churn(
+        self,
+        active_ids: Sequence[Key],
+        standby_ids: Sequence[Key],
+        events: int,
+        leave_probability: float = 0.5,
+        lookups_between: int = 0,
+        distribution: Optional[KeyDistribution] = None,
+    ) -> Iterator[Request]:
+        """Random join/leave churn, optionally interleaved with lookups.
+
+        ``active_ids`` are currently in the pool, ``standby_ids`` can
+        join.  Each event removes a random active server (with
+        ``leave_probability``, if any remain) or joins a random standby
+        one; after each event ``lookups_between`` lookups are emitted.
+        """
+        if not 0.0 <= leave_probability <= 1.0:
+            raise ValueError("leave_probability must be a probability")
+        active = list(active_ids)
+        standby = list(standby_ids)
+        for __ in range(events):
+            do_leave = bool(self._rng.random() < leave_probability)
+            if do_leave and len(active) <= 1:
+                do_leave = False
+            if not do_leave and not standby:
+                do_leave = len(active) > 1
+            if do_leave and len(active) > 1:
+                index = int(self._rng.integers(0, len(active)))
+                server_id = active.pop(index)
+                standby.append(server_id)
+                yield LeaveRequest(server_id)
+            elif standby:
+                index = int(self._rng.integers(0, len(standby)))
+                server_id = standby.pop(index)
+                active.append(server_id)
+                yield JoinRequest(server_id)
+            if lookups_between:
+                for request in self.lookups(lookups_between, distribution):
+                    yield request
+
+    def standard_workload(
+        self,
+        server_ids: Sequence[Key],
+        n_requests: int,
+        distribution: Optional[KeyDistribution] = None,
+    ) -> Iterator[Request]:
+        """The paper's Figure-4 workload: join every server, then send
+        ``n_requests`` lookups."""
+        for request in self.joins(server_ids):
+            yield request
+        for request in self.lookups(n_requests, distribution):
+            yield request

@@ -1,0 +1,111 @@
+"""The hash-table module: consumes dispatch units, produces assignments.
+
+"The hash table module reads incoming requests from a buffer and uses a
+hashing algorithm to map them to an available server" (Section 5.1).
+
+Two execution paths mirror the paper's hardware asymmetry:
+
+* ``vectorized=True`` -- each key batch goes through the algorithm's
+  ``route_batch`` (HD hashing's batched inference; the GPU stand-in);
+* ``vectorized=False`` -- keys are served one at a time through the
+  scalar ``lookup`` path (the per-request control flow of the classical
+  algorithms on a CPU).
+
+Both paths produce identical assignments; only the timing differs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+import numpy as np
+
+from ..hashing.base import DynamicHashTable
+from .buffer import RequestBuffer
+from .requests import JoinRequest, LeaveRequest, Request
+from .stats import LoadStats, TimingStats
+
+__all__ = ["HashTableModule", "EmulationReport"]
+
+
+@dataclass
+class EmulationReport:
+    """Everything observed while processing one request stream."""
+
+    table_name: str
+    timing: TimingStats = field(default_factory=TimingStats)
+    load: LoadStats = field(default_factory=LoadStats)
+    assignments: List[np.ndarray] = field(default_factory=list)
+
+    @property
+    def assignment_array(self) -> np.ndarray:
+        """All assigned server ids, in request order."""
+        if not self.assignments:
+            return np.empty(0, dtype=object)
+        return np.concatenate(self.assignments)
+
+    @property
+    def n_lookups(self) -> int:
+        """Number of lookups served."""
+        return self.timing.n_lookups
+
+
+class HashTableModule:
+    """Drives a :class:`DynamicHashTable` from a request stream."""
+
+    def __init__(
+        self,
+        table: DynamicHashTable,
+        batch_size: int = 256,
+        vectorized: bool = True,
+        record_assignments: bool = True,
+    ):
+        self._table = table
+        self._buffer = RequestBuffer(batch_size)
+        self._vectorized = vectorized
+        self._record_assignments = record_assignments
+
+    @property
+    def table(self) -> DynamicHashTable:
+        """The algorithm under test."""
+        return self._table
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether lookups take the batched inference path."""
+        return self._vectorized
+
+    def _serve_batch(self, keys: np.ndarray, report: EmulationReport) -> None:
+        table = self._table
+        started = time.perf_counter()
+        if self._vectorized:
+            assigned = table.lookup_batch(keys)
+        else:
+            ids = table.server_ids
+            assigned = np.empty(keys.size, dtype=object)
+            for index, key in enumerate(keys):
+                assigned[index] = table.lookup(int(key))
+            del ids
+        elapsed = time.perf_counter() - started
+        report.timing.record_batch(elapsed, int(keys.size))
+        report.load.record(assigned)
+        if self._record_assignments:
+            report.assignments.append(assigned)
+
+    def process(self, requests: Iterable[Request]) -> EmulationReport:
+        """Run a request stream to completion and report statistics."""
+        report = EmulationReport(table_name=self._table.name)
+        for unit in self._buffer.dispatch(requests):
+            if isinstance(unit, JoinRequest):
+                started = time.perf_counter()
+                self._table.join(unit.server_id)
+                report.timing.record_membership(time.perf_counter() - started)
+            elif isinstance(unit, LeaveRequest):
+                started = time.perf_counter()
+                self._table.leave(unit.server_id)
+                report.timing.record_membership(time.perf_counter() - started)
+            else:
+                self._serve_batch(unit, report)
+        return report

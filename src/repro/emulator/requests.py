@@ -1,0 +1,64 @@
+"""Request types flowing through the emulation framework.
+
+The paper's emulator (Section 5.1) drives the hash-table module with a
+stream of requests from a generator.  Ordinary requests are lookups;
+servers are added and removed "using two special case requests, a join
+and leave request, respectively, with a unique identifier of the server".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hashfn import Key
+
+__all__ = ["Request", "JoinRequest", "LeaveRequest", "LookupRequest", "LookupBurst"]
+
+
+class Request:
+    """Marker base class for everything the generator can emit."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class JoinRequest(Request):
+    """A server with identifier ``server_id`` joins the pool."""
+
+    server_id: Key
+
+
+@dataclass(frozen=True)
+class LeaveRequest(Request):
+    """The server with identifier ``server_id`` leaves the pool."""
+
+    server_id: Key
+
+
+@dataclass(frozen=True)
+class LookupRequest(Request):
+    """A single request ``key`` must be mapped to a server."""
+
+    key: Key
+
+
+@dataclass(frozen=True)
+class LookupBurst(Request):
+    """A pre-generated burst of integer request keys.
+
+    The generator emits bursts when the workload is produced in bulk; the
+    buffer re-slices them into the module's batch size.  ``keys`` is a
+    ``uint64`` array of application keys (not yet hashed).
+    """
+
+    keys: np.ndarray
+
+    def __post_init__(self):
+        keys = np.asarray(self.keys, dtype=np.uint64)
+        keys.setflags(write=False)
+        object.__setattr__(self, "keys", keys)
+
+    def __len__(self) -> int:
+        return int(self.keys.size)

@@ -1,0 +1,180 @@
+"""Time-stepped operational scenarios: churn, autoscaling, SLA metrics.
+
+The single-shot experiments answer the paper's questions; operators ask
+a longitudinal one: *over a day of traffic, churn and scaling decisions,
+how much work does the hash table create?*  A scenario steps a table
+through epochs; each epoch serves a batch of requests, may churn servers
+(failures/arrivals) and may trigger a reactive autoscaler, and records
+the remap fraction and load imbalance the step produced.
+
+``examples/load_balancer.py`` shows the single-episode form; this module
+generalises it with seeded stochastic churn and a load-targeting policy,
+and is exercised by the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..analysis import remap_fraction
+from ..hashing.base import DynamicHashTable
+from .distributions import KeyDistribution, UniformKeys
+
+__all__ = ["AutoscalePolicy", "ScenarioConfig", "StepRecord", "ScenarioResult",
+           "run_scenario"]
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Reactive scaling: keep requests/server inside a target band."""
+
+    target_load: float = 1_000.0
+    upper_tolerance: float = 1.3
+    lower_tolerance: float = 0.6
+    min_servers: int = 2
+    max_servers: int = 1_024
+
+    def decide(self, n_requests: int, n_servers: int) -> int:
+        """Server-count delta for the observed step load."""
+        per_server = n_requests / max(1, n_servers)
+        if (
+            per_server > self.target_load * self.upper_tolerance
+            and n_servers < self.max_servers
+        ):
+            wanted = int(np.ceil(n_requests / self.target_load))
+            return min(wanted, self.max_servers) - n_servers
+        if (
+            per_server < self.target_load * self.lower_tolerance
+            and n_servers > self.min_servers
+        ):
+            wanted = max(int(np.ceil(n_requests / self.target_load)),
+                         self.min_servers)
+            return wanted - n_servers
+        return 0
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """A longitudinal workload: epochs of traffic + churn + scaling."""
+
+    steps: int = 24
+    initial_servers: int = 8
+    requests_per_step: int = 8_000
+    #: multiplicative traffic profile per step (cycled); models diurnal load.
+    traffic_profile: tuple = (1.0, 0.7, 0.5, 0.8, 1.2, 1.5)
+    distribution: Optional[KeyDistribution] = None
+    failure_probability: float = 0.05
+    policy: Optional[AutoscalePolicy] = None
+    seed: int = 0
+
+
+@dataclass
+class StepRecord:
+    """What one epoch did to the system."""
+
+    step: int
+    n_requests: int
+    n_servers: int
+    joins: int
+    leaves: int
+    remapped: float
+    imbalance: float
+
+
+@dataclass
+class ScenarioResult:
+    """All step records plus aggregate operational cost."""
+
+    records: List[StepRecord] = field(default_factory=list)
+
+    @property
+    def total_remapped(self) -> float:
+        """Sum of per-step remap fractions (the churn bill)."""
+        return float(sum(record.remapped for record in self.records))
+
+    @property
+    def mean_imbalance(self) -> float:
+        """Average max-to-mean load ratio across steps."""
+        if not self.records:
+            return 0.0
+        return float(np.mean([record.imbalance for record in self.records]))
+
+    @property
+    def scaling_events(self) -> int:
+        """Total join + leave events across the scenario."""
+        return int(
+            sum(record.joins + record.leaves for record in self.records)
+        )
+
+
+def run_scenario(
+    table_factory: Callable[[], DynamicHashTable],
+    config: ScenarioConfig = ScenarioConfig(),
+) -> ScenarioResult:
+    """Run a churn/autoscale scenario against a fresh table."""
+    rng = np.random.default_rng(config.seed)
+    distribution = config.distribution or UniformKeys()
+    policy = config.policy or AutoscalePolicy(
+        target_load=config.requests_per_step / max(1, config.initial_servers)
+    )
+    table = table_factory()
+    next_server_id = 0
+    for __ in range(config.initial_servers):
+        table.join(next_server_id)
+        next_server_id += 1
+
+    result = ScenarioResult()
+    reference_keys = distribution.sample(4_000, rng)
+    previous = table.lookup_batch(reference_keys)
+
+    for step in range(config.steps):
+        factor = config.traffic_profile[step % len(config.traffic_profile)]
+        n_requests = max(1, int(config.requests_per_step * factor))
+        joins = 0
+        leaves = 0
+
+        # Random failures first (they are not the operator's choice).
+        if (
+            table.server_count > policy.min_servers
+            and rng.random() < config.failure_probability
+        ):
+            victim = table.server_ids[
+                int(rng.integers(0, table.server_count))
+            ]
+            table.leave(victim)
+            leaves += 1
+
+        # Reactive scaling toward the target band.
+        delta = policy.decide(n_requests, table.server_count)
+        while delta > 0:
+            table.join(next_server_id)
+            next_server_id += 1
+            joins += 1
+            delta -= 1
+        while delta < 0 and table.server_count > policy.min_servers:
+            table.leave(table.server_ids[-1])
+            leaves += 1
+            delta += 1
+
+        # Serve this epoch's traffic and account the step.
+        keys = distribution.sample(n_requests, rng)
+        assigned = table.lookup_batch(keys)
+        current = table.lookup_batch(reference_keys)
+        counts = np.unique(np.asarray(assigned, object), return_counts=True)[1]
+        imbalance = float(counts.max() / counts.mean()) if counts.size else 0.0
+        result.records.append(
+            StepRecord(
+                step=step,
+                n_requests=n_requests,
+                n_servers=table.server_count,
+                joins=joins,
+                leaves=leaves,
+                remapped=remap_fraction(previous, current),
+                imbalance=imbalance,
+            )
+        )
+        previous = current
+    return result

@@ -1,0 +1,130 @@
+"""Workload trace recording and replay.
+
+Experiments become comparable across machines and sessions when the
+exact request stream can be persisted.  A trace is a JSON-lines file:
+one event per line, lookup bursts stored as hex-packed ``uint64`` key
+arrays (compact and byte-exact).  Replaying a trace through the emulator
+reproduces an emulation run bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator, List
+
+import numpy as np
+
+from .requests import (
+    JoinRequest,
+    LeaveRequest,
+    LookupBurst,
+    LookupRequest,
+    Request,
+)
+
+__all__ = ["save_trace", "load_trace", "trace_lines", "parse_trace_lines"]
+
+_FORMAT_VERSION = 1
+
+
+def _encode_id(server_id):
+    if isinstance(server_id, bytes):
+        return {"b": server_id.hex()}
+    if isinstance(server_id, (int, np.integer)):
+        return {"i": int(server_id)}
+    if isinstance(server_id, str):
+        return {"s": server_id}
+    raise TypeError(
+        "cannot serialise identifier of type {!r}".format(
+            type(server_id).__name__
+        )
+    )
+
+
+def _decode_id(payload):
+    if "b" in payload:
+        return bytes.fromhex(payload["b"])
+    if "i" in payload:
+        return int(payload["i"])
+    if "s" in payload:
+        return payload["s"]
+    raise ValueError("malformed identifier payload {!r}".format(payload))
+
+
+def trace_lines(requests: Iterable[Request]) -> Iterator[str]:
+    """Serialise a request stream to JSON lines (lazy)."""
+    yield json.dumps({"version": _FORMAT_VERSION})
+    for request in requests:
+        if isinstance(request, JoinRequest):
+            yield json.dumps({"op": "join", "id": _encode_id(request.server_id)})
+        elif isinstance(request, LeaveRequest):
+            yield json.dumps(
+                {"op": "leave", "id": _encode_id(request.server_id)}
+            )
+        elif isinstance(request, LookupBurst):
+            keys = np.ascontiguousarray(request.keys, dtype=np.uint64)
+            yield json.dumps(
+                {"op": "burst", "n": int(keys.size), "keys": keys.tobytes().hex()}
+            )
+        elif isinstance(request, LookupRequest):
+            if isinstance(request.key, bool) or not isinstance(
+                request.key, (int, np.integer)
+            ):
+                raise TypeError("traces store integer lookup keys only")
+            yield json.dumps({"op": "lookup", "key": int(request.key)})
+        else:
+            raise TypeError(
+                "cannot serialise request type {!r}".format(
+                    type(request).__name__
+                )
+            )
+
+
+def parse_trace_lines(lines: Iterable[str]) -> Iterator[Request]:
+    """Deserialise JSON lines back into a request stream (lazy)."""
+    iterator = iter(lines)
+    try:
+        header = json.loads(next(iterator))
+    except StopIteration:
+        return
+    if header.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            "unsupported trace version {!r}".format(header.get("version"))
+        )
+    for line in iterator:
+        line = line.strip()
+        if not line:
+            continue
+        event = json.loads(line)
+        op = event.get("op")
+        if op == "join":
+            yield JoinRequest(_decode_id(event["id"]))
+        elif op == "leave":
+            yield LeaveRequest(_decode_id(event["id"]))
+        elif op == "burst":
+            keys = np.frombuffer(
+                bytes.fromhex(event["keys"]), dtype=np.uint64
+            )
+            if keys.size != event["n"]:
+                raise ValueError("burst length mismatch in trace")
+            yield LookupBurst(keys.copy())
+        elif op == "lookup":
+            yield LookupRequest(int(event["key"]))
+        else:
+            raise ValueError("unknown trace op {!r}".format(op))
+
+
+def save_trace(requests: Iterable[Request], path: str) -> int:
+    """Write a request stream to ``path``; returns the event count."""
+    count = -1  # the header line is not an event
+    with open(path, "w") as handle:
+        for count, line in enumerate(trace_lines(requests)):
+            handle.write(line)
+            handle.write("\n")
+    return count
+
+
+def load_trace(path: str) -> List[Request]:
+    """Read a trace written by :func:`save_trace`."""
+    with open(path) as handle:
+        return list(parse_trace_lines(handle))

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the HD-hashing reproduction.
+
+Every library-raised error derives from :class:`ReproError` and also from
+the closest standard exception, so callers can catch either the precise
+library type or the generic built-in they already handle.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "EmptyTableError",
+    "DuplicateServerError",
+    "UnknownServerError",
+    "CapacityError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class EmptyTableError(ReproError, LookupError):
+    """A lookup was issued against a table with no servers."""
+
+
+class DuplicateServerError(ReproError, ValueError):
+    """A server identifier was joined twice."""
+
+
+class UnknownServerError(ReproError, KeyError):
+    """A leave request named a server that is not in the table."""
+
+
+class CapacityError(ReproError, RuntimeError):
+    """A table ran out of placement capacity (e.g. HD circle full)."""

@@ -1,0 +1,72 @@
+"""Experiment harness: one runner per paper figure plus ablations.
+
+=====  ==============================  ===============================
+ID     Paper artefact                  Runner
+=====  ==============================  ===============================
+E1     Figure 2 (similarity)           :func:`run_similarity_profiles`
+E3     Figure 4 (efficiency)           :func:`run_efficiency`
+E4     Figure 5 (robustness)           :func:`run_robustness`
+E5     headline MCU claim              :func:`run_mcu_headline`
+E6     Figure 6 (uniformity)           :func:`run_uniformity`
+E7     remap-on-resize motivation      :func:`run_remapping`
+E8-11  ablations                       :mod:`repro.experiments.ablations`
+E12    accelerator cost model          :func:`run_cost_model`
+=====  ==============================  ===============================
+
+Each runner takes a config dataclass with ``fast()`` / ``bench()`` /
+``full()`` presets; ``full()`` is the paper-scale protocol.
+"""
+
+from .ablations import (
+    AblationConfig,
+    run_backend_ablation,
+    run_codebook_ablation,
+    run_dimension_ablation,
+    run_level_vs_circular,
+    run_ring_dtype_ablation,
+)
+from .base import PROFILES, ExperimentResult, active_profile
+from .costs import CostModelConfig, run_cost_model
+from .ecc_study import EccStudyConfig, run_ecc_study
+from .efficiency import EfficiencyConfig, run_efficiency
+from .hierarchy import HierarchyConfig, run_hierarchy_study
+from .remapping import RemappingConfig, run_remapping
+from .robustness import RobustnessConfig, run_mcu_headline, run_robustness
+from .similarity_profiles import (
+    SimilarityProfileConfig,
+    profile_against_reference,
+    run_similarity_profiles,
+)
+from .tables import TableBuilder
+from .uniformity import UniformityConfig, run_uniformity
+
+__all__ = [
+    "AblationConfig",
+    "CostModelConfig",
+    "EccStudyConfig",
+    "EfficiencyConfig",
+    "ExperimentResult",
+    "HierarchyConfig",
+    "PROFILES",
+    "RemappingConfig",
+    "RobustnessConfig",
+    "SimilarityProfileConfig",
+    "TableBuilder",
+    "UniformityConfig",
+    "active_profile",
+    "profile_against_reference",
+    "run_backend_ablation",
+    "run_codebook_ablation",
+    "run_cost_model",
+    "run_dimension_ablation",
+    "run_ecc_study",
+    "run_efficiency",
+    "run_hierarchy_study",
+    "run_level_vs_circular",
+    "run_mcu_headline",
+    "run_remapping",
+    "run_ring_dtype_ablation",
+    "run_robustness",
+    "run_similarity_profiles",
+    "run_uniformity",
+]

@@ -1,0 +1,176 @@
+"""Terminal rendering of the paper's figures.
+
+The benchmark harness emits tables; for humans comparing *shapes* a
+picture is faster.  This module renders experiment results as plain-text
+charts -- line charts for Figures 4/5/6 and shade heatmaps for Figure 2
+-- with no plotting dependency, so ``python -m repro run fig4 --plot``
+works in any terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .base import ExperimentResult
+
+__all__ = ["line_chart", "heatmap", "render_figure"]
+
+_SHADES = " .:-=+*#%@"
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, low: float, high: float, steps: int, logy: bool) -> int:
+    if logy:
+        value, low, high = (
+            math.log10(max(value, 1e-12)),
+            math.log10(max(low, 1e-12)),
+            math.log10(max(high, 1e-12)),
+        )
+    if high == low:
+        return 0
+    ratio = (value - low) / (high - low)
+    return int(round(ratio * (steps - 1)))
+
+
+def line_chart(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 16,
+    logy: bool = False,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named (xs, ys) series as a character grid.
+
+    Each series gets a marker from ``oxX+*...``; the legend maps markers
+    back to names.  ``logy`` plots a log10 y-axis (Figure 4's natural
+    scale).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    all_x = np.concatenate([np.asarray(xs, float) for xs, __ in series.values()])
+    all_y = np.concatenate([np.asarray(ys, float) for __, ys in series.values()])
+    if all_x.size == 0:
+        raise ValueError("series are empty")
+    x_low, x_high = float(all_x.min()), float(all_x.max())
+    y_low, y_high = float(all_y.min()), float(all_y.max())
+    grid = [[" "] * width for __ in range(height)]
+    legend = []
+    for index, (name, (xs, ys)) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append("{} {}".format(marker, name))
+        for x, y in zip(xs, ys):
+            column = _scale(float(x), x_low, x_high, width, False)
+            row = _scale(float(y), y_low, y_high, height, logy)
+            grid[height - 1 - row][column] = marker
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = "{:.3g}".format(y_high)
+    bottom_label = "{:.3g}".format(y_low)
+    pad = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label
+        elif row_index == height - 1:
+            label = bottom_label
+        else:
+            label = ""
+        lines.append("{:>{pad}} |{}".format(label, "".join(row), pad=pad))
+    lines.append("{:>{pad}} +{}".format("", "-" * width, pad=pad))
+    x_axis = "{:<{left}}{:>{right}}".format(
+        "{:.3g}".format(x_low), "{:.3g}".format(x_high),
+        left=width // 2, right=width - width // 2,
+    )
+    lines.append(" " * (pad + 2) + x_axis)
+    footer = "  ".join(legend)
+    if ylabel:
+        footer += "   y: {}{}".format(ylabel, " (log)" if logy else "")
+    if xlabel:
+        footer += "   x: {}".format(xlabel)
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def heatmap(matrix: np.ndarray, title: str = "") -> str:
+    """Render a matrix of values in [-1, 1] as shade characters."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError("heatmap needs a 2-D matrix")
+    # Map [-1, 1] onto the shade ramp; clip for safety.
+    clipped = np.clip((matrix + 1.0) / 2.0, 0.0, 1.0)
+    indices = np.round(clipped * (len(_SHADES) - 1)).astype(int)
+    lines = [title] if title else []
+    for row in indices:
+        lines.append("".join(_SHADES[cell] for cell in row))
+    return "\n".join(lines)
+
+
+def _series_from(result: ExperimentResult, x: str, y: str, by: str):
+    names = []
+    for row in result.rows:
+        if row[by] not in names:
+            names.append(row[by])
+    return {
+        str(name): (
+            result.column(x, **{by: name}),
+            result.column(y, **{by: name}),
+        )
+        for name in names
+    }
+
+
+def render_figure(name: str, result: ExperimentResult) -> str:
+    """Best-effort chart for a named artefact's result table."""
+    if name == "fig2":
+        blocks = []
+        for kind in ("random", "level", "circular"):
+            rows = result.filtered(kind=kind)
+            if not rows:
+                continue
+            count = max(row["i"] for row in rows) + 1
+            matrix = np.zeros((count, count))
+            for row in rows:
+                matrix[row["i"], row["j"]] = row["cosine_similarity"]
+            blocks.append(heatmap(matrix, title="{} basis".format(kind)))
+        return "\n\n".join(blocks)
+    if name == "fig4":
+        return line_chart(
+            _series_from(result, "servers", "us_per_request", "algorithm"),
+            logy=True,
+            title="Figure 4: us/request vs servers",
+            xlabel="servers",
+            ylabel="us/request",
+        )
+    if name in ("fig5",):
+        series = {}
+        for row in result.rows:
+            key = "{}@k={}".format(row["algorithm"], row["servers"])
+            xs, ys = series.setdefault(key, ([], []))
+            xs.append(row["bit_errors"])
+            ys.append(row["mismatch_pct_mean"])
+        return line_chart(
+            series,
+            title="Figure 5: % mismatched vs bit errors",
+            xlabel="bit errors",
+            ylabel="% mismatched",
+        )
+    if name == "fig6":
+        series = {}
+        for row in result.rows:
+            key = "{}@e={}".format(row["algorithm"], row["bit_errors"])
+            xs, ys = series.setdefault(key, ([], []))
+            xs.append(row["servers"])
+            ys.append(row["chi2_mean"])
+        return line_chart(
+            series,
+            logy=True,
+            title="Figure 6: chi^2 vs servers",
+            xlabel="servers",
+            ylabel="chi^2",
+        )
+    raise KeyError("no chart renderer for artefact {!r}".format(name))

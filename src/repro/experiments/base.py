@@ -1,0 +1,118 @@
+"""Experiment infrastructure: results, tables and profiles.
+
+Every experiment returns an :class:`ExperimentResult` -- a list of row
+dictionaries plus rendering helpers -- so benchmarks, tests and examples
+all consume the same structured output, and EXPERIMENTS.md tables are
+generated rather than hand-copied.
+
+Experiments come in three profiles selected by config classmethods (and
+the ``REPRO_PROFILE`` environment variable for the benchmark suite):
+
+* ``fast``  -- seconds; used by the test suite to smoke the harness.
+* ``bench`` -- minutes; the default for ``pytest benchmarks/``.
+* ``full``  -- paper scale (10,000 requests, 2..2048 servers, full trial
+  counts); reproduces the figures at the fidelity of the original.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ExperimentResult", "active_profile", "PROFILES"]
+
+PROFILES = ("fast", "bench", "full")
+
+
+def active_profile(default: str = "bench") -> str:
+    """The experiment profile selected via ``REPRO_PROFILE``."""
+    profile = os.environ.get("REPRO_PROFILE", default).lower()
+    if profile not in PROFILES:
+        raise ValueError(
+            "REPRO_PROFILE must be one of {}, got {!r}".format(PROFILES, profile)
+        )
+    return profile
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return "{:.3e}".format(value)
+        return "{:.4g}".format(value)
+    return str(value)
+
+
+@dataclass
+class ExperimentResult:
+    """Structured experiment output: title, columns and row dicts."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, **row) -> None:
+        """Append one result row (validated against the columns)."""
+        missing = set(self.columns) - set(row)
+        if missing:
+            raise ValueError("row is missing columns {}".format(sorted(missing)))
+        self.rows.append(row)
+
+    def note(self, text: str) -> None:
+        """Attach a free-form note rendered under the table."""
+        self.notes.append(text)
+
+    def filtered(self, **match) -> List[Dict]:
+        """Rows whose values equal every ``match`` item."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in match.items())
+        ]
+
+    def column(self, name: str, **match) -> List:
+        """One column's values, optionally filtered."""
+        return [row[name] for row in self.filtered(**match)]
+
+    def to_table(self) -> str:
+        """Render an aligned ASCII table (the paper-figure surrogate)."""
+        headers = list(self.columns)
+        body = [
+            [_format_cell(row[column]) for column in headers]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(headers[i]), *(len(line[i]) for line in body))
+            if body
+            else len(headers[i])
+            for i in range(len(headers))
+        ]
+        def render_line(cells):
+            return "  ".join(
+                cell.rjust(width) for cell, width in zip(cells, widths)
+            )
+        lines = [self.title, render_line(headers)]
+        lines.append("  ".join("-" * width for width in widths))
+        lines.extend(render_line(line) for line in body)
+        for note in self.notes:
+            lines.append("note: {}".format(note))
+        return "\n".join(lines)
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        """Serialise rows as CSV; write to ``path`` when given."""
+        headers = list(self.columns)
+        lines = [",".join(headers)]
+        for row in self.rows:
+            lines.append(
+                ",".join(_format_cell(row[column]) for column in headers)
+            )
+        text = "\n".join(lines) + "\n"
+        if path is not None:
+            with open(path, "w") as handle:
+                handle.write(text)
+        return text

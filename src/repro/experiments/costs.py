@@ -1,0 +1,64 @@
+"""Experiment E12: modelled per-lookup cycle costs (the accelerator tier).
+
+Evaluates :mod:`repro.costmodel` over the paper's server range on three
+machine models.  On the HDC accelerator the inference is one cycle, so
+HD hashing's modelled cost is flat in ``k`` -- the paper's "O(1) with
+special hardware" claim -- while rendezvous stays linear on every
+machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..costmodel import DEFAULT_MACHINES, CostModel
+from .base import ExperimentResult
+
+__all__ = ["CostModelConfig", "run_cost_model"]
+
+
+@dataclass(frozen=True)
+class CostModelConfig:
+    """Parameters of the cost-model experiment."""
+
+    server_counts: Sequence[int] = (2, 8, 32, 128, 512, 2048)
+    dim: int = 10_000
+    machines: Sequence[str] = ("scalar", "simd", "hdc-accelerator")
+    algorithms: Sequence[str] = ("modular", "consistent", "rendezvous", "hd")
+
+    @classmethod
+    def fast(cls) -> "CostModelConfig":
+        return cls(server_counts=(2, 32, 512))
+
+    @classmethod
+    def bench(cls) -> "CostModelConfig":
+        return cls()
+
+    @classmethod
+    def full(cls) -> "CostModelConfig":
+        return cls()
+
+
+def run_cost_model(config: CostModelConfig = CostModelConfig()) -> ExperimentResult:
+    """Modelled cycles per lookup across machines and pool sizes."""
+    result = ExperimentResult(
+        title="E12: modelled cycles per lookup (d={})".format(config.dim),
+        columns=("machine", "algorithm", "servers", "cycles"),
+    )
+    for machine_name in config.machines:
+        model = CostModel(DEFAULT_MACHINES[machine_name])
+        for algorithm in config.algorithms:
+            for n_servers in config.server_counts:
+                kwargs = {"dim": config.dim} if algorithm == "hd" else {}
+                result.add(
+                    machine=machine_name,
+                    algorithm=algorithm,
+                    servers=n_servers,
+                    cycles=model.estimate(algorithm, n_servers, **kwargs),
+                )
+    result.note(
+        "hd on the hdc-accelerator is constant in k (single-cycle "
+        "inference, Schmuck et al.); rendezvous is linear everywhere."
+    )
+    return result

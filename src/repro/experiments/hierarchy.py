@@ -1,0 +1,141 @@
+"""Experiment E13: flat vs hierarchical deployment.
+
+Section 5.1: HD hashing "can scale to much larger clusters, and even be
+used hierarchically (standard way to scale such hashing systems) to
+handle extremely high numbers of servers."  E13 measures what the
+hierarchy buys at the same total pool size:
+
+* per-lookup latency (two small inferences vs one wide one);
+* remap fraction when a server leaves (blast radius confined to its
+  group);
+* mismatch under memory errors (corruption confined to one group's
+  share of traffic).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis import remap_fraction
+from ..hashing import ConsistentHashTable, HDHashTable, HierarchicalHashTable
+from ..memory import MismatchCampaign, SingleBitFlips
+from .base import ExperimentResult
+
+__all__ = ["HierarchyConfig", "run_hierarchy_study"]
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Parameters of the flat-vs-hierarchical study."""
+
+    n_servers: int = 256
+    n_groups: int = 16
+    n_requests: int = 4_000
+    bit_errors: int = 10
+    trials: int = 5
+    seed: int = 0
+    hd_dim: int = 4_096
+
+    @classmethod
+    def fast(cls) -> "HierarchyConfig":
+        return cls(n_servers=32, n_groups=4, n_requests=500, trials=2,
+                   hd_dim=1_024)
+
+    @classmethod
+    def bench(cls) -> "HierarchyConfig":
+        return cls(n_requests=2_000, trials=3)
+
+    @classmethod
+    def full(cls) -> "HierarchyConfig":
+        return cls(n_servers=1_024, n_groups=32)
+
+
+def _build_flat(config: HierarchyConfig) -> HDHashTable:
+    table = HDHashTable(
+        seed=config.seed,
+        dim=config.hd_dim,
+        codebook_size=max(512, 4 * config.n_servers),
+    )
+    for index in range(config.n_servers):
+        table.join(index)
+    return table
+
+
+def _build_hierarchical(config: HierarchyConfig) -> HierarchicalHashTable:
+    per_group = -(-config.n_servers // config.n_groups)
+    inner_codebook = max(128, 8 * per_group)
+    table = HierarchicalHashTable(
+        outer_factory=lambda: ConsistentHashTable(
+            seed=config.seed, replicas=8
+        ),
+        inner_factory=lambda: HDHashTable(
+            seed=config.seed, dim=config.hd_dim, codebook_size=inner_codebook
+        ),
+        n_groups=config.n_groups,
+        seed=config.seed,
+    )
+    for index in range(config.n_servers):
+        table.join(index)
+    return table
+
+
+def run_hierarchy_study(
+    config: HierarchyConfig = HierarchyConfig(),
+) -> ExperimentResult:
+    """Flat vs two-level HD hashing at equal pool size."""
+    result = ExperimentResult(
+        title=(
+            "E13: flat vs hierarchical HD hashing "
+            "(k={}, {} groups)".format(config.n_servers, config.n_groups)
+        ),
+        columns=(
+            "topology",
+            "us_per_lookup",
+            "leave_remap",
+            "mismatch_pct_mean",
+        ),
+    )
+    words = np.random.default_rng(config.seed + 0x13).integers(
+        0, 2 ** 64, config.n_requests, dtype=np.uint64
+    )
+    rng = np.random.default_rng(config.seed + 0x113)
+    for topology, build in (
+        ("flat", _build_flat),
+        ("hierarchical", _build_hierarchical),
+    ):
+        table = build(config)
+
+        sample = words[: min(500, words.size)]
+        started = time.perf_counter()
+        for word in sample:
+            table.route_word(int(word))
+        elapsed = time.perf_counter() - started
+
+        ids = np.asarray(table.server_ids, dtype=object)
+        before = ids[table.route_batch(words)]
+        victim = config.n_servers // 2
+        table.leave(victim)
+        ids_after = np.asarray(table.server_ids, dtype=object)
+        after = ids_after[table.route_batch(words)]
+        leave_remap = remap_fraction(before, after)
+        table.join(victim)
+
+        campaign = MismatchCampaign(table, words)
+        outcome = campaign.run(
+            SingleBitFlips(config.bit_errors), trials=config.trials, rng=rng
+        )
+
+        result.add(
+            topology=topology,
+            us_per_lookup=elapsed / sample.size * 1e6,
+            leave_remap=leave_remap,
+            mismatch_pct_mean=100.0 * outcome.mean_mismatch,
+        )
+    result.note(
+        "hierarchy splits one k-wide inference into two narrow ones and "
+        "confines both churn and corruption to one group's traffic share."
+    )
+    return result

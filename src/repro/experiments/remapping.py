@@ -1,0 +1,108 @@
+"""Experiment E7: remap fraction on resize (the paper's motivation).
+
+Section 1: modular hashing remaps "virtually all requests" when the pool
+size changes, which is why consistent/rendezvous/HD hashing exist.  This
+experiment quantifies it: route a key population, add (or remove) one
+server, route again, and report the fraction of keys whose server
+changed.  The minimal-disruption ideal is ``1/(k+1)`` for a join and
+``1/k`` for a leave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..analysis import remap_fraction
+from .base import ExperimentResult
+from .tables import TableBuilder
+
+__all__ = ["RemappingConfig", "run_remapping"]
+
+
+@dataclass(frozen=True)
+class RemappingConfig:
+    """Parameters of the remap-on-resize experiment."""
+
+    server_counts: Sequence[int] = (16, 64, 256, 1024)
+    n_requests: int = 50_000
+    algorithms: Sequence[str] = ("modular", "consistent", "rendezvous", "hd")
+    seed: int = 0
+    hd_dim: int = 10_000
+    hd_codebook_size: int = 4_096
+
+    @classmethod
+    def fast(cls) -> "RemappingConfig":
+        return cls(
+            server_counts=(16,),
+            n_requests=5_000,
+            hd_dim=2_048,
+            hd_codebook_size=256,
+        )
+
+    @classmethod
+    def bench(cls) -> "RemappingConfig":
+        return cls(server_counts=(16, 64, 256), n_requests=20_000)
+
+    @classmethod
+    def full(cls) -> "RemappingConfig":
+        return cls()
+
+
+def run_remapping(config: RemappingConfig = RemappingConfig()) -> ExperimentResult:
+    """Remapped-key fraction when one server joins or leaves."""
+    result = ExperimentResult(
+        title=(
+            "Remap-on-resize: fraction of keys remapped when one of k "
+            "servers joins/leaves ({} keys)".format(config.n_requests)
+        ),
+        columns=(
+            "algorithm",
+            "servers",
+            "join_remap",
+            "leave_remap",
+            "ideal_join",
+            "ideal_leave",
+        ),
+    )
+    builder = TableBuilder(
+        seed=config.seed,
+        hd_dim=config.hd_dim,
+        hd_codebook_size=config.hd_codebook_size,
+    )
+    words = np.random.default_rng(config.seed + 0xAB1E).integers(
+        0, 2 ** 64, config.n_requests, dtype=np.uint64
+    )
+    for n_servers in config.server_counts:
+        for algorithm in config.algorithms:
+            if algorithm == "hd" and n_servers + 1 >= config.hd_codebook_size:
+                continue
+            table = builder.build_populated(algorithm, n_servers)
+            ids = np.asarray(table.server_ids, dtype=object)
+            before = ids[table.route_batch(words)]
+
+            table.join(n_servers)  # the joining server's id
+            ids_after = np.asarray(table.server_ids, dtype=object)
+            after_join = ids_after[table.route_batch(words)]
+            join_remap = remap_fraction(before, after_join)
+
+            table.leave(n_servers)
+            ids_back = np.asarray(table.server_ids, dtype=object)
+            after_leave = ids_back[table.route_batch(words)]
+            leave_remap = remap_fraction(after_join, after_leave)
+
+            result.add(
+                algorithm=algorithm,
+                servers=n_servers,
+                join_remap=join_remap,
+                leave_remap=leave_remap,
+                ideal_join=1.0 / (n_servers + 1),
+                ideal_leave=1.0 / (n_servers + 1),
+            )
+    result.note(
+        "modular ~ 1 - 1/k (rehashes nearly everything); the others track "
+        "the 1/(k+1) minimal-disruption ideal."
+    )
+    return result

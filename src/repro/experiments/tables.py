@@ -1,0 +1,84 @@
+"""Shared table construction for the experiment harness.
+
+Builds the algorithm-under-test instances with consistent seeds and, for
+HD hashing, a codebook cache so sweeps over server counts do not pay the
+circular-basis construction repeatedly (the basis depends only on
+(dim, codebook size, family seed), exactly like the pristine/corrupted
+replica pair must).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..hashfn import HashFamily
+from ..hashing import (
+    ConsistentHashTable,
+    HDHashTable,
+    ModularHashTable,
+    RendezvousHashTable,
+)
+from ..hdc.basis import BasisSet, circular_basis
+
+__all__ = ["TableBuilder"]
+
+
+class TableBuilder:
+    """Factory for the paper's four algorithms with shared HD codebooks."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        hd_dim: int = 10_000,
+        hd_codebook_size: int = 4_096,
+        hd_batch_size: int = 256,
+        consistent_replicas: int = 1,
+        consistent_search: str = "count",
+    ):
+        self.seed = seed
+        self.hd_dim = hd_dim
+        self.hd_codebook_size = hd_codebook_size
+        self.hd_batch_size = hd_batch_size
+        self.consistent_replicas = consistent_replicas
+        self.consistent_search = consistent_search
+        self._codebooks: Dict[Tuple[int, int, int], BasisSet] = {}
+
+    def codebook(self) -> BasisSet:
+        """The (cached) circular codebook HD tables share."""
+        family = HashFamily(self.seed).derive("codebook")
+        key = (self.hd_dim, self.hd_codebook_size, family.seed)
+        if key not in self._codebooks:
+            rng = np.random.default_rng(family.seed)
+            self._codebooks[key] = circular_basis(
+                self.hd_codebook_size, self.hd_dim, rng
+            )
+        return self._codebooks[key]
+
+    def build(self, algorithm: str):
+        """A fresh table for ``algorithm`` with this builder's seeds."""
+        if algorithm == "modular":
+            return ModularHashTable(seed=self.seed)
+        if algorithm == "consistent":
+            return ConsistentHashTable(
+                seed=self.seed,
+                replicas=self.consistent_replicas,
+                search=self.consistent_search,
+            )
+        if algorithm == "rendezvous":
+            return RendezvousHashTable(seed=self.seed)
+        if algorithm == "hd":
+            return HDHashTable(
+                seed=self.seed,
+                codebook=self.codebook(),
+                batch_size=self.hd_batch_size,
+            )
+        raise ValueError("unknown algorithm {!r}".format(algorithm))
+
+    def build_populated(self, algorithm: str, n_servers: int):
+        """A fresh table with ``n_servers`` servers already joined."""
+        table = self.build(algorithm)
+        for index in range(n_servers):
+            table.join(index)
+        return table

@@ -1,0 +1,57 @@
+"""Hash-function substrate for the HD-hashing reproduction.
+
+The paper treats ``h(.)`` as an ideal hash function; this package provides
+concrete, deterministic realisations:
+
+* :mod:`repro.hashfn.mixers` -- 64-bit avalanche mixers (SplitMix64,
+  MurmurHash3 fmix64, xorshift*), scalar and vectorized.
+* :mod:`repro.hashfn.fnv` -- FNV-1a for byte strings.
+* :mod:`repro.hashfn.xxh` -- pure-Python XXH64.
+* :mod:`repro.hashfn.keys` -- canonical key -> 64-bit-word conversion.
+* :mod:`repro.hashfn.family` -- seeded families with derivation.
+"""
+
+from .family import HashFamily
+from .fnv import fnv1a_32, fnv1a_64
+from .keys import Key, key_to_word, keys_to_words, word_for_server
+from .murmur import murmur3_64, murmur3_x64_128
+from .mixers import (
+    GOLDEN_GAMMA,
+    MASK64,
+    fmix64,
+    fmix64_vec,
+    mix_pair,
+    mix_pair_vec,
+    rotl64,
+    rotl64_vec,
+    splitmix64,
+    splitmix64_vec,
+    xorshift_star,
+    xorshift_star_vec,
+)
+from .xxh import xxh64
+
+__all__ = [
+    "HashFamily",
+    "Key",
+    "GOLDEN_GAMMA",
+    "MASK64",
+    "fnv1a_32",
+    "fnv1a_64",
+    "fmix64",
+    "fmix64_vec",
+    "key_to_word",
+    "keys_to_words",
+    "mix_pair",
+    "mix_pair_vec",
+    "murmur3_64",
+    "murmur3_x64_128",
+    "rotl64",
+    "rotl64_vec",
+    "splitmix64",
+    "splitmix64_vec",
+    "word_for_server",
+    "xorshift_star",
+    "xorshift_star_vec",
+    "xxh64",
+]

@@ -1,0 +1,50 @@
+"""Fowler-Noll-Vo (FNV-1a) hashing for byte strings.
+
+FNV-1a is the simplest credible byte-string hash: a multiply/xor loop over
+the input bytes.  It is used in this reproduction as the default encoder
+for string and bytes identifiers (server names, request URLs) where a
+dependency-free, easily-audited function is preferable.
+
+Test vectors come from the reference FNV test suite by Noll et al.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FNV64_OFFSET_BASIS",
+    "FNV64_PRIME",
+    "FNV32_OFFSET_BASIS",
+    "FNV32_PRIME",
+    "fnv1a_64",
+    "fnv1a_32",
+]
+
+FNV64_OFFSET_BASIS = 0xCBF2_9CE4_8422_2325
+FNV64_PRIME = 0x0000_0100_0000_01B3
+_MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+FNV32_OFFSET_BASIS = 0x811C_9DC5
+FNV32_PRIME = 0x0100_0193
+_MASK32 = 0xFFFF_FFFF
+
+
+def fnv1a_64(data: bytes, seed: int = 0) -> int:
+    """64-bit FNV-1a hash of ``data``.
+
+    A non-zero ``seed`` perturbs the offset basis, giving a cheap seeded
+    family (the classic FNV definition is the ``seed=0`` member).
+    """
+    accumulator = (FNV64_OFFSET_BASIS ^ (seed & _MASK64)) & _MASK64
+    for byte in data:
+        accumulator ^= byte
+        accumulator = (accumulator * FNV64_PRIME) & _MASK64
+    return accumulator
+
+
+def fnv1a_32(data: bytes, seed: int = 0) -> int:
+    """32-bit FNV-1a hash of ``data``."""
+    accumulator = (FNV32_OFFSET_BASIS ^ (seed & _MASK32)) & _MASK32
+    for byte in data:
+        accumulator ^= byte
+        accumulator = (accumulator * FNV32_PRIME) & _MASK32
+    return accumulator

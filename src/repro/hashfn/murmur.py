@@ -1,0 +1,93 @@
+"""MurmurHash3 x64-128 for byte strings (Appleby, public domain design).
+
+A second independent byte-string hash family next to XXH64: rendezvous-
+style constructions and the seeded-family tests want hash functions with
+no shared structure, and Murmur3's two-lane 128-bit core is structurally
+unrelated to XXH64's four-lane accumulator.
+
+Only the x64 128-bit variant is implemented (the one used by Cassandra,
+HBase and friends); :func:`murmur3_x64_128` returns the (h1, h2) pair
+and :func:`murmur3_64` the truncated 64-bit form.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+__all__ = ["murmur3_x64_128", "murmur3_64"]
+
+_MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+_C1 = 0x87C3_7B91_1142_53D5
+_C2 = 0x4CF5_AD43_2745_937F
+
+
+def _rotl(value: int, count: int) -> int:
+    return ((value << count) | (value >> (64 - count))) & _MASK64
+
+
+def _fmix(k: int) -> int:
+    k ^= k >> 33
+    k = (k * 0xFF51_AFD7_ED55_8CCD) & _MASK64
+    k ^= k >> 33
+    k = (k * 0xC4CE_B9FE_1A85_EC53) & _MASK64
+    k ^= k >> 33
+    return k
+
+
+def murmur3_x64_128(data: bytes, seed: int = 0) -> Tuple[int, int]:
+    """MurmurHash3 x64-128 of ``data``; returns the (h1, h2) pair."""
+    length = len(data)
+    h1 = seed & _MASK64
+    h2 = seed & _MASK64
+    block_count = length // 16
+
+    for block in range(block_count):
+        k1, k2 = struct.unpack_from("<QQ", data, block * 16)
+        k1 = (k1 * _C1) & _MASK64
+        k1 = _rotl(k1, 31)
+        k1 = (k1 * _C2) & _MASK64
+        h1 ^= k1
+        h1 = _rotl(h1, 27)
+        h1 = (h1 + h2) & _MASK64
+        h1 = (h1 * 5 + 0x52DCE729) & _MASK64
+        k2 = (k2 * _C2) & _MASK64
+        k2 = _rotl(k2, 33)
+        k2 = (k2 * _C1) & _MASK64
+        h2 ^= k2
+        h2 = _rotl(h2, 31)
+        h2 = (h2 + h1) & _MASK64
+        h2 = (h2 * 5 + 0x38495AB5) & _MASK64
+
+    tail = data[block_count * 16 :]
+    k1 = 0
+    k2 = 0
+    if len(tail) > 8:
+        for index in range(len(tail) - 1, 7, -1):
+            k2 = (k2 << 8) | tail[index]
+        k2 = (k2 * _C2) & _MASK64
+        k2 = _rotl(k2, 33)
+        k2 = (k2 * _C1) & _MASK64
+        h2 ^= k2
+    if tail:
+        for index in range(min(len(tail), 8) - 1, -1, -1):
+            k1 = (k1 << 8) | tail[index]
+        k1 = (k1 * _C1) & _MASK64
+        k1 = _rotl(k1, 31)
+        k1 = (k1 * _C2) & _MASK64
+        h1 ^= k1
+
+    h1 ^= length
+    h2 ^= length
+    h1 = (h1 + h2) & _MASK64
+    h2 = (h2 + h1) & _MASK64
+    h1 = _fmix(h1)
+    h2 = _fmix(h2)
+    h1 = (h1 + h2) & _MASK64
+    h2 = (h2 + h1) & _MASK64
+    return h1, h2
+
+
+def murmur3_64(data: bytes, seed: int = 0) -> int:
+    """The first 64 bits of :func:`murmur3_x64_128`."""
+    return murmur3_x64_128(data, seed)[0]

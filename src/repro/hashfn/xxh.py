@@ -1,0 +1,96 @@
+"""Pure-Python implementation of XXH64 (xxHash, 64-bit variant).
+
+XXH64 is a fast non-cryptographic hash with excellent avalanche behaviour.
+It is the byte-string hash used for request identifiers in the emulator's
+high-fidelity mode.  The implementation follows the canonical algorithm
+specification (Yann Collet, xxHash v0.8 spec) and is validated against the
+published test vector for the empty input plus structural self-tests.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["xxh64"]
+
+_PRIME_1 = 0x9E37_79B1_85EB_CA87
+_PRIME_2 = 0xC2B2_AE3D_27D4_EB4F
+_PRIME_3 = 0x1656_67B1_9E37_79F9
+_PRIME_4 = 0x85EB_CA77_C2B2_AE63
+_PRIME_5 = 0x27D4_EB2F_1656_67C5
+_MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+def _rotl(value: int, count: int) -> int:
+    return ((value << count) | (value >> (64 - count))) & _MASK64
+
+
+def _round(accumulator: int, lane: int) -> int:
+    accumulator = (accumulator + lane * _PRIME_2) & _MASK64
+    accumulator = _rotl(accumulator, 31)
+    return (accumulator * _PRIME_1) & _MASK64
+
+
+def _merge_round(hash_value: int, accumulator: int) -> int:
+    hash_value ^= _round(0, accumulator)
+    return (hash_value * _PRIME_1 + _PRIME_4) & _MASK64
+
+
+def _avalanche(hash_value: int) -> int:
+    hash_value ^= hash_value >> 33
+    hash_value = (hash_value * _PRIME_2) & _MASK64
+    hash_value ^= hash_value >> 29
+    hash_value = (hash_value * _PRIME_3) & _MASK64
+    hash_value ^= hash_value >> 32
+    return hash_value
+
+
+def xxh64(data: bytes, seed: int = 0) -> int:
+    """Compute the XXH64 hash of ``data`` with the given ``seed``."""
+    seed &= _MASK64
+    length = len(data)
+    offset = 0
+
+    if length >= 32:
+        v1 = (seed + _PRIME_1 + _PRIME_2) & _MASK64
+        v2 = (seed + _PRIME_2) & _MASK64
+        v3 = seed
+        v4 = (seed - _PRIME_1) & _MASK64
+        limit = length - 32
+        while offset <= limit:
+            lanes = struct.unpack_from("<4Q", data, offset)
+            v1 = _round(v1, lanes[0])
+            v2 = _round(v2, lanes[1])
+            v3 = _round(v3, lanes[2])
+            v4 = _round(v4, lanes[3])
+            offset += 32
+        hash_value = (
+            _rotl(v1, 1) + _rotl(v2, 7) + _rotl(v3, 12) + _rotl(v4, 18)
+        ) & _MASK64
+        hash_value = _merge_round(hash_value, v1)
+        hash_value = _merge_round(hash_value, v2)
+        hash_value = _merge_round(hash_value, v3)
+        hash_value = _merge_round(hash_value, v4)
+    else:
+        hash_value = (seed + _PRIME_5) & _MASK64
+
+    hash_value = (hash_value + length) & _MASK64
+
+    while offset + 8 <= length:
+        (lane,) = struct.unpack_from("<Q", data, offset)
+        hash_value ^= _round(0, lane)
+        hash_value = (_rotl(hash_value, 27) * _PRIME_1 + _PRIME_4) & _MASK64
+        offset += 8
+
+    if offset + 4 <= length:
+        (lane,) = struct.unpack_from("<I", data, offset)
+        hash_value ^= (lane * _PRIME_1) & _MASK64
+        hash_value = (_rotl(hash_value, 23) * _PRIME_2 + _PRIME_3) & _MASK64
+        offset += 4
+
+    while offset < length:
+        hash_value ^= (data[offset] * _PRIME_5) & _MASK64
+        hash_value = (_rotl(hash_value, 11) * _PRIME_1) & _MASK64
+        offset += 1
+
+    return _avalanche(hash_value)

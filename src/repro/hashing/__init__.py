@@ -1,0 +1,66 @@
+"""Dynamic hash tables: the paper's comparands and extension baselines.
+
+===================  =============================================  ========
+Algorithm            Lookup                                          Section
+===================  =============================================  ========
+modular              O(1) ``h(r) mod k``                             1
+consistent           O(log k) ring binary search                     2.1
+rendezvous           O(k) highest-random-weight                      2.2
+hd                   HDC inference over circular-hypervectors        3
+jump                 O(log k) stateless jump hash                    ext.
+maglev               O(1) prime lookup table                         ext.
+bounded-consistent   consistent hashing with bounded loads           ext.
+weighted-rendezvous  HRW with capacity weights                       ext.
+===================  =============================================  ========
+
+All implement :class:`repro.hashing.base.DynamicHashTable`.
+"""
+
+from .base import DynamicHashTable
+from .bounded import BoundedLoadConsistentHashTable
+from .consistent import ConsistentHashTable
+from .hd import HDHashTable
+from .hierarchical import HierarchicalHashTable
+from .jump import JumpHashTable, jump_hash
+from .maglev import MaglevHashTable
+from .modular import ModularHashTable
+from .multiprobe import MultiProbeConsistentHashTable
+from .rendezvous import RendezvousHashTable, WeightedRendezvousHashTable
+
+#: The three algorithms the paper evaluates against each other, plus the
+#: modular baseline from its introduction.
+PAPER_ALGORITHMS = {
+    "modular": ModularHashTable,
+    "consistent": ConsistentHashTable,
+    "rendezvous": RendezvousHashTable,
+    "hd": HDHashTable,
+}
+
+#: Every available algorithm, including extension baselines.
+ALL_ALGORITHMS = dict(
+    PAPER_ALGORITHMS,
+    jump=JumpHashTable,
+    maglev=MaglevHashTable,
+    **{
+        "bounded-consistent": BoundedLoadConsistentHashTable,
+        "weighted-rendezvous": WeightedRendezvousHashTable,
+        "multiprobe-consistent": MultiProbeConsistentHashTable,
+    }
+)
+
+__all__ = [
+    "ALL_ALGORITHMS",
+    "PAPER_ALGORITHMS",
+    "BoundedLoadConsistentHashTable",
+    "ConsistentHashTable",
+    "DynamicHashTable",
+    "HDHashTable",
+    "HierarchicalHashTable",
+    "JumpHashTable",
+    "MaglevHashTable",
+    "ModularHashTable",
+    "MultiProbeConsistentHashTable",
+    "RendezvousHashTable",
+    "WeightedRendezvousHashTable",
+    "jump_hash",
+]

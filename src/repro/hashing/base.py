@@ -1,0 +1,153 @@
+"""The common dynamic-hash-table protocol.
+
+Every algorithm in this package -- the paper's three comparands plus the
+extension baselines -- implements :class:`DynamicHashTable`:
+
+* ``join(server_id)`` / ``leave(server_id)``, the emulator's special
+  requests (Section 5.1);
+* ``lookup(key)``, the scalar deployment path used by the efficiency
+  experiment;
+* ``route_batch(words)``, the vectorized path used by the robustness and
+  uniformity campaigns (and, for HD hashing, the batched inference that
+  stands in for the paper's GPU);
+* ``memory_regions()``, the routing state exposed to the fault injector.
+
+Routing is split into key hashing (``HashFamily.word``) and word routing
+(``route_word``) so that a pristine replica and a corrupted table can be
+replayed on bit-identical word streams.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DuplicateServerError, EmptyTableError, UnknownServerError
+from ..hashfn import HashFamily, Key
+from ..memory import MemoryRegion
+
+__all__ = ["DynamicHashTable"]
+
+
+class DynamicHashTable(ABC):
+    """Abstract dynamic hash table mapping request keys to servers."""
+
+    #: Human-readable algorithm name, overridden by each subclass.
+    name: str = "abstract"
+
+    def __init__(self, family: HashFamily = None, seed: int = 0):
+        self._family = family if family is not None else HashFamily(seed)
+        self._server_ids: List[Key] = []
+
+    # -- registry ---------------------------------------------------------
+
+    @property
+    def family(self) -> HashFamily:
+        """The hash family realising this table's ``h(.)``."""
+        return self._family
+
+    @property
+    def server_ids(self) -> Tuple[Key, ...]:
+        """Identifiers of the servers currently in the pool, slot-ordered."""
+        return tuple(self._server_ids)
+
+    @property
+    def server_count(self) -> int:
+        """Number of servers currently in the pool."""
+        return len(self._server_ids)
+
+    def __contains__(self, server_id: Key) -> bool:
+        return server_id in self._server_ids
+
+    def __len__(self) -> int:
+        return len(self._server_ids)
+
+    def _slot_of(self, server_id: Key) -> int:
+        try:
+            return self._server_ids.index(server_id)
+        except ValueError:
+            raise UnknownServerError(server_id) from None
+
+    # -- membership -------------------------------------------------------
+
+    def join(self, server_id: Key) -> None:
+        """Add a server to the pool (the emulator's join request)."""
+        if server_id in self._server_ids:
+            raise DuplicateServerError(server_id)
+        self._join(server_id, self._family.word(server_id))
+        self._server_ids.append(server_id)
+
+    def leave(self, server_id: Key) -> None:
+        """Remove a server from the pool (the emulator's leave request)."""
+        slot = self._slot_of(server_id)
+        self._leave(server_id, slot)
+        del self._server_ids[slot]
+
+    @abstractmethod
+    def _join(self, server_id: Key, server_word: int) -> None:
+        """Algorithm-specific join; runs before the registry append."""
+
+    @abstractmethod
+    def _leave(self, server_id: Key, slot: int) -> None:
+        """Algorithm-specific leave; runs before the registry removal."""
+
+    # -- routing ------------------------------------------------------------
+
+    def _require_servers(self) -> None:
+        if not self._server_ids:
+            raise EmptyTableError("the table has no servers")
+
+    def lookup(self, key: Key) -> Key:
+        """Map one request key to a server identifier (scalar path)."""
+        self._require_servers()
+        return self._server_ids[self.route_word(self._family.word(key))]
+
+    def lookup_batch(self, keys: Sequence[Key]) -> np.ndarray:
+        """Map a batch of request keys to server identifiers.
+
+        Integer key batches take the vectorized path; mixed batches fall
+        back to element-wise hashing.
+        """
+        self._require_servers()
+        array = np.asarray(keys)
+        if array.dtype.kind in ("i", "u"):
+            words = self._family.words(array)
+        else:
+            words = np.fromiter(
+                (self._family.word(key) for key in keys),
+                dtype=np.uint64,
+                count=len(keys),
+            )
+        slots = self.route_batch(words)
+        return np.asarray(self._server_ids, dtype=object)[slots]
+
+    @abstractmethod
+    def route_word(self, word: int) -> int:
+        """Route one pre-hashed 64-bit word to a server slot index."""
+
+    def route_batch(self, words: np.ndarray) -> np.ndarray:
+        """Route pre-hashed words to slot indices (vectorized when the
+        subclass provides it; this default loops over :meth:`route_word`).
+        """
+        self._require_servers()
+        words = np.asarray(words, dtype=np.uint64)
+        return np.fromiter(
+            (self.route_word(int(word)) for word in words),
+            dtype=np.int64,
+            count=words.size,
+        )
+
+    # -- fault-injection surface --------------------------------------------
+
+    @abstractmethod
+    def memory_regions(self) -> List[MemoryRegion]:
+        """Live routing-state regions exposed to the fault injector.
+
+        Regions are views over the current arrays; they are invalidated
+        by ``join``/``leave`` (fetch them after the topology settles).
+        """
+
+    def __repr__(self) -> str:
+        return "{}(servers={})".format(type(self).__name__, self.server_count)

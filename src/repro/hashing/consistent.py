@@ -1,0 +1,207 @@
+"""Consistent hashing (Karger et al.; Section 2.1 of the paper).
+
+Servers and requests are mapped "uniformly to the unit interval [0, 1],
+which is interpreted as a circular interval"; each request is served by
+the first server that succeeds it clockwise.  We store the interval in
+32-bit fixed point (the compact form a high-throughput emulator keeps
+resident), sorted, with one entry per virtual node.
+
+Two lookup backends compute the same successor function on pristine
+memory:
+
+* ``route_word`` -- scalar binary search over the sorted ring, the
+  O(log k) deployment path of Section 2.1 (used by the efficiency
+  experiment);
+* ``route_batch`` -- the data-parallel form ``index = count(pos < key)``,
+  which is how a vectorized/GPU emulator evaluates successors for a
+  whole batch at once (used by the robustness/uniformity campaigns,
+  mirroring the paper's emulator).
+
+Memory model and why consistent hashing is fragile (Figure 5): the
+sorted position array is the routing state.  A flipped bit displaces one
+position by ``2^(b-32)`` of the circle; every key between the old and the
+new value now counts one successor too many or too few, so a single
+high-order flip silently misroutes the whole displaced span -- orders of
+magnitude more keys than the server's own arc.  The scalar bisection
+backend confines the damage to the corrupted entry's search subtree and
+is measurably less fragile; the ablation benchmark E10 quantifies the
+difference between the two backends.
+
+``replicas`` controls virtual nodes per server.  The paper's description
+and its uniformity results (Figure 6) correspond to ``replicas=1``; more
+replicas smooth the load and are exercised by ablations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..hashfn import HashFamily, Key
+from ..memory import MemoryRegion
+from .base import DynamicHashTable
+
+__all__ = ["ConsistentHashTable"]
+
+#: Keys and positions live on a 2^32-slot fixed-point circle.
+_CIRCLE_BITS = 32
+_CIRCLE_MASK = 0xFFFF_FFFF
+
+#: Chunk size (in comparison cells) for the data-parallel backend.
+_CHUNK_CELLS = 1 << 22
+
+
+class ConsistentHashTable(DynamicHashTable):
+    """Ring-based consistent hashing over a fixed-point unit circle."""
+
+    name = "consistent"
+
+    def __init__(
+        self,
+        family: HashFamily = None,
+        seed: int = 0,
+        replicas: int = 1,
+        search: str = "count",
+        position_dtype: str = "fixed32",
+    ):
+        super().__init__(family=family, seed=seed)
+        if replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        if search not in ("count", "bisect"):
+            raise ValueError("search backend must be 'count' or 'bisect'")
+        if position_dtype not in ("fixed32", "float32"):
+            raise ValueError("position_dtype must be 'fixed32' or 'float32'")
+        self._replicas = replicas
+        self._search = search
+        self._position_dtype = position_dtype
+        self._ring_family = self.family.derive("ring")
+        storage = np.uint32 if position_dtype == "fixed32" else np.float32
+        self._ring_positions = np.empty(0, dtype=storage)
+        self._ring_slots = np.empty(0, dtype=np.int64)
+
+    @property
+    def replicas(self) -> int:
+        """Virtual nodes per server."""
+        return self._replicas
+
+    @property
+    def position_dtype(self) -> str:
+        """Ring-position storage: ``"fixed32"`` (32-bit fixed-point
+        fractions of the unit circle) or ``"float32"`` (IEEE single
+        precision, the layout a float-typed GPU emulator would keep).
+        Identical routing on pristine memory; very different corruption
+        behaviour -- an IEEE exponent/sign flip can push a position out
+        of [0, 1] entirely, leaving its server unreachable (ablation
+        E14)."""
+        return self._position_dtype
+
+    @property
+    def search(self) -> str:
+        """Batch lookup backend: ``"count"`` (data-parallel successor
+        counting) or ``"bisect"`` (vectorized binary search)."""
+        return self._search
+
+    @property
+    def ring_size(self) -> int:
+        """Number of ring entries (servers x replicas)."""
+        return int(self._ring_positions.size)
+
+    def _to_circle(self, word: int):
+        """Project a 64-bit word onto the unit circle in storage units."""
+        fixed = (word >> (64 - _CIRCLE_BITS)) & _CIRCLE_MASK
+        if self._position_dtype == "fixed32":
+            return fixed
+        return np.float32(fixed / float(1 << _CIRCLE_BITS))
+
+    def _keys_of_words(self, words: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_to_circle` for request words."""
+        fixed = (words >> np.uint64(64 - _CIRCLE_BITS)).astype(np.uint32)
+        if self._position_dtype == "fixed32":
+            return fixed
+        return (fixed.astype(np.float64) / float(1 << _CIRCLE_BITS)).astype(
+            np.float32
+        )
+
+    def _probe_forward(self, position):
+        """The next representable circle position after ``position``."""
+        if self._position_dtype == "fixed32":
+            return (int(position) + 1) & _CIRCLE_MASK
+        return np.float32(np.nextafter(np.float32(position), np.float32(2.0)))
+
+    def _positions_for(self, server_word: int) -> List:
+        positions = []
+        occupied = set(self._ring_positions.tolist())
+        for replica in range(self._replicas):
+            position = self._to_circle(self._ring_family.pair(server_word, replica))
+            # Collisions are rare but possible at scale; probe forward so
+            # the ring stays strictly sorted.
+            while (
+                position.item() if hasattr(position, "item") else position
+            ) in occupied:
+                position = self._probe_forward(position)
+            occupied.add(
+                position.item() if hasattr(position, "item") else position
+            )
+            positions.append(position)
+        return positions
+
+    def _join(self, server_id: Key, server_word: int) -> None:
+        slot = self.server_count
+        storage = self._ring_positions.dtype.type
+        for position in self._positions_for(server_word):
+            value = storage(position)
+            index = int(np.searchsorted(self._ring_positions, value))
+            self._ring_positions = np.insert(
+                self._ring_positions, index, value
+            )
+            self._ring_slots = np.insert(self._ring_slots, index, slot)
+
+    def _leave(self, server_id: Key, slot: int) -> None:
+        keep = self._ring_slots != slot
+        self._ring_positions = self._ring_positions[keep].copy()
+        slots = self._ring_slots[keep]
+        self._ring_slots = np.where(slots > slot, slots - 1, slots).astype(
+            np.int64
+        )
+
+    # -- routing ---------------------------------------------------------
+
+    def route_word(self, word: int) -> int:
+        """Scalar deployment path: O(log k) binary search (Section 2.1)."""
+        self._require_servers()
+        key = self._ring_positions.dtype.type(self._to_circle(word))
+        index = int(
+            np.searchsorted(self._ring_positions, key, side="left")
+        )
+        if index == self._ring_positions.size:
+            index = 0
+        return int(self._ring_slots[index])
+
+    def _route_batch_bisect(self, keys: np.ndarray) -> np.ndarray:
+        indices = np.searchsorted(self._ring_positions, keys, side="left")
+        indices[indices == self._ring_positions.size] = 0
+        return self._ring_slots[indices]
+
+    def _route_batch_count(self, keys: np.ndarray) -> np.ndarray:
+        ring = self._ring_positions
+        size = ring.size
+        out = np.empty(keys.size, dtype=np.int64)
+        chunk = max(1, _CHUNK_CELLS // max(1, size))
+        for start in range(0, keys.size, chunk):
+            stop = min(start + chunk, keys.size)
+            counts = (ring[None, :] < keys[start:stop, None]).sum(axis=1)
+            counts[counts == size] = 0
+            out[start:stop] = self._ring_slots[counts]
+        return out
+
+    def route_batch(self, words: np.ndarray) -> np.ndarray:
+        self._require_servers()
+        words = np.asarray(words, dtype=np.uint64)
+        keys = self._keys_of_words(words)
+        if self._search == "count":
+            return self._route_batch_count(keys)
+        return self._route_batch_bisect(keys)
+
+    def memory_regions(self) -> List[MemoryRegion]:
+        return [MemoryRegion("ring_positions", self._ring_positions)]

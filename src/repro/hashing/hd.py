@@ -1,0 +1,190 @@
+"""Hyperdimensional (HD) hashing: the paper's contribution (Section 3).
+
+The table holds a codebook ``C`` of ``n`` circular-hypervectors
+(Algorithm 1).  A joining server is encoded as ``Enc(s) = C[h(s) mod n]``
+and its hypervector is stored in an associative item memory; a request is
+encoded the same way and routed to the server with the most similar
+stored hypervector (Eq. 2) -- the nearest node on the hyperdimensional
+circle, in either direction.
+
+Why this is robust (Figure 5): the routing state is ``k`` hypervectors of
+``d`` bits (d = 10,000 by default).  A flipped memory bit moves one
+similarity score by exactly 1 out of d, while distinct circle nodes are
+separated by ~2d/n bits per step; a handful of upsets can never cross the
+inter-node gap, so corrupted lookups still return the pristine winner.
+Contrast with consistent hashing, where the same flip displaces a ring
+position by up to half the key space.
+
+Batched inference (``route_batch``) deduplicates the request batch onto
+its unique circle positions before querying the item memory -- the
+contiguous XOR+popcount sweep that stands in for the paper's GPU (and,
+ultimately, for the single-cycle associative memory of Schmuck et al.).
+
+Placement details the paper leaves open (documented choices):
+
+* ``h(x) mod n`` collides for distinct servers once ``k ~ sqrt(n)``
+  (birthday effect).  Identical encodings would make the two servers
+  indistinguishable, so joins probe linearly to the next free circle node
+  (deterministic, at most a 1-node placement shift).  Joining more than
+  ``n`` servers raises :class:`~repro.errors.CapacityError`.
+* Similarity ties break toward the earliest-joined server, matching the
+  item memory's first-minimum rule, so replicas built by replaying the
+  same join order agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import CapacityError
+from ..hashfn import HashFamily, Key
+from ..hdc.basis import BasisSet, circular_basis
+from ..hdc.item_memory import ItemMemory
+from ..memory import MemoryRegion
+from .base import DynamicHashTable
+
+__all__ = ["HDHashTable"]
+
+#: Paper defaults: 10,000-bit hypervectors (Section 2.3).
+DEFAULT_DIM = 10_000
+#: Codebook size; the paper requires n > k and leaves n unreported.
+DEFAULT_CODEBOOK_SIZE = 4_096
+
+
+class HDHashTable(DynamicHashTable):
+    """Dynamic hash table routed by hyperdimensional inference."""
+
+    name = "hd"
+
+    def __init__(
+        self,
+        family: HashFamily = None,
+        seed: int = 0,
+        dim: int = DEFAULT_DIM,
+        codebook_size: int = DEFAULT_CODEBOOK_SIZE,
+        codebook: Optional[BasisSet] = None,
+        backend: str = "auto",
+        expose_codebook: bool = False,
+        batch_size: int = 256,
+        require_circular: bool = True,
+    ):
+        super().__init__(family=family, seed=seed)
+        if codebook is not None:
+            if require_circular and codebook.kind != "circular":
+                # Level codebooks re-introduce the wrap-around similarity
+                # discontinuity of Section 4; ablation E11 passes
+                # require_circular=False to demonstrate exactly that.
+                raise ValueError("HD hashing requires a circular codebook")
+            self._codebook = codebook
+        else:
+            rng = np.random.default_rng(self.family.derive("codebook").seed)
+            self._codebook = circular_basis(codebook_size, dim, rng)
+        # The table owns a writable packed copy: it is the memory the
+        # lookups actually read, hence the corruptible region when
+        # ``expose_codebook`` is set.
+        self._codebook_packed = self._codebook.packed().copy()
+        self._expose_codebook = expose_codebook
+        if batch_size < 1:
+            raise ValueError("batch size must be at least 1")
+        self._batch_size = batch_size
+        self._memory = ItemMemory(self._codebook.dim, backend=backend)
+        self._position_of: Dict[Key, int] = {}
+        self._occupied: Dict[int, Key] = {}
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Hypervector dimensionality ``d``."""
+        return self._codebook.dim
+
+    @property
+    def codebook_size(self) -> int:
+        """Circle size ``n = |C|``."""
+        return self._codebook.count
+
+    @property
+    def codebook(self) -> BasisSet:
+        """The circular-hypervector codebook ``C``."""
+        return self._codebook
+
+    @property
+    def item_memory(self) -> ItemMemory:
+        """The associative memory holding one row per server."""
+        return self._memory
+
+    @property
+    def batch_size(self) -> int:
+        """Inference batch size (the paper uses 256 on its GPU)."""
+        return self._batch_size
+
+    def position_of(self, server_id: Key) -> int:
+        """Circle node a server was placed on (after probing)."""
+        return self._position_of[server_id]
+
+    # -- membership ---------------------------------------------------------
+
+    def _place(self, word: int) -> int:
+        n = self.codebook_size
+        if len(self._occupied) >= n:
+            raise CapacityError(
+                "circle is full: {} servers on {} nodes".format(
+                    len(self._occupied), n
+                )
+            )
+        position = int(word % n)
+        while position in self._occupied:
+            position = (position + 1) % n
+        return position
+
+    def _join(self, server_id: Key, server_word: int) -> None:
+        position = self._place(server_word)
+        self._memory.add_packed(server_id, self._codebook_packed[position])
+        self._position_of[server_id] = position
+        self._occupied[position] = server_id
+
+    def _leave(self, server_id: Key, slot: int) -> None:
+        self._memory.remove(server_id)
+        position = self._position_of.pop(server_id)
+        del self._occupied[position]
+
+    # -- routing --------------------------------------------------------------
+
+    def route_word(self, word: int) -> int:
+        self._require_servers()
+        position = int(word % self.codebook_size)
+        slot, __, __ = self._memory.query_packed(self._codebook_packed[position])
+        return slot
+
+    def route_batch(self, words: np.ndarray) -> np.ndarray:
+        """Batched inference over the unique circle positions of a batch.
+
+        Requests sharing a circle position share a similarity query, so a
+        batch of b requests costs ``min(b, n)`` memory sweeps.
+        """
+        self._require_servers()
+        words = np.asarray(words, dtype=np.uint64)
+        positions = (words % np.uint64(self.codebook_size)).astype(np.int64)
+        unique_positions, inverse = np.unique(positions, return_inverse=True)
+        slots = np.empty(unique_positions.size, dtype=np.int64)
+        for start in range(0, unique_positions.size, self._batch_size):
+            stop = min(start + self._batch_size, unique_positions.size)
+            queries = self._codebook_packed[unique_positions[start:stop]]
+            slots[start:stop], __ = self._memory.query_batch(queries)
+        return slots[inverse]
+
+    # -- fault-injection surface ------------------------------------------------
+
+    def memory_regions(self) -> List[MemoryRegion]:
+        regions = [
+            MemoryRegion(
+                "item_memory", self._memory.memory_view(), self.dim
+            )
+        ]
+        if self._expose_codebook:
+            regions.append(
+                MemoryRegion("codebook", self._codebook_packed, self.dim)
+            )
+        return regions

@@ -1,0 +1,129 @@
+"""Hierarchical (two-level) dynamic hashing.
+
+Section 5.1 of the paper: "like the other methods HD hashing can scale
+to much larger clusters, and even be used hierarchically (standard way
+to scale such hashing systems [20, 24]) to handle extremely high numbers
+of servers."  This module realises that deployment: an *outer* table
+routes a request to a group (rack / cell / data centre), an *inner*
+table per group routes it to a server.
+
+Properties this buys, exercised by experiment E13:
+
+* **lookup cost** splits into two small-table lookups (k_outer + k/g per
+  group instead of one k-wide inference);
+* **fault blast radius** shrinks: a leave or a corrupted inner memory
+  only disturbs one group's ~g/k share of traffic;
+* any algorithms compose -- HD over HD, consistent over HD, etc.
+
+Servers are assigned to groups by their hash word (deterministic and
+replica-reproducible); groups are fixed at construction, mirroring
+physical topology.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..errors import EmptyTableError
+from ..hashfn import HashFamily, Key
+from ..memory import MemoryRegion
+from .base import DynamicHashTable
+
+__all__ = ["HierarchicalHashTable"]
+
+
+class HierarchicalHashTable(DynamicHashTable):
+    """Two-level composition of :class:`DynamicHashTable` instances."""
+
+    name = "hierarchical"
+
+    def __init__(
+        self,
+        outer_factory: Callable[[], DynamicHashTable],
+        inner_factory: Callable[[], DynamicHashTable],
+        n_groups: int,
+        family: HashFamily = None,
+        seed: int = 0,
+    ):
+        super().__init__(family=family, seed=seed)
+        if n_groups < 1:
+            raise ValueError("need at least one group")
+        self._outer = outer_factory()
+        if self._outer.server_count:
+            raise ValueError("outer_factory must return an empty table")
+        self._inners: List[DynamicHashTable] = []
+        for group in range(n_groups):
+            inner = inner_factory()
+            if inner.server_count:
+                raise ValueError("inner_factory must return empty tables")
+            self._outer.join(group)
+            self._inners.append(inner)
+        self._group_of = {}
+
+    @property
+    def n_groups(self) -> int:
+        """Number of groups (outer-table members)."""
+        return len(self._inners)
+
+    @property
+    def outer(self) -> DynamicHashTable:
+        """The group-selection table."""
+        return self._outer
+
+    def inner(self, group: int) -> DynamicHashTable:
+        """The per-group server table."""
+        return self._inners[group]
+
+    def group_of(self, server_id: Key) -> int:
+        """Group a server was assigned to."""
+        return self._group_of[server_id]
+
+    def _assign_group(self, server_word: int) -> int:
+        return int(server_word % len(self._inners))
+
+    # -- membership -------------------------------------------------------
+
+    def _join(self, server_id: Key, server_word: int) -> None:
+        group = self._assign_group(server_word)
+        self._inners[group].join(server_id)
+        self._group_of[server_id] = group
+
+    def _leave(self, server_id: Key, slot: int) -> None:
+        group = self._group_of.pop(server_id)
+        self._inners[group].leave(server_id)
+
+    # -- routing ------------------------------------------------------------
+
+    def _route_via_groups(self, word: int) -> Key:
+        """Outer pick, probing to the next group while groups are empty."""
+        group_slot = self._outer.route_word(word)
+        for offset in range(len(self._inners)):
+            group = (group_slot + offset) % len(self._inners)
+            inner = self._inners[group]
+            if inner.server_count:
+                return inner.server_ids[inner.route_word(word)]
+        raise EmptyTableError("no group has any servers")
+
+    def route_word(self, word: int) -> int:
+        self._require_servers()
+        return self._server_ids.index(self._route_via_groups(word))
+
+    def lookup(self, key: Key) -> Key:
+        """Two-level lookup (group, then server within the group)."""
+        self._require_servers()
+        return self._route_via_groups(self._family.word(key))
+
+    # -- fault-injection surface ------------------------------------------------
+
+    def memory_regions(self) -> List[MemoryRegion]:
+        regions = []
+        for region in self._outer.memory_regions():
+            region.name = "outer/{}".format(region.name)
+            regions.append(region)
+        for group, inner in enumerate(self._inners):
+            if not inner.server_count:
+                continue
+            for region in inner.memory_regions():
+                region.name = "group{}/{}".format(group, region.name)
+                regions.append(region)
+        return regions

@@ -1,0 +1,81 @@
+"""Jump consistent hash (Lamping & Veach, 2014) -- extension baseline.
+
+Jump hash maps a 64-bit key to one of ``k`` buckets with no stored ring
+at all: a tiny multiplicative PRNG walk decides the final bucket in
+O(log k) expected iterations.  It is minimally disruptive for bucket
+*growth* (only ~1/k of keys move when a bucket is added at the end) but
+does not natively support removing an arbitrary bucket; like production
+deployments, we keep a bucket->server indirection and swap-remove, which
+remaps the keys of the removed and the last bucket.
+
+Included as an extension comparand: it shows that tiny-state algorithms
+buy their efficiency with rigidity (arbitrary leaves are disruptive),
+whereas HD hashing keeps both properties at the cost of hypervector
+memory.
+
+Memory model: the bucket indirection array (re-interpreted modulo the
+pool size when corrupted, like :class:`~repro.hashing.modular.ModularHashTable`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..hashfn import HashFamily, Key
+from ..memory import MemoryRegion
+from .base import DynamicHashTable
+
+__all__ = ["JumpHashTable", "jump_hash"]
+
+_MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+_JUMP_MUL = 2_862_933_555_777_941_757
+
+
+def jump_hash(word: int, buckets: int) -> int:
+    """The jump consistent hash of a 64-bit ``word`` into ``buckets``."""
+    if buckets <= 0:
+        raise ValueError("bucket count must be positive")
+    key = word & _MASK64
+    bucket = -1
+    next_bucket = 0
+    while next_bucket < buckets:
+        bucket = next_bucket
+        key = (key * _JUMP_MUL + 1) & _MASK64
+        next_bucket = int((bucket + 1) * (1 << 31) / ((key >> 33) + 1))
+    return bucket
+
+
+class JumpHashTable(DynamicHashTable):
+    """Jump consistent hashing with a swap-remove bucket indirection."""
+
+    name = "jump"
+
+    def __init__(self, family: HashFamily = None, seed: int = 0):
+        super().__init__(family=family, seed=seed)
+        self._bucket_refs = np.empty(0, dtype=np.int64)
+
+    def _join(self, server_id: Key, server_word: int) -> None:
+        self._bucket_refs = np.append(
+            self._bucket_refs, np.int64(self.server_count)
+        )
+
+    def _leave(self, server_id: Key, slot: int) -> None:
+        refs = self._bucket_refs
+        # Swap-remove: the last bucket's server takes over the hole.
+        bucket_of_slot = int(np.nonzero(refs == slot)[0][0])
+        last = refs.size - 1
+        refs[bucket_of_slot] = refs[last]
+        self._bucket_refs = refs[:last].copy()
+        # Registry compaction shifts slots above the removed one down.
+        self._bucket_refs[self._bucket_refs > slot] -= 1
+
+    def route_word(self, word: int) -> int:
+        self._require_servers()
+        count = self.server_count
+        bucket = jump_hash(word, count)
+        return int(self._bucket_refs[bucket]) % count
+
+    def memory_regions(self) -> List[MemoryRegion]:
+        return [MemoryRegion("bucket_table", self._bucket_refs)]

@@ -1,0 +1,131 @@
+"""Maglev hashing (Eisenbud et al., NSDI 2016) -- extension baseline.
+
+Maglev is Google Cloud's software load balancer (reference [3] of the
+paper).  Each server owns a permutation of a prime-sized lookup table;
+table slots are filled by letting servers take turns claiming their next
+preferred empty slot.  Lookup is a single O(1) table read; resizing
+rebuilds the table but moves few keys because the permutations are
+stable.
+
+Memory model: the populated lookup table itself (slot -> server), the
+same structure Maglev keeps in memory per packet; corrupted entries are
+re-interpreted modulo the pool size.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import CapacityError
+from ..hashfn import HashFamily, Key
+from ..memory import MemoryRegion
+from .base import DynamicHashTable
+
+__all__ = ["MaglevHashTable"]
+
+#: Default lookup-table size; prime and ~2x the largest pool exercised
+#: by the experiments, trading table weight for fill speed in tests.
+DEFAULT_TABLE_SIZE = 4099
+
+
+def _is_prime(value: int) -> bool:
+    if value < 2:
+        return False
+    if value % 2 == 0:
+        return value == 2
+    divisor = 3
+    while divisor * divisor <= value:
+        if value % divisor == 0:
+            return False
+        divisor += 2
+    return True
+
+
+class MaglevHashTable(DynamicHashTable):
+    """Maglev consistent hashing with a prime lookup table."""
+
+    name = "maglev"
+
+    def __init__(
+        self,
+        family: HashFamily = None,
+        seed: int = 0,
+        table_size: int = DEFAULT_TABLE_SIZE,
+    ):
+        super().__init__(family=family, seed=seed)
+        if not _is_prime(table_size):
+            raise ValueError("Maglev table size must be prime")
+        self._table_size = table_size
+        self._offset_family = self.family.derive("maglev-offset")
+        self._skip_family = self.family.derive("maglev-skip")
+        self._server_words = np.empty(0, dtype=np.uint64)
+        self._table = np.empty(0, dtype=np.int64)
+
+    @property
+    def table_size(self) -> int:
+        """Size of the prime lookup table."""
+        return self._table_size
+
+    def _populate(self) -> None:
+        """Fill the lookup table by round-robin preference claiming."""
+        count = self._server_words.size
+        if count == 0:
+            self._table = np.empty(0, dtype=np.int64)
+            return
+        size = self._table_size
+        words = self._server_words
+        offsets = self._offset_family.pair_vec(words, 0) % np.uint64(size)
+        skips = self._skip_family.pair_vec(words, 0) % np.uint64(size - 1) + np.uint64(1)
+        table = np.full(size, -1, dtype=np.int64)
+        next_index = np.zeros(count, dtype=np.int64)
+        filled = 0
+        while filled < size:
+            for slot in range(count):
+                # Walk this server's permutation to its next empty slot.
+                position = (
+                    int(offsets[slot]) + int(skips[slot]) * int(next_index[slot])
+                ) % size
+                next_index[slot] += 1
+                while table[position] >= 0:
+                    position = (
+                        int(offsets[slot])
+                        + int(skips[slot]) * int(next_index[slot])
+                    ) % size
+                    next_index[slot] += 1
+                table[position] = slot
+                filled += 1
+                if filled == size:
+                    break
+        self._table = table
+
+    def _join(self, server_id: Key, server_word: int) -> None:
+        if self.server_count + 1 > self._table_size:
+            raise CapacityError(
+                "Maglev table of size {} cannot hold {} servers".format(
+                    self._table_size, self.server_count + 1
+                )
+            )
+        self._server_words = np.append(
+            self._server_words, np.uint64(server_word)
+        )
+        self._populate()
+
+    def _leave(self, server_id: Key, slot: int) -> None:
+        self._server_words = np.delete(self._server_words, slot)
+        self._populate()
+
+    def route_word(self, word: int) -> int:
+        self._require_servers()
+        entry = int(self._table[word % self._table_size])
+        return entry % self.server_count
+
+    def route_batch(self, words: np.ndarray) -> np.ndarray:
+        self._require_servers()
+        words = np.asarray(words, dtype=np.uint64)
+        entries = self._table[(words % np.uint64(self._table_size)).astype(np.int64)]
+        return entries % np.int64(self.server_count)
+
+    def memory_regions(self) -> List[MemoryRegion]:
+        return [MemoryRegion("lookup_table", self._table)]

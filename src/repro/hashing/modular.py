@@ -1,0 +1,61 @@
+"""Modular hashing: the O(1) baseline that motivates the whole problem.
+
+A request ``r`` goes to slot ``h(r) mod k``.  Lookup is constant time,
+but any change of the pool size ``k`` changes the modulus and remaps
+virtually every key (Section 1 of the paper) -- quantified here by
+experiment E7 (remap-on-resize).
+
+Memory model: the table's routing state is the slot-indirection array
+(each entry is the "pointer" from a hash bucket to a server).  A corrupted
+entry silently redirects that bucket; the pointer is re-interpreted modulo
+the pool size, as a real deployment reading a corrupted index register
+would land *somewhere*.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..hashfn import HashFamily, Key
+from ..memory import MemoryRegion
+from .base import DynamicHashTable
+
+__all__ = ["ModularHashTable"]
+
+
+class ModularHashTable(DynamicHashTable):
+    """The classic ``h(r) mod k`` hash table."""
+
+    name = "modular"
+
+    def __init__(self, family: HashFamily = None, seed: int = 0):
+        super().__init__(family=family, seed=seed)
+        self._slot_refs = np.empty(0, dtype=np.int64)
+
+    def _rebuild(self, count: int) -> None:
+        # Resizing rehashes everything: the indirection becomes identity
+        # again, mirroring a freshly allocated table.
+        self._slot_refs = np.arange(count, dtype=np.int64)
+
+    def _join(self, server_id: Key, server_word: int) -> None:
+        self._rebuild(self.server_count + 1)
+
+    def _leave(self, server_id: Key, slot: int) -> None:
+        self._rebuild(self.server_count - 1)
+
+    def route_word(self, word: int) -> int:
+        self._require_servers()
+        count = self.server_count
+        return int(self._slot_refs[word % count]) % count
+
+    def route_batch(self, words: np.ndarray) -> np.ndarray:
+        self._require_servers()
+        words = np.asarray(words, dtype=np.uint64)
+        count = np.uint64(self.server_count)
+        buckets = (words % count).astype(np.int64)
+        return self._slot_refs[buckets] % np.int64(self.server_count)
+
+    def memory_regions(self) -> List[MemoryRegion]:
+        return [MemoryRegion("slot_table", self._slot_refs)]

@@ -1,0 +1,88 @@
+"""Multi-probe consistent hashing (Appleton & O'Reilly, 2015).
+
+An extension baseline: instead of giving each server many virtual nodes
+(memory-heavy) or accepting single-point arc variance (Figure 6's
+consistent-hashing curve), the *key* is hashed ``probes`` times and
+served by the probe whose clockwise successor is nearest.  Expected load
+imbalance drops with the number of probes while the ring stays one entry
+per server; lookup cost is O(probes * log k).
+
+Included because it occupies the design point between plain consistent
+hashing and HD hashing on the uniformity axis: E6 shows HD ~2x more
+uniform than consistent; multi-probe buys a similar factor with extra
+lookup hashing instead of hypervector memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hashfn import HashFamily
+from .consistent import ConsistentHashTable
+
+__all__ = ["MultiProbeConsistentHashTable"]
+
+
+class MultiProbeConsistentHashTable(ConsistentHashTable):
+    """Consistent hashing with multi-probe key placement."""
+
+    name = "multiprobe-consistent"
+
+    def __init__(
+        self,
+        family: HashFamily = None,
+        seed: int = 0,
+        probes: int = 21,
+    ):
+        super().__init__(family=family, seed=seed, replicas=1)
+        if probes < 1:
+            raise ValueError("need at least one probe")
+        self._probes = probes
+        self._probe_family = self.family.derive("multiprobe")
+
+    @property
+    def probes(self) -> int:
+        """Number of key probes per lookup."""
+        return self._probes
+
+    def _probe_words(self, word: int) -> np.ndarray:
+        seeds = np.arange(self._probes, dtype=np.uint64)
+        return self._probe_family.pair_vec(
+            np.full(self._probes, word, dtype=np.uint64), seeds
+        )
+
+    def _successor_distance(self, keys: np.ndarray) -> np.ndarray:
+        """Clockwise distance from each probe key to its successor."""
+        ring = self._ring_positions
+        indices = np.searchsorted(ring, keys, side="left")
+        wrapped = indices == ring.size
+        indices[wrapped] = 0
+        successors = ring[indices].astype(np.uint64)
+        distances = (successors - keys.astype(np.uint64)) % np.uint64(
+            1 << 32
+        )
+        return indices, distances
+
+    def route_word(self, word: int) -> int:
+        self._require_servers()
+        probe_keys = self._keys_of_words(self._probe_words(word))
+        indices, distances = self._successor_distance(
+            probe_keys.astype(np.uint32)
+        )
+        best = int(np.argmin(distances))
+        return int(self._ring_slots[indices[best]])
+
+    def route_batch(self, words: np.ndarray) -> np.ndarray:
+        self._require_servers()
+        words = np.asarray(words, dtype=np.uint64)
+        seeds = np.arange(self._probes, dtype=np.uint64)[:, None]
+        probe_words = self._probe_family.pair_vec(words[None, :], seeds)
+        keys = (probe_words >> np.uint64(32)).astype(np.uint32)
+        ring = self._ring_positions
+        indices = np.searchsorted(ring, keys, side="left")
+        indices[indices == ring.size] = 0
+        successors = ring[indices].astype(np.uint64)
+        distances = (successors - keys.astype(np.uint64)) % np.uint64(1 << 32)
+        best = distances.argmin(axis=0)
+        chosen = indices[best, np.arange(words.size)]
+        return self._ring_slots[chosen]

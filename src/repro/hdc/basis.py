@@ -1,0 +1,238 @@
+"""Basis-hypervector sets: random, level and circular (Algorithm 1).
+
+A *basis set* is an ordered collection of hypervectors that encodes one
+discrete atomic quantity each (Section 4 of the paper).  The three
+flavours differ in the correlation structure they impose:
+
+* **random** -- independent uniform samples; all pairs ~orthogonal.
+  Appropriate for categorical data.
+* **level** -- a random start, then each successive vector flips ``d/m``
+  random bits of its predecessor; similarity decays with index distance
+  and the last vector is fully dissimilar (orthogonal) to the first.
+  Appropriate for scalar data.
+* **circular** -- the paper's novel construction (Algorithm 1, Figure 3):
+  a forward phase of ``n/2`` transformations pushes away from the start,
+  then a backward phase re-applies the queued transformations (XOR is
+  self-inverse) so similarity decays with *circular* distance and there
+  is no discontinuity between last and first.
+
+Note on Algorithm 1 as printed: its backward loop performs ``n/2``
+dequeues but only ``n/2 - 1`` transformations were enqueued.  We implement
+the intended construction -- ``n/2`` forward transformations t_1..t_{n/2}
+(producing c_2..c_{n/2+1}) followed by ``n/2 - 1`` backward applications of
+t_1..t_{n/2 - 1} (producing c_{n/2+2}..c_n) -- for which binding the final
+vector with the one remaining queued transformation t_{n/2} provably
+returns c_1 (the XOR-closure property; see
+``tests/hdc/test_basis.py::test_circular_closure``).
+
+The footnote to Algorithm 1 defines odd cardinalities: generate ``2n``
+circular-hypervectors and keep every other one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .operations import flipped, random_hypervector, random_hypervectors
+from .packing import pack_bits
+from .similarity import similarity_matrix
+
+__all__ = [
+    "BasisSet",
+    "random_basis",
+    "level_basis",
+    "circular_basis",
+    "level_hypervectors",
+    "circular_hypervectors",
+    "transformation_flip_counts",
+]
+
+
+@dataclass(frozen=True)
+class BasisSet:
+    """An ordered, immutable set of basis hypervectors.
+
+    Attributes
+    ----------
+    kind:
+        ``"random"``, ``"level"`` or ``"circular"``.
+    vectors:
+        Unpacked {0,1} array of shape ``(count, dim)``.
+    """
+
+    kind: str
+    vectors: np.ndarray
+    _packed_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self):
+        vectors = np.asarray(self.vectors, dtype=np.uint8)
+        if vectors.ndim != 2:
+            raise ValueError("basis vectors must form a 2-D array")
+        vectors.setflags(write=False)
+        object.__setattr__(self, "vectors", vectors)
+
+    def __len__(self) -> int:
+        return self.vectors.shape[0]
+
+    @property
+    def count(self) -> int:
+        """Number of hypervectors in the set."""
+        return self.vectors.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of each hypervector."""
+        return self.vectors.shape[1]
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        return self.vectors[index]
+
+    def packed(self) -> np.ndarray:
+        """Packed storage form (count, row_bytes); cached and read-only."""
+        if "packed" not in self._packed_cache:
+            packed = pack_bits(self.vectors)
+            packed.setflags(write=False)
+            self._packed_cache["packed"] = packed
+        return self._packed_cache["packed"]
+
+    def similarity_profile(self, reference: int = 0) -> np.ndarray:
+        """Cosine similarity of every vector to the ``reference`` vector."""
+        return similarity_matrix(self.vectors)[reference]
+
+    def similarity_matrix(self, metric: str = "cosine") -> np.ndarray:
+        """Full pairwise similarity matrix (Figure 2)."""
+        return similarity_matrix(self.vectors, metric=metric)
+
+
+def transformation_flip_counts(steps: int, dim: int, total: Optional[int] = None):
+    """Integer flip counts per transformation summing to ``total``.
+
+    Algorithm 1 flips ``d/m`` bits per step.  When ``d/m`` is fractional
+    we spread the remainder evenly (Bresenham-style accumulation) so the
+    flip-count total over all ``steps`` equals ``total`` (default ``d``)
+    exactly, keeping the similarity profile's endpoint calibrated for any
+    (n, d) combination.
+    """
+    if steps <= 0:
+        raise ValueError("steps must be positive")
+    if total is None:
+        total = dim
+    if total < 0:
+        raise ValueError("total flip count must be non-negative")
+    counts = []
+    accumulated = 0
+    for step in range(1, steps + 1):
+        target = round(step * total / steps)
+        counts.append(int(target - accumulated))
+        accumulated = target
+    return counts
+
+
+def random_basis(count: int, dim: int, rng: np.random.Generator) -> BasisSet:
+    """Independent uniform random-hypervectors (categorical data)."""
+    return BasisSet("random", random_hypervectors(count, dim, rng))
+
+
+def level_hypervectors(
+    count: int,
+    dim: int,
+    rng: np.random.Generator,
+    total_flips: Optional[int] = None,
+) -> np.ndarray:
+    """Raw level-hypervector array (scalar data; Section 4).
+
+    Starts from a random hypervector and flips ``dim/count`` random bits
+    per step (``total_flips`` overrides the total), so similarity decays
+    linearly with index distance and the last vector is fully dissimilar
+    to the first -- with the deliberate discontinuity the circular
+    construction removes.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    vectors = np.empty((count, dim), dtype=np.uint8)
+    vectors[0] = random_hypervector(dim, rng)
+    if count == 1:
+        return vectors
+    flips = transformation_flip_counts(count - 1, dim, total=total_flips)
+    for index in range(1, count):
+        t = flipped(dim, flips[index - 1], rng)
+        vectors[index] = np.bitwise_xor(vectors[index - 1], t)
+    return vectors
+
+
+def level_basis(
+    count: int,
+    dim: int,
+    rng: np.random.Generator,
+    total_flips: Optional[int] = None,
+) -> BasisSet:
+    """Level-hypervector :class:`BasisSet`."""
+    return BasisSet("level", level_hypervectors(count, dim, rng, total_flips))
+
+
+def circular_hypervectors(
+    count: int,
+    dim: int,
+    rng: np.random.Generator,
+    total_flips: Optional[int] = None,
+) -> np.ndarray:
+    """Raw circular-hypervector array per Algorithm 1 (corrected).
+
+    ``count`` is the circle size ``n``.  For odd ``n`` the footnote
+    construction is used: generate ``2n`` and keep every other vector,
+    which preserves the circular correlation at half the resolution.
+
+    ``total_flips`` is the total number of bit flips distributed over the
+    forward half-circle (default ``dim``, i.e. ``d/m`` per step with
+    ``m = n/2``), so antipodal vectors are maximally dissimilar.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if count == 1:
+        return random_hypervectors(1, dim, rng)
+    if count == 2:
+        # Degenerate circle: two dissimilar vectors.
+        first = random_hypervector(dim, rng)
+        t = flipped(dim, total_flips if total_flips is not None else dim // 2, rng)
+        return np.stack([first, np.bitwise_xor(first, t)])
+    if count % 2:
+        doubled = circular_hypervectors(2 * count, dim, rng, total_flips)
+        return np.ascontiguousarray(doubled[::2])
+
+    half = count // 2
+    vectors = np.empty((count, dim), dtype=np.uint8)
+    vectors[0] = random_hypervector(dim, rng)
+
+    queue = deque()
+    flips = transformation_flip_counts(half, dim, total=total_flips)
+
+    # Forward transformations T: c_1 .. c_half (0-based indices).
+    for index in range(1, half + 1):
+        t = flipped(dim, flips[index - 1], rng)
+        vectors[index] = np.bitwise_xor(vectors[index - 1], t)
+        queue.append(t)
+
+    # Backward transformations T^-1: re-apply the queued transformations
+    # in FIFO order; XOR self-inverse walks the second half of the circle
+    # back towards c_0.
+    for index in range(half + 1, count):
+        t = queue.popleft()
+        vectors[index] = np.bitwise_xor(vectors[index - 1], t)
+
+    # Exactly one transformation remains queued; applying it would close
+    # the circle onto c_0 (checked by property tests, not stored).
+    return vectors
+
+
+def circular_basis(
+    count: int,
+    dim: int,
+    rng: np.random.Generator,
+    total_flips: Optional[int] = None,
+) -> BasisSet:
+    """Circular-hypervector :class:`BasisSet` (the paper's contribution)."""
+    return BasisSet("circular", circular_hypervectors(count, dim, rng, total_flips))

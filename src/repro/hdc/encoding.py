@@ -1,0 +1,75 @@
+"""Codebook encoding: ``Enc(x) = C[h(x) mod n]`` (the paper's Eq. 1).
+
+Servers and requests are mapped onto the hyperdimensional circle by
+hashing them to one of the ``n`` circular-hypervectors.  The encoder is
+deliberately the *same* for servers and requests (one hash family), as in
+the paper, so both populations land uniformly on the same circle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hashfn import HashFamily, Key
+from .basis import BasisSet
+
+__all__ = ["CodebookEncoder"]
+
+
+class CodebookEncoder:
+    """Maps application keys onto a basis-hypervector codebook."""
+
+    def __init__(self, codebook: BasisSet, family: HashFamily):
+        if codebook.count < 1:
+            raise ValueError("codebook must contain at least one hypervector")
+        self._codebook = codebook
+        self._family = family
+
+    @property
+    def codebook(self) -> BasisSet:
+        """The basis set ``C``."""
+        return self._codebook
+
+    @property
+    def size(self) -> int:
+        """Circle size ``n = |C|``."""
+        return self._codebook.count
+
+    @property
+    def dim(self) -> int:
+        """Hypervector dimensionality ``d``."""
+        return self._codebook.dim
+
+    @property
+    def family(self) -> HashFamily:
+        """The hash family realising ``h(.)``."""
+        return self._family
+
+    # -- positions on the circle -------------------------------------------
+
+    def position(self, key: Key) -> int:
+        """Circle position ``h(key) mod n``."""
+        return self.position_of_word(self._family.word(key))
+
+    def position_of_word(self, word: int) -> int:
+        """Circle position of an already-hashed 64-bit word."""
+        return int(word % self.size)
+
+    def positions_of_words(self, words: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`position_of_word` over a ``uint64`` array."""
+        words = np.asarray(words, dtype=np.uint64)
+        return (words % np.uint64(self.size)).astype(np.int64)
+
+    # -- encodings ----------------------------------------------------------
+
+    def encode(self, key: Key) -> np.ndarray:
+        """Unpacked hypervector encoding of ``key`` (Eq. 1)."""
+        return self._codebook[self.position(key)]
+
+    def encode_packed(self, key: Key) -> np.ndarray:
+        """Packed hypervector encoding of ``key``."""
+        return self._codebook.packed()[self.position(key)]
+
+    def encode_packed_position(self, position: int) -> np.ndarray:
+        """Packed hypervector at an explicit circle position."""
+        return self._codebook.packed()[position]

@@ -1,0 +1,149 @@
+"""Core hyperdimensional-computing operations on dense binary hypervectors.
+
+The HDC arithmetic the paper relies on (Section 2.3):
+
+* :func:`bind` -- element-wise XOR; self-inverse, similarity-destroying.
+* :func:`bundle` -- bit-wise majority vote; similarity-preserving
+  superposition of its inputs.
+* :func:`permute` -- cyclic rotation of coordinates; used to encode order.
+* :func:`flip_bits` -- flip a chosen number of random coordinates, the
+  primitive step of level- and circular-hypervector construction
+  (Algorithm 1, line 5).
+
+Hypervectors here are unpacked ``uint8`` arrays with values in {0, 1};
+:mod:`repro.hdc.packing` handles the packed storage form.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "random_hypervector",
+    "random_hypervectors",
+    "bind",
+    "bundle",
+    "permute",
+    "invert",
+    "flip_bits",
+    "flipped",
+    "validate_hypervector",
+]
+
+
+def validate_hypervector(vector: np.ndarray) -> np.ndarray:
+    """Check that ``vector`` is a binary {0,1} array and return it as uint8."""
+    array = np.asarray(vector)
+    if array.ndim != 1:
+        raise ValueError("a hypervector must be one-dimensional")
+    if array.size == 0:
+        raise ValueError("a hypervector must be non-empty")
+    if not np.isin(array, (0, 1)).all():
+        raise ValueError("hypervector entries must be 0 or 1")
+    return array.astype(np.uint8, copy=False)
+
+
+def random_hypervector(dim: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample one hypervector uniformly from the ``dim``-bit hyperspace.
+
+    This is the ``random_hypervector(d)`` primitive of Algorithm 1.
+    """
+    if dim <= 0:
+        raise ValueError("hypervector dimension must be positive")
+    return rng.integers(0, 2, size=dim, dtype=np.uint8)
+
+
+def random_hypervectors(count: int, dim: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample ``count`` independent random hypervectors, shape (count, dim)."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if dim <= 0:
+        raise ValueError("hypervector dimension must be positive")
+    return rng.integers(0, 2, size=(count, dim), dtype=np.uint8)
+
+
+def bind(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bind two hypervectors (element-wise XOR).
+
+    Binding is its own inverse: ``bind(bind(a, b), b) == a``.  This
+    self-inverse property is what closes the circular-hypervector loop in
+    Algorithm 1's backward phase.
+    """
+    return np.bitwise_xor(np.asarray(a, np.uint8), np.asarray(b, np.uint8))
+
+
+def bundle(vectors: np.ndarray, tie: str = "one") -> np.ndarray:
+    """Bundle hypervectors by bit-wise majority vote.
+
+    ``vectors`` has shape (count, dim).  With an even count, exactly-half
+    ties are resolved by the ``tie`` policy: ``"one"`` or ``"zero"``
+    (deterministic), matching the binarized-bundling hardware of Schmuck
+    et al. where the tie direction is a fixed wiring choice.
+    """
+    stack = np.atleast_2d(np.asarray(vectors, dtype=np.uint8))
+    if stack.shape[0] == 0:
+        raise ValueError("cannot bundle zero hypervectors")
+    if tie not in ("one", "zero"):
+        raise ValueError("tie policy must be 'one' or 'zero'")
+    totals = stack.sum(axis=0, dtype=np.int64)
+    count = stack.shape[0]
+    doubled = 2 * totals
+    result = (doubled > count).astype(np.uint8)
+    if count % 2 == 0 and tie == "one":
+        result |= (doubled == count).astype(np.uint8)
+    return result
+
+
+def permute(vector: np.ndarray, shift: int = 1) -> np.ndarray:
+    """Cyclically rotate hypervector coordinates by ``shift`` positions."""
+    return np.roll(np.asarray(vector, np.uint8), shift)
+
+
+def invert(vector: np.ndarray) -> np.ndarray:
+    """Complement every bit (the antipode of ``vector`` in hyperspace)."""
+    return np.bitwise_xor(np.asarray(vector, np.uint8), np.uint8(1))
+
+
+def flip_bits(
+    vector: np.ndarray,
+    count: int,
+    rng: np.random.Generator,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Return a copy of ``vector`` with ``count`` distinct random bits flipped.
+
+    The positions are sampled without replacement, so the Hamming distance
+    between input and output is exactly ``count``.
+    """
+    array = np.asarray(vector, dtype=np.uint8)
+    if count < 0:
+        raise ValueError("flip count must be non-negative")
+    if count > array.size:
+        raise ValueError("cannot flip more bits than the dimension")
+    if out is None:
+        out = array.copy()
+    else:
+        np.copyto(out, array)
+    if count:
+        positions = rng.choice(array.size, size=count, replace=False)
+        out[positions] ^= 1
+    return out
+
+
+def flipped(dim: int, count: int, rng: np.random.Generator) -> np.ndarray:
+    """A zero hypervector with ``count`` distinct random bits set.
+
+    This is the transformation-hypervector ``t`` of Algorithm 1 (lines
+    4-5): binding with it flips exactly ``count`` coordinates.
+    """
+    if count < 0:
+        raise ValueError("flip count must be non-negative")
+    if count > dim:
+        raise ValueError("cannot set more bits than the dimension")
+    t = np.zeros(dim, dtype=np.uint8)
+    if count:
+        positions = rng.choice(dim, size=count, replace=False)
+        t[positions] = 1
+    return t

@@ -1,0 +1,168 @@
+"""Packed (bit-level) hypervector storage and popcount backends.
+
+Hypervectors are constructed as unpacked ``uint8`` arrays of {0, 1} (one
+byte per dimension) because that is convenient for the XOR / majority /
+permutation algebra.  They are *stored* packed -- one memory bit per
+dimension, rows padded to whole 64-bit words -- because the robustness
+experiments flip physical memory bits: with packed storage one injected
+bit error corrupts exactly one dimension, which is the premise of the
+paper's Figure 5.
+
+Three interchangeable popcount backends compute Hamming distances over
+packed rows:
+
+``lut8``
+    a 256-entry lookup table over bytes; portable and allocation-light.
+``swar64``
+    the classic SWAR bit-twiddling popcount over ``uint64`` words.
+``bitcount``
+    ``numpy.bitwise_count`` where available (NumPy >= 2.0); fastest.
+
+The ablation benchmark E10 compares them; all are exact and
+interchangeable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "BACKENDS",
+    "default_backend",
+    "words_per_row",
+    "row_bytes",
+    "pack_bits",
+    "unpack_bits",
+    "popcount_u64",
+    "hamming_packed",
+    "hamming_packed_matrix",
+]
+
+#: Bytes in one packed storage word.
+_WORD_BYTES = 8
+
+#: Popcount of every byte value, used by the ``lut8`` backend.
+_POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+_SWAR_M1 = np.uint64(0x5555_5555_5555_5555)
+_SWAR_M2 = np.uint64(0x3333_3333_3333_3333)
+_SWAR_M4 = np.uint64(0x0F0F_0F0F_0F0F_0F0F)
+_SWAR_H = np.uint64(0x0101_0101_0101_0101)
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+BACKENDS = ("lut8", "swar64") + (("bitcount",) if _HAS_BITWISE_COUNT else ())
+
+
+def default_backend() -> str:
+    """The fastest popcount backend available in this environment."""
+    return "bitcount" if _HAS_BITWISE_COUNT else "swar64"
+
+
+def words_per_row(dim: int) -> int:
+    """Number of 64-bit storage words for one ``dim``-bit hypervector."""
+    if dim <= 0:
+        raise ValueError("hypervector dimension must be positive")
+    return -(-dim // 64)
+
+
+def row_bytes(dim: int) -> int:
+    """Number of storage bytes for one ``dim``-bit hypervector row."""
+    return words_per_row(dim) * _WORD_BYTES
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack unpacked {0,1} hypervectors into padded byte rows.
+
+    Accepts shape ``(dim,)`` or ``(count, dim)``; returns ``uint8`` arrays
+    of shape ``(row_bytes,)`` or ``(count, row_bytes)``.  Pad bits are
+    zero, and because XOR of two zero pads is zero they never contribute
+    to Hamming distances.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim == 1:
+        return pack_bits(bits[None, :])[0]
+    if bits.ndim != 2:
+        raise ValueError("expected a 1-D or 2-D bit array")
+    dim = bits.shape[1]
+    packed = np.packbits(bits, axis=1, bitorder="little")
+    padded = np.zeros((bits.shape[0], row_bytes(dim)), dtype=np.uint8)
+    padded[:, : packed.shape[1]] = packed
+    return padded
+
+
+def unpack_bits(packed: np.ndarray, dim: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`; returns {0,1} arrays of width ``dim``."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    if packed.ndim == 1:
+        return unpack_bits(packed[None, :], dim)[0]
+    bits = np.unpackbits(packed, axis=1, bitorder="little")
+    return bits[:, :dim].astype(np.uint8)
+
+
+def popcount_u64(words: np.ndarray) -> np.ndarray:
+    """SWAR popcount over a ``uint64`` array, element-wise."""
+    x = np.asarray(words, dtype=np.uint64).copy()
+    x -= (x >> np.uint64(1)) & _SWAR_M1
+    x = (x & _SWAR_M2) + ((x >> np.uint64(2)) & _SWAR_M2)
+    x = (x + (x >> np.uint64(4))) & _SWAR_M4
+    return (x * _SWAR_H) >> np.uint64(56)
+
+
+def _as_words(packed: np.ndarray) -> np.ndarray:
+    """View padded packed rows as ``uint64`` words (zero-copy)."""
+    packed = np.ascontiguousarray(packed, dtype=np.uint8)
+    if packed.shape[-1] % _WORD_BYTES:
+        raise ValueError("packed rows must be padded to 64-bit words")
+    return packed.view(np.uint64)
+
+
+def hamming_packed(a: np.ndarray, b: np.ndarray, backend: str = "auto") -> np.ndarray:
+    """Hamming distance between packed rows.
+
+    ``a`` and ``b`` broadcast in every dimension except the last (the
+    packed byte dimension), so ``hamming_packed(query, memory_matrix)``
+    returns one distance per memory row.
+    """
+    if backend == "auto":
+        backend = default_backend()
+    if backend == "lut8":
+        xor = np.bitwise_xor(np.asarray(a, np.uint8), np.asarray(b, np.uint8))
+        return _POPCOUNT8[xor].sum(axis=-1, dtype=np.int64)
+    xor = np.bitwise_xor(_as_words(a), _as_words(b))
+    if backend == "bitcount":
+        if not _HAS_BITWISE_COUNT:
+            raise ValueError("numpy.bitwise_count is unavailable")
+        return np.bitwise_count(xor).sum(axis=-1, dtype=np.int64)
+    if backend == "swar64":
+        return popcount_u64(xor).sum(axis=-1, dtype=np.int64)
+    raise ValueError("unknown popcount backend {!r}".format(backend))
+
+
+def hamming_packed_matrix(
+    queries: np.ndarray,
+    memory: np.ndarray,
+    backend: str = "auto",
+    chunk_rows: int = 0,
+    chunk_bytes: int = 32 * 1024 * 1024,
+) -> np.ndarray:
+    """All-pairs Hamming distances between packed row sets.
+
+    Returns an ``(len(queries), len(memory))`` ``int64`` matrix.  The
+    computation is chunked over query rows to bound the size of the XOR
+    intermediate; ``chunk_rows`` fixes the chunk explicitly, otherwise it
+    is derived from the ``chunk_bytes`` budget.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.uint8))
+    memory = np.atleast_2d(np.asarray(memory, dtype=np.uint8))
+    if queries.shape[1] != memory.shape[1]:
+        raise ValueError("query and memory row widths differ")
+    if chunk_rows <= 0:
+        per_query_bytes = max(1, memory.shape[0] * memory.shape[1])
+        chunk_rows = max(1, chunk_bytes // per_query_bytes)
+    out = np.empty((queries.shape[0], memory.shape[0]), dtype=np.int64)
+    for start in range(0, queries.shape[0], chunk_rows):
+        stop = min(start + chunk_rows, queries.shape[0])
+        block = queries[start:stop, None, :]
+        out[start:stop] = hamming_packed(block, memory[None, :, :], backend)
+    return out

@@ -1,0 +1,42 @@
+"""Bit-level memory fault model (the emulator's noise-injection facility).
+
+* :mod:`repro.memory.model` -- bit-addressable regions over live arrays.
+* :mod:`repro.memory.errors` -- SEU / MCU-burst / BER error models.
+* :mod:`repro.memory.injector` -- flat-address injection across regions.
+* :mod:`repro.memory.campaign` -- inject-replay-restore mismatch loops.
+"""
+
+from .campaign import (
+    CampaignResult,
+    MismatchCampaign,
+    TrialResult,
+    mismatch_fraction,
+)
+from .ecc import ScrubReport, SecdedScrubber
+from .errors import (
+    BitErrorRate,
+    BurstError,
+    CompositeError,
+    ErrorModel,
+    NoError,
+    SingleBitFlips,
+)
+from .injector import FaultInjector
+from .model import MemoryRegion
+
+__all__ = [
+    "BitErrorRate",
+    "BurstError",
+    "CampaignResult",
+    "CompositeError",
+    "ErrorModel",
+    "FaultInjector",
+    "MemoryRegion",
+    "MismatchCampaign",
+    "NoError",
+    "ScrubReport",
+    "SecdedScrubber",
+    "SingleBitFlips",
+    "TrialResult",
+    "mismatch_fraction",
+]

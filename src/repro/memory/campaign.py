@@ -1,0 +1,139 @@
+"""Fault-injection campaigns: the measurement loop behind Figures 5 and 6.
+
+A campaign takes a *live* hash table, a stream of pre-hashed request
+words, and an error model.  It first records the pristine assignment of
+every request, then repeatedly: injects faults into the table's memory
+regions, replays the same requests against the silently-corrupted state,
+counts disagreements, and restores the state.  The mismatch fraction per
+trial is exactly the paper's "percentage of mismatched requests".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .errors import ErrorModel
+from .injector import FaultInjector
+
+__all__ = ["TrialResult", "CampaignResult", "MismatchCampaign", "mismatch_fraction"]
+
+
+def mismatch_fraction(reference: np.ndarray, observed: np.ndarray) -> float:
+    """Fraction of positions where two assignment arrays disagree."""
+    reference = np.asarray(reference)
+    observed = np.asarray(observed)
+    if reference.shape != observed.shape:
+        raise ValueError("assignment arrays must have equal shape")
+    if reference.size == 0:
+        return 0.0
+    return float(np.mean(reference != observed))
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Outcome of one injection trial."""
+
+    mismatch: float
+    flipped_bits: Tuple[Tuple[str, int], ...]
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate outcome of a mismatch campaign."""
+
+    table_name: str
+    error_description: str
+    n_requests: int
+    trials: List[TrialResult] = field(default_factory=list)
+
+    @property
+    def mismatches(self) -> np.ndarray:
+        """Per-trial mismatch fractions."""
+        return np.asarray([trial.mismatch for trial in self.trials], dtype=float)
+
+    @property
+    def mean_mismatch(self) -> float:
+        """Mean mismatch fraction across trials."""
+        return float(self.mismatches.mean()) if self.trials else 0.0
+
+    @property
+    def max_mismatch(self) -> float:
+        """Worst-case mismatch fraction across trials."""
+        return float(self.mismatches.max()) if self.trials else 0.0
+
+    @property
+    def std_mismatch(self) -> float:
+        """Standard deviation of mismatch fractions across trials."""
+        return float(self.mismatches.std()) if self.trials else 0.0
+
+
+class MismatchCampaign:
+    """Inject-replay-restore campaign over a dynamic hash table.
+
+    The table must implement the :class:`repro.hashing.base.DynamicHashTable`
+    protocol: ``route_batch(words)``, ``server_ids`` and
+    ``memory_regions()``.
+    """
+
+    def __init__(self, table, request_words: np.ndarray):
+        self._table = table
+        self._words = np.asarray(request_words, dtype=np.uint64)
+        if self._words.size == 0:
+            raise ValueError("campaign needs at least one request")
+        self._reference = self._route_ids()
+
+    def _route_ids(self) -> np.ndarray:
+        indices = self._table.route_batch(self._words)
+        ids = np.asarray(self._table.server_ids, dtype=object)
+        return ids[indices]
+
+    @property
+    def reference_assignment(self) -> np.ndarray:
+        """Pristine server assignment of the request stream."""
+        return self._reference
+
+    def run(
+        self,
+        error_model: ErrorModel,
+        trials: int,
+        rng: np.random.Generator,
+        region_names: Optional[Sequence[str]] = None,
+    ) -> CampaignResult:
+        """Run ``trials`` injection rounds and report mismatch fractions.
+
+        ``region_names`` restricts injection to a subset of the table's
+        memory regions (default: all of them).
+        """
+        if trials <= 0:
+            raise ValueError("trials must be positive")
+        regions = self._table.memory_regions()
+        if region_names is not None:
+            wanted = set(region_names)
+            regions = [region for region in regions if region.name in wanted]
+            missing = wanted - {region.name for region in regions}
+            if missing:
+                raise KeyError("unknown region(s): {}".format(sorted(missing)))
+        injector = FaultInjector(regions)
+        result = CampaignResult(
+            table_name=getattr(self._table, "name", type(self._table).__name__),
+            error_description=error_model.describe(),
+            n_requests=int(self._words.size),
+        )
+        pristine = injector.snapshot()
+        try:
+            for __ in range(trials):
+                flipped = injector.inject(error_model, rng)
+                observed = self._route_ids()
+                result.trials.append(
+                    TrialResult(
+                        mismatch=mismatch_fraction(self._reference, observed),
+                        flipped_bits=tuple(flipped),
+                    )
+                )
+                injector.restore(pristine)
+        finally:
+            injector.restore(pristine)
+        return result

@@ -1,0 +1,157 @@
+"""Memory error models: SEUs, MCU bursts and raw bit-error rates.
+
+The paper motivates three error phenomenologies (Section 1, citing Ibe et
+al. and Schroeder et al.):
+
+* **single event upsets (SEU)** -- independent single-bit flips;
+  Figure 5's x-axis ("number of bit errors") sweeps their count.
+* **multi-cell upsets (MCU)** -- one event flips a *burst* of adjacent
+  bits; for 22 nm technology MCUs are ~45 % of SEUs, with 4-bit and 8-bit
+  bursts at 10 % and 1 % incidence.  The headline claim uses a 10-bit
+  MCU.
+* **bit-error rates** -- every bit flips independently with probability
+  ``rate``; useful for ablations over memory quality.
+
+An error model is a sampler: given the total number of logical bits and a
+generator, it yields the logical bit indices to flip (duplicates allowed
+across events -- two upsets on one cell cancel, as in physical SRAM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ErrorModel",
+    "SingleBitFlips",
+    "BurstError",
+    "BitErrorRate",
+    "CompositeError",
+    "NoError",
+]
+
+
+class ErrorModel:
+    """Base class: samples logical bit indices to flip."""
+
+    def sample_bits(self, n_bits: int, rng: np.random.Generator) -> np.ndarray:
+        """Return an int64 array of logical bit indices in ``[0, n_bits)``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short human-readable description for reports."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class NoError(ErrorModel):
+    """The fault-free baseline (zero flips)."""
+
+    def sample_bits(self, n_bits: int, rng: np.random.Generator) -> np.ndarray:
+        return np.empty(0, dtype=np.int64)
+
+    def describe(self) -> str:
+        return "no errors"
+
+
+@dataclass(frozen=True)
+class SingleBitFlips(ErrorModel):
+    """``count`` independent single-bit upsets at uniform random cells.
+
+    Sampling is without replacement (two simultaneous upsets of the same
+    cell would cancel and model *fewer* errors than requested); this
+    matches Figure 5's "number of bit errors" axis.
+    """
+
+    count: int
+
+    def __post_init__(self):
+        if self.count < 0:
+            raise ValueError("flip count must be non-negative")
+
+    def sample_bits(self, n_bits: int, rng: np.random.Generator) -> np.ndarray:
+        if self.count > n_bits:
+            raise ValueError(
+                "cannot place {} distinct flips in {} bits".format(
+                    self.count, n_bits
+                )
+            )
+        if self.count == 0:
+            return np.empty(0, dtype=np.int64)
+        return rng.choice(n_bits, size=self.count, replace=False).astype(np.int64)
+
+    def describe(self) -> str:
+        return "{} single-bit flip(s)".format(self.count)
+
+
+@dataclass(frozen=True)
+class BurstError(ErrorModel):
+    """``events`` multi-cell upsets, each flipping ``length`` adjacent bits.
+
+    Each event picks a uniform start cell and flips ``length`` logically
+    consecutive bits (clipped at the end of the address space).  Logical
+    adjacency approximates physical adjacency of the state words.
+    """
+
+    length: int
+    events: int = 1
+
+    def __post_init__(self):
+        if self.length <= 0:
+            raise ValueError("burst length must be positive")
+        if self.events < 0:
+            raise ValueError("event count must be non-negative")
+
+    def sample_bits(self, n_bits: int, rng: np.random.Generator) -> np.ndarray:
+        if n_bits < self.length:
+            raise ValueError("burst longer than the region")
+        bits = []
+        for __ in range(self.events):
+            start = int(rng.integers(0, n_bits - self.length + 1))
+            bits.extend(range(start, start + self.length))
+        return np.asarray(bits, dtype=np.int64)
+
+    def describe(self) -> str:
+        return "{} burst(s) of {} adjacent bits".format(self.events, self.length)
+
+
+@dataclass(frozen=True)
+class BitErrorRate(ErrorModel):
+    """Every bit flips independently with probability ``rate``."""
+
+    rate: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be a probability")
+
+    def sample_bits(self, n_bits: int, rng: np.random.Generator) -> np.ndarray:
+        if self.rate == 0.0:
+            return np.empty(0, dtype=np.int64)
+        count = rng.binomial(n_bits, self.rate)
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        return rng.choice(n_bits, size=count, replace=False).astype(np.int64)
+
+    def describe(self) -> str:
+        return "BER {:g}".format(self.rate)
+
+
+@dataclass(frozen=True)
+class CompositeError(ErrorModel):
+    """Apply several error models in one injection round."""
+
+    models: tuple
+
+    def __post_init__(self):
+        if not self.models:
+            raise ValueError("composite needs at least one model")
+
+    def sample_bits(self, n_bits: int, rng: np.random.Generator) -> np.ndarray:
+        parts = [model.sample_bits(n_bits, rng) for model in self.models]
+        return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+    def describe(self) -> str:
+        return " + ".join(model.describe() for model in self.models)

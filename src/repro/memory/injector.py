@@ -1,0 +1,76 @@
+"""Fault injection across a set of memory regions.
+
+The injector presents several :class:`~repro.memory.model.MemoryRegion`
+objects as one flat logical address space (bits concatenated in region
+order), samples an error model over it, flips the chosen bits in place,
+and can snapshot/restore the whole state around a trial.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .errors import ErrorModel
+from .model import MemoryRegion
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Flat bit-level fault injection over one or more memory regions."""
+
+    def __init__(self, regions: Sequence[MemoryRegion]):
+        regions = list(regions)
+        if not regions:
+            raise ValueError("need at least one memory region")
+        names = [region.name for region in regions]
+        if len(set(names)) != len(names):
+            raise ValueError("region names must be unique")
+        self._regions = regions
+        self._offsets = np.cumsum([0] + [region.n_bits for region in regions])
+
+    @property
+    def regions(self) -> Tuple[MemoryRegion, ...]:
+        """The regions covered, in address order."""
+        return tuple(self._regions)
+
+    @property
+    def n_bits(self) -> int:
+        """Total logical bits across all regions."""
+        return int(self._offsets[-1])
+
+    def locate(self, flat_bit: int) -> Tuple[MemoryRegion, int]:
+        """Map a flat bit address to (region, bit-within-region)."""
+        if not 0 <= flat_bit < self.n_bits:
+            raise IndexError("flat bit address out of range")
+        region_index = int(np.searchsorted(self._offsets, flat_bit, "right")) - 1
+        return (
+            self._regions[region_index],
+            flat_bit - int(self._offsets[region_index]),
+        )
+
+    def flip_flat(self, flat_bits) -> List[Tuple[str, int]]:
+        """Flip the given flat bit addresses; returns (region, bit) pairs."""
+        flipped = []
+        for flat_bit in np.asarray(flat_bits, dtype=np.int64):
+            region, bit = self.locate(int(flat_bit))
+            region.flip(bit)
+            flipped.append((region.name, bit))
+        return flipped
+
+    def inject(
+        self, model: ErrorModel, rng: np.random.Generator
+    ) -> List[Tuple[str, int]]:
+        """Sample ``model`` over the flat space and flip in place."""
+        return self.flip_flat(model.sample_bits(self.n_bits, rng))
+
+    def snapshot(self) -> Dict[str, bytes]:
+        """Snapshot every region's buffer."""
+        return {region.name: region.snapshot() for region in self._regions}
+
+    def restore(self, snapshots: Dict[str, bytes]) -> None:
+        """Restore every region from a :meth:`snapshot` copy."""
+        for region in self._regions:
+            region.restore(snapshots[region.name])

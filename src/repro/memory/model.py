@@ -1,0 +1,122 @@
+"""Bit-addressable views over the live routing state of a hash table.
+
+The paper's robustness experiments flip "bits in memory".  We make that
+notion concrete: each hashing algorithm registers the numpy arrays that
+constitute its routing state as :class:`MemoryRegion` objects.  A region
+enumerates *logical* bits -- the bits that are semantically part of the
+state -- row-major, skipping any padding, and can flip an individual bit
+in place.  Because regions are views over the algorithm's live arrays,
+a flipped bit is visible to every subsequent lookup: the corruption is
+silent, exactly like an SEU in a deployment without ECC scrubbing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["MemoryRegion"]
+
+
+class MemoryRegion:
+    """A named, bit-addressable window over a live numpy array.
+
+    Parameters
+    ----------
+    name:
+        Human-readable region name (appears in campaign reports).
+    array:
+        The live array.  Any dtype; the underlying buffer is addressed
+        as little-endian bytes.  Must be C-contiguous and writable.
+    valid_bits_per_row:
+        For 2-D arrays whose rows carry padding (packed hypervectors):
+        the number of *logical* bits per row.  Logical bit ``i`` then maps
+        to row ``i // valid_bits_per_row``, bit ``i % valid_bits_per_row``
+        within the row's buffer.  ``None`` means every stored bit is
+        logical.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        array: np.ndarray,
+        valid_bits_per_row: Optional[int] = None,
+    ):
+        if not isinstance(array, np.ndarray):
+            raise TypeError("a MemoryRegion wraps a numpy array")
+        if not array.flags.c_contiguous:
+            raise ValueError("region arrays must be C-contiguous")
+        if not array.flags.writeable:
+            raise ValueError("region arrays must be writable")
+        self.name = name
+        self._array = array
+        self._bytes = array.reshape(-1).view(np.uint8)
+        if valid_bits_per_row is not None:
+            if array.ndim != 2:
+                raise ValueError("valid_bits_per_row requires a 2-D array")
+            row_bits = array.shape[1] * array.itemsize * 8
+            if not 0 < valid_bits_per_row <= row_bits:
+                raise ValueError(
+                    "valid_bits_per_row must be in (0, {}]".format(row_bits)
+                )
+            self._row_stride_bits = row_bits
+            self._valid_bits_per_row = valid_bits_per_row
+            self._rows = array.shape[0]
+        else:
+            self._row_stride_bits = None
+            self._valid_bits_per_row = None
+            self._rows = None
+
+    @property
+    def array(self) -> np.ndarray:
+        """The live array this region addresses."""
+        return self._array
+
+    @property
+    def n_bits(self) -> int:
+        """Number of logical (flippable) bits in the region."""
+        if self._valid_bits_per_row is not None:
+            return self._rows * self._valid_bits_per_row
+        return self._bytes.size * 8
+
+    def _physical_bit(self, logical_bit: int) -> int:
+        if not 0 <= logical_bit < self.n_bits:
+            raise IndexError(
+                "bit {} out of range for region {!r} of {} bits".format(
+                    logical_bit, self.name, self.n_bits
+                )
+            )
+        if self._valid_bits_per_row is None:
+            return logical_bit
+        row, bit_in_row = divmod(logical_bit, self._valid_bits_per_row)
+        return row * self._row_stride_bits + bit_in_row
+
+    def flip(self, logical_bit: int) -> None:
+        """Flip one logical bit in place (the fault primitive)."""
+        physical = self._physical_bit(logical_bit)
+        byte_index, bit_index = divmod(physical, 8)
+        self._bytes[byte_index] ^= np.uint8(1 << bit_index)
+
+    def read(self, logical_bit: int) -> int:
+        """Read one logical bit (0 or 1)."""
+        physical = self._physical_bit(logical_bit)
+        byte_index, bit_index = divmod(physical, 8)
+        return int((self._bytes[byte_index] >> bit_index) & 1)
+
+    def snapshot(self) -> bytes:
+        """Copy of the full underlying buffer (including padding)."""
+        return self._bytes.tobytes()
+
+    def restore(self, snapshot: bytes) -> None:
+        """Restore the buffer from a :meth:`snapshot` copy."""
+        if len(snapshot) != self._bytes.size:
+            raise ValueError(
+                "snapshot size {} does not match region size {}".format(
+                    len(snapshot), self._bytes.size
+                )
+            )
+        self._bytes[:] = np.frombuffer(snapshot, dtype=np.uint8)
+
+    def __repr__(self) -> str:
+        return "MemoryRegion(name={!r}, bits={})".format(self.name, self.n_bits)

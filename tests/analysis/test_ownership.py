@@ -1,0 +1,101 @@
+"""Tests for exact ownership analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ownership import imbalance_from_fractions, ownership_fractions
+from repro.hashing import (
+    ConsistentHashTable,
+    HDHashTable,
+    ModularHashTable,
+    RendezvousHashTable,
+)
+
+from ..conftest import populate
+
+
+class TestConsistentOwnership:
+    def test_fractions_sum_to_one(self):
+        table = populate(ConsistentHashTable(seed=3), 16)
+        fractions = ownership_fractions(table)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert set(fractions) == set(table.server_ids)
+
+    def test_matches_sampled_loads(self):
+        table = populate(ConsistentHashTable(seed=3), 8)
+        fractions = ownership_fractions(table)
+        words = np.random.default_rng(1).integers(
+            0, 2 ** 64, 200_000, dtype=np.uint64
+        )
+        counts = np.bincount(table.route_batch(words), minlength=8)
+        for slot, server in enumerate(table.server_ids):
+            sampled = counts[slot] / words.size
+            assert sampled == pytest.approx(fractions[server], abs=0.005)
+
+    def test_replicas_accumulate(self):
+        table = populate(ConsistentHashTable(seed=3, replicas=4), 4)
+        fractions = ownership_fractions(table)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_float32_ring_supported(self):
+        table = populate(
+            ConsistentHashTable(seed=3, position_dtype="float32"), 8
+        )
+        fractions = ownership_fractions(table)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            ownership_fractions(ConsistentHashTable(seed=3))
+
+
+class TestHDOwnership:
+    def test_fractions_sum_to_one(self):
+        table = populate(HDHashTable(seed=3, dim=1_024, codebook_size=256), 12)
+        fractions = ownership_fractions(table)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_matches_sampled_loads(self):
+        table = populate(HDHashTable(seed=3, dim=1_024, codebook_size=128), 8)
+        fractions = ownership_fractions(table)
+        words = np.random.default_rng(2).integers(
+            0, 2 ** 64, 100_000, dtype=np.uint64
+        )
+        counts = np.bincount(table.route_batch(words), minlength=8)
+        for slot, server in enumerate(table.server_ids):
+            sampled = counts[slot] / words.size
+            assert sampled == pytest.approx(fractions[server], abs=0.01)
+
+    def test_every_server_owns_its_own_node(self):
+        table = populate(HDHashTable(seed=3, dim=1_024, codebook_size=256), 12)
+        fractions = ownership_fractions(table)
+        minimum_share = 1.0 / table.codebook_size
+        for share in fractions.values():
+            assert share >= minimum_share - 1e-12
+
+
+class TestOtherTables:
+    def test_modular_uniform(self):
+        table = populate(ModularHashTable(seed=3), 5)
+        fractions = ownership_fractions(table)
+        for share in fractions.values():
+            assert share == pytest.approx(0.2)
+
+    def test_rendezvous_unsupported(self):
+        table = populate(RendezvousHashTable(seed=3), 4)
+        with pytest.raises(TypeError):
+            ownership_fractions(table)
+
+
+class TestImbalance:
+    def test_uniform_is_one(self):
+        assert imbalance_from_fractions({"a": 0.5, "b": 0.5}) == pytest.approx(1.0)
+
+    def test_skewed(self):
+        assert imbalance_from_fractions(
+            {"a": 0.75, "b": 0.25}
+        ) == pytest.approx(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            imbalance_from_fractions({})

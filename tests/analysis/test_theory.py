@@ -1,0 +1,129 @@
+"""Theory-vs-measurement cross-checks.
+
+Each test runs a small simulated experiment and compares it against the
+closed-form prediction in :mod:`repro.analysis.theory`.  Tolerances are
+wide enough for sampling noise at test scale but tight enough to catch a
+broken derivation or a broken simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import uniformity_chi2
+from repro.analysis.theory import (
+    expected_codebook_collisions,
+    expected_consistent_chi2,
+    expected_corrupted_words,
+    expected_hd_chi2,
+    expected_rendezvous_chi2,
+    expected_rendezvous_mismatch,
+)
+from repro.hashing import ConsistentHashTable, HDHashTable, RendezvousHashTable
+from repro.memory import MismatchCampaign, SingleBitFlips
+
+from ..conftest import populate
+
+
+class TestCorruptedWords:
+    def test_one_flip_one_word(self):
+        assert expected_corrupted_words(1, 100) == pytest.approx(1.0)
+
+    def test_zero_flips(self):
+        assert expected_corrupted_words(0, 100) == 0.0
+
+    def test_saturation(self):
+        # Vastly more flips than words: every word corrupted.
+        value = expected_corrupted_words(6_400, 100)
+        assert value == pytest.approx(100.0, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_corrupted_words(-1, 10)
+        with pytest.raises(ValueError):
+            expected_corrupted_words(1, 0)
+
+
+class TestRendezvousMismatchTheory:
+    def test_matches_campaign(self, request_words):
+        k, flips = 128, 10
+        table = populate(RendezvousHashTable(seed=21), k)
+        campaign = MismatchCampaign(table, request_words)
+        outcome = campaign.run(
+            SingleBitFlips(flips), trials=10, rng=np.random.default_rng(5)
+        )
+        predicted = expected_rendezvous_mismatch(flips, k)
+        assert outcome.mean_mismatch == pytest.approx(predicted, rel=0.35)
+
+    def test_scales_inversely_with_k(self):
+        assert expected_rendezvous_mismatch(10, 512) == pytest.approx(
+            expected_rendezvous_mismatch(10, 1024) * 2, rel=0.02
+        )
+
+
+class TestChiSquaredTheory:
+    N_REQUESTS = 60_000
+    K = 48
+
+    @pytest.fixture(scope="class")
+    def words(self):
+        return np.random.default_rng(31).integers(
+            0, 2 ** 64, self.N_REQUESTS, dtype=np.uint64
+        )
+
+    def _mean_chi2(self, factory, words, seeds=(0, 1, 2, 3, 4)):
+        values = []
+        for seed in seeds:
+            table = populate(factory(seed), self.K)
+            values.append(uniformity_chi2(table.route_batch(words), self.K))
+        return float(np.mean(values))
+
+    def test_consistent_chi2_scales_with_requests(self, words):
+        measured = self._mean_chi2(
+            lambda seed: ConsistentHashTable(seed=seed), words
+        )
+        predicted = expected_consistent_chi2(self.N_REQUESTS, self.K)
+        assert measured == pytest.approx(predicted, rel=0.45)
+
+    def test_hd_chi2_half_of_consistent(self, words):
+        measured = self._mean_chi2(
+            lambda seed: HDHashTable(seed=seed, dim=2_048, codebook_size=2_048),
+            words,
+        )
+        predicted = expected_hd_chi2(self.N_REQUESTS, self.K)
+        assert measured == pytest.approx(predicted, rel=0.45)
+
+    def test_rendezvous_chi2_is_dof(self, words):
+        measured = self._mean_chi2(
+            lambda seed: RendezvousHashTable(seed=seed), words
+        )
+        predicted = expected_rendezvous_chi2(self.K)
+        assert measured == pytest.approx(predicted, rel=0.5)
+
+    def test_ordering_is_theoretical(self):
+        consistent = expected_consistent_chi2(100_000, 64)
+        hd = expected_hd_chi2(100_000, 64)
+        rendezvous = expected_rendezvous_chi2(64)
+        assert rendezvous < hd < consistent
+
+
+class TestCodebookCollisionTheory:
+    def test_matches_measured_probing(self):
+        k, n = 128, 512
+        probed_counts = []
+        for seed in range(6):
+            table = HDHashTable(seed=seed, dim=256, codebook_size=n)
+            probed = 0
+            for index in range(k):
+                table.join(index)
+                if table.position_of(index) != table.family.word(index) % n:
+                    probed += 1
+            probed_counts.append(probed)
+        predicted = expected_codebook_collisions(k, n)
+        assert np.mean(probed_counts) == pytest.approx(predicted, rel=0.5)
+
+    def test_no_collisions_without_servers(self):
+        assert expected_codebook_collisions(0, 128) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_codebook_collisions(10, 5)

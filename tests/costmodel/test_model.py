@@ -1,0 +1,75 @@
+"""Tests for the analytical cost model."""
+
+import pytest
+
+from repro.costmodel import DEFAULT_MACHINES, CostModel, MachineParameters
+
+
+@pytest.fixture
+def scalar_model():
+    return CostModel(DEFAULT_MACHINES["scalar"])
+
+
+@pytest.fixture
+def accelerator_model():
+    return CostModel(DEFAULT_MACHINES["hdc-accelerator"])
+
+
+class TestShapes:
+    def test_rendezvous_linear(self, scalar_model):
+        assert scalar_model.rendezvous(2_000) == pytest.approx(
+            1_000 * scalar_model.rendezvous(2)
+        )
+
+    def test_consistent_logarithmic(self, scalar_model):
+        small = scalar_model.consistent(16)
+        large = scalar_model.consistent(4_096)
+        # log2 growth: 4 -> 12 probes, not 256x work.
+        assert large < 4 * small
+
+    def test_modular_flat(self, scalar_model):
+        assert scalar_model.modular(2) == scalar_model.modular(2_048)
+
+    def test_hd_flat_on_accelerator(self, accelerator_model):
+        assert accelerator_model.hd(2) == accelerator_model.hd(2_048)
+
+    def test_hd_linear_on_cpu(self, scalar_model):
+        assert scalar_model.hd(2_048) > 100 * scalar_model.hd(8)
+
+    def test_simd_speeds_up_hd(self):
+        scalar = CostModel(DEFAULT_MACHINES["scalar"]).hd(512)
+        simd = CostModel(DEFAULT_MACHINES["simd"]).hd(512)
+        assert simd < scalar
+
+    def test_accelerator_beats_everything_at_scale(self, accelerator_model):
+        hd = accelerator_model.hd(2_048)
+        rendezvous = accelerator_model.rendezvous(2_048)
+        assert hd < rendezvous / 100
+
+
+class TestDispatch:
+    def test_estimate_matches_methods(self, scalar_model):
+        assert scalar_model.estimate("modular", 16) == scalar_model.modular(16)
+        assert scalar_model.estimate("hd", 16, dim=1_000) == scalar_model.hd(
+            16, dim=1_000
+        )
+
+    def test_unknown_algorithm(self, scalar_model):
+        with pytest.raises(ValueError):
+            scalar_model.estimate("quantum", 4)
+
+    def test_all_estimates_positive(self):
+        for machine in DEFAULT_MACHINES.values():
+            model = CostModel(machine)
+            for algorithm in ("modular", "consistent", "rendezvous", "hd"):
+                assert model.estimate(algorithm, 64) > 0
+
+
+class TestParameters:
+    def test_custom_machine(self):
+        machine = MachineParameters(name="tiny", mix_cycles=1.0)
+        assert CostModel(machine).modular(4) > 0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_MACHINES["scalar"].mix_cycles = 0

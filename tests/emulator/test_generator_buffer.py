@@ -1,0 +1,140 @@
+"""Tests for the request generator and the batching buffer."""
+
+import numpy as np
+import pytest
+
+from repro.emulator import (
+    JoinRequest,
+    LeaveRequest,
+    LookupBurst,
+    LookupRequest,
+    RequestBuffer,
+    RequestGenerator,
+    server_names,
+)
+
+
+class TestServerNames:
+    def test_names(self):
+        assert server_names(3) == ["server-0", "server-1", "server-2"]
+
+    def test_prefix(self):
+        assert server_names(1, prefix="cache") == ["cache-0"]
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            server_names(-1)
+
+
+class TestGenerator:
+    def test_joins_and_leaves(self):
+        generator = RequestGenerator(seed=0)
+        joins = list(generator.joins(["a", "b"]))
+        assert joins == [JoinRequest("a"), JoinRequest("b")]
+        leaves = list(generator.leaves(["a"]))
+        assert leaves == [LeaveRequest("a")]
+
+    def test_lookups_total_count(self):
+        generator = RequestGenerator(seed=0)
+        bursts = list(generator.lookups(10_000, burst_size=4_096))
+        assert sum(len(burst) for burst in bursts) == 10_000
+        assert all(isinstance(burst, LookupBurst) for burst in bursts)
+
+    def test_lookups_deterministic_by_seed(self):
+        a = np.concatenate(
+            [b.keys for b in RequestGenerator(seed=5).lookups(1_000)]
+        )
+        b = np.concatenate(
+            [b.keys for b in RequestGenerator(seed=5).lookups(1_000)]
+        )
+        assert np.array_equal(a, b)
+
+    def test_standard_workload_order(self):
+        generator = RequestGenerator(seed=0)
+        stream = list(generator.standard_workload(["a", "b"], 10))
+        assert stream[0] == JoinRequest("a")
+        assert stream[1] == JoinRequest("b")
+        assert sum(len(r) for r in stream[2:]) == 10
+
+    def test_churn_keeps_pool_consistent(self):
+        generator = RequestGenerator(seed=1)
+        active = {f"s{i}" for i in range(8)}
+        standby = {f"t{i}" for i in range(4)}
+        for request in generator.churn(
+            sorted(active), sorted(standby), events=50
+        ):
+            if isinstance(request, JoinRequest):
+                assert request.server_id not in active
+                active.add(request.server_id)
+            elif isinstance(request, LeaveRequest):
+                assert request.server_id in active
+                active.remove(request.server_id)
+        assert len(active) >= 1
+
+    def test_churn_with_lookups(self):
+        generator = RequestGenerator(seed=2)
+        stream = list(
+            generator.churn(["a", "b"], ["c"], events=5, lookups_between=7)
+        )
+        lookups = sum(len(r) for r in stream if isinstance(r, LookupBurst))
+        assert lookups == 35
+
+    def test_invalid_args(self):
+        generator = RequestGenerator(seed=0)
+        with pytest.raises(ValueError):
+            list(generator.lookups(-1))
+        with pytest.raises(ValueError):
+            list(generator.lookups(1, burst_size=0))
+        with pytest.raises(ValueError):
+            list(generator.churn(["a"], [], events=1, leave_probability=2.0))
+
+
+class TestBuffer:
+    def test_batches_at_most_batch_size(self):
+        buffer = RequestBuffer(batch_size=256)
+        stream = [LookupBurst(np.arange(1_000, dtype=np.uint64))]
+        units = list(buffer.dispatch(stream))
+        sizes = [len(unit) for unit in units]
+        assert sizes == [256, 256, 256, 232]
+
+    def test_flush_before_membership_change(self):
+        buffer = RequestBuffer(batch_size=256)
+        stream = [
+            LookupBurst(np.arange(100, dtype=np.uint64)),
+            JoinRequest("x"),
+            LookupBurst(np.arange(50, dtype=np.uint64)),
+        ]
+        units = list(buffer.dispatch(stream))
+        assert len(units[0]) == 100  # flushed early, smaller than batch
+        assert units[1] == JoinRequest("x")
+        assert len(units[2]) == 50
+
+    def test_single_lookups_coalesce(self):
+        buffer = RequestBuffer(batch_size=4)
+        stream = [LookupRequest(i) for i in range(10)]
+        units = list(buffer.dispatch(stream))
+        assert [len(u) for u in units] == [4, 4, 2]
+        assert np.concatenate(units).tolist() == list(range(10))
+
+    def test_bursts_split_across_batches_preserve_order(self):
+        buffer = RequestBuffer(batch_size=8)
+        stream = [
+            LookupBurst(np.arange(5, dtype=np.uint64)),
+            LookupBurst(np.arange(5, 12, dtype=np.uint64)),
+        ]
+        units = list(buffer.dispatch(stream))
+        assert np.concatenate(units).tolist() == list(range(12))
+
+    def test_rejects_non_integer_single_lookup(self):
+        buffer = RequestBuffer(batch_size=4)
+        with pytest.raises(TypeError):
+            list(buffer.dispatch([LookupRequest("string-key")]))
+
+    def test_rejects_unknown_request(self):
+        buffer = RequestBuffer(batch_size=4)
+        with pytest.raises(TypeError):
+            list(buffer.dispatch(["not a request"]))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            RequestBuffer(batch_size=0)

@@ -1,0 +1,111 @@
+"""End-to-end tests for the hash-table module and emulator."""
+
+import numpy as np
+import pytest
+
+from repro.emulator import (
+    Emulator,
+    HashTableModule,
+    RequestGenerator,
+    UniformKeys,
+)
+from repro.hashing import ConsistentHashTable, HDHashTable
+
+
+def _hd():
+    return HDHashTable(seed=1, dim=1_024, codebook_size=128)
+
+
+class TestModule:
+    def test_processes_standard_workload(self):
+        table = ConsistentHashTable(seed=1)
+        module = HashTableModule(table, batch_size=64)
+        generator = RequestGenerator(seed=0)
+        report = module.process(generator.standard_workload(range(8), 500))
+        assert table.server_count == 8
+        assert report.n_lookups == 500
+        assert report.timing.n_membership_events == 8
+        assert report.assignment_array.shape == (500,)
+        assert set(report.assignment_array.tolist()) <= set(range(8))
+
+    def test_vectorized_and_scalar_paths_agree(self):
+        generator_a = RequestGenerator(seed=3)
+        generator_b = RequestGenerator(seed=3)
+        vec = HashTableModule(_hd(), batch_size=64, vectorized=True)
+        scl = HashTableModule(_hd(), batch_size=64, vectorized=False)
+        report_vec = vec.process(generator_a.standard_workload(range(6), 300))
+        report_scl = scl.process(generator_b.standard_workload(range(6), 300))
+        assert np.array_equal(
+            report_vec.assignment_array, report_scl.assignment_array
+        )
+
+    def test_timing_recorded(self):
+        module = HashTableModule(ConsistentHashTable(seed=1), batch_size=32)
+        generator = RequestGenerator(seed=0)
+        report = module.process(generator.standard_workload(range(4), 200))
+        assert report.timing.lookup_seconds > 0
+        assert report.timing.mean_lookup_micros > 0
+        assert len(report.timing.batch_durations) == -(-200 // 32)
+
+    def test_load_stats_sum_to_lookups(self):
+        module = HashTableModule(ConsistentHashTable(seed=1), batch_size=32)
+        generator = RequestGenerator(seed=0)
+        report = module.process(generator.standard_workload(range(4), 200))
+        assert report.load.total == 200
+        assert report.load.imbalance() >= 1.0
+
+    def test_assignment_recording_optional(self):
+        module = HashTableModule(
+            ConsistentHashTable(seed=1), record_assignments=False
+        )
+        generator = RequestGenerator(seed=0)
+        report = module.process(generator.standard_workload(range(4), 100))
+        assert report.assignment_array.size == 0
+        assert report.n_lookups == 100
+
+    def test_leave_requests_processed(self):
+        table = ConsistentHashTable(seed=1)
+        module = HashTableModule(table)
+        generator = RequestGenerator(seed=0)
+        stream = list(generator.joins(range(8))) + list(generator.leaves([3]))
+        module.process(stream)
+        assert table.server_count == 7
+
+
+class TestEmulator:
+    def test_run_standard(self):
+        emulator = Emulator(lambda: ConsistentHashTable(seed=2), seed=1)
+        report = emulator.run_standard(range(10), 400)
+        assert report.n_lookups == 400
+        assert report.table_name == "consistent"
+
+    def test_fresh_table_per_run(self):
+        emulator = Emulator(lambda: ConsistentHashTable(seed=2), seed=1)
+        first = emulator.run_standard(range(4), 50)
+        second = emulator.run_standard(range(4), 50)
+        assert np.array_equal(
+            first.assignment_array, second.assignment_array
+        )
+
+    def test_run_stream_with_churn(self):
+        emulator = Emulator(lambda: ConsistentHashTable(seed=2), seed=1)
+        generator = RequestGenerator(seed=4)
+        stream = (
+            list(generator.joins(range(8)))
+            + list(
+                generator.churn(
+                    list(range(8)), ["spare-1", "spare-2"],
+                    events=6, lookups_between=25,
+                )
+            )
+        )
+        report = emulator.run_stream(stream)
+        assert report.n_lookups == 150
+        assert report.timing.n_membership_events == 8 + 6
+
+    def test_distribution_plumbs_through(self):
+        emulator = Emulator(lambda: ConsistentHashTable(seed=2), seed=1)
+        report = emulator.run_standard(
+            range(4), 300, distribution=UniformKeys(space=17)
+        )
+        assert report.n_lookups == 300

@@ -1,0 +1,88 @@
+"""Tests for the longitudinal scenario runner."""
+
+import numpy as np
+import pytest
+
+from repro.emulator.scenario import (
+    AutoscalePolicy,
+    ScenarioConfig,
+    run_scenario,
+)
+from repro.hashing import ConsistentHashTable, HDHashTable, ModularHashTable
+
+
+class TestAutoscalePolicy:
+    def test_scales_up_under_pressure(self):
+        policy = AutoscalePolicy(target_load=100.0)
+        assert policy.decide(n_requests=2_000, n_servers=4) > 0
+
+    def test_scales_down_when_idle(self):
+        policy = AutoscalePolicy(target_load=100.0, min_servers=2)
+        assert policy.decide(n_requests=100, n_servers=16) < 0
+
+    def test_holds_in_band(self):
+        policy = AutoscalePolicy(target_load=100.0)
+        assert policy.decide(n_requests=1_000, n_servers=10) == 0
+
+    def test_respects_bounds(self):
+        policy = AutoscalePolicy(target_load=1.0, max_servers=8)
+        assert policy.decide(n_requests=10_000, n_servers=8) == 0
+        policy = AutoscalePolicy(target_load=1_000.0, min_servers=4)
+        assert policy.decide(n_requests=1, n_servers=4) == 0
+
+
+class TestScenario:
+    def _config(self, **overrides):
+        values = dict(
+            steps=10,
+            initial_servers=6,
+            requests_per_step=2_000,
+            failure_probability=0.2,
+            seed=5,
+        )
+        values.update(overrides)
+        return ScenarioConfig(**values)
+
+    def test_records_every_step(self):
+        result = run_scenario(
+            lambda: ConsistentHashTable(seed=1), self._config()
+        )
+        assert len(result.records) == 10
+        for record in result.records:
+            assert record.n_servers >= 2
+            assert 0.0 <= record.remapped <= 1.0
+            assert record.imbalance >= 1.0
+
+    def test_deterministic_by_seed(self):
+        a = run_scenario(lambda: ConsistentHashTable(seed=1), self._config())
+        b = run_scenario(lambda: ConsistentHashTable(seed=1), self._config())
+        assert [r.remapped for r in a.records] == [
+            r.remapped for r in b.records
+        ]
+
+    def test_autoscaler_tracks_traffic(self):
+        config = self._config(
+            steps=12,
+            traffic_profile=(0.2, 3.0),
+            failure_probability=0.0,
+            policy=AutoscalePolicy(target_load=250.0, min_servers=2,
+                                   max_servers=64),
+        )
+        result = run_scenario(lambda: ConsistentHashTable(seed=1), config)
+        sizes = [record.n_servers for record in result.records]
+        assert max(sizes) > min(sizes)  # it actually scaled
+        assert result.scaling_events > 0
+
+    def test_modular_pays_more_churn_than_consistent(self):
+        config = self._config(steps=8, failure_probability=0.5)
+        modular = run_scenario(lambda: ModularHashTable(seed=2), config)
+        consistent = run_scenario(lambda: ConsistentHashTable(seed=2), config)
+        assert modular.total_remapped > 2 * consistent.total_remapped
+
+    def test_hd_table_runs_scenario(self):
+        config = self._config(steps=6)
+        result = run_scenario(
+            lambda: HDHashTable(seed=2, dim=1_024, codebook_size=256), config
+        )
+        assert len(result.records) == 6
+        assert result.mean_imbalance >= 1.0

@@ -1,0 +1,123 @@
+"""Tests for workload trace recording and replay."""
+
+import numpy as np
+import pytest
+
+from repro.emulator import (
+    HashTableModule,
+    JoinRequest,
+    LeaveRequest,
+    LookupBurst,
+    LookupRequest,
+    RequestGenerator,
+    load_trace,
+    parse_trace_lines,
+    save_trace,
+    trace_lines,
+)
+from repro.hashing import ConsistentHashTable
+
+
+def _workload():
+    generator = RequestGenerator(seed=7)
+    stream = list(generator.joins(["a", "b", "c"]))
+    stream += list(generator.lookups(500, burst_size=128))
+    stream.append(LeaveRequest("b"))
+    stream.append(LookupRequest(12345))
+    return stream
+
+
+class TestRoundtrip:
+    def test_file_roundtrip(self, tmp_path):
+        stream = _workload()
+        path = tmp_path / "workload.trace"
+        events = save_trace(stream, str(path))
+        assert events == len(stream)
+        replayed = load_trace(str(path))
+        assert len(replayed) == len(stream)
+        for original, copy in zip(stream, replayed):
+            assert type(original) is type(copy)
+            if isinstance(original, LookupBurst):
+                assert np.array_equal(original.keys, copy.keys)
+            else:
+                assert original == copy
+
+    def test_identifier_types_preserved(self, tmp_path):
+        stream = [
+            JoinRequest("name"),
+            JoinRequest(42),
+            JoinRequest(b"\x00\xff"),
+        ]
+        path = tmp_path / "ids.trace"
+        save_trace(stream, str(path))
+        replayed = load_trace(str(path))
+        assert replayed[0].server_id == "name"
+        assert replayed[1].server_id == 42
+        assert replayed[2].server_id == b"\x00\xff"
+
+    def test_replay_reproduces_emulation(self, tmp_path):
+        stream = _workload()
+        path = tmp_path / "replay.trace"
+        save_trace(stream, str(path))
+
+        def run(requests):
+            module = HashTableModule(ConsistentHashTable(seed=3), batch_size=64)
+            return module.process(requests).assignment_array
+
+        original = run(_workload())
+        replayed = run(load_trace(str(path)))
+        assert np.array_equal(original, replayed)
+
+
+class TestValidation:
+    def test_unknown_request_type_rejected(self):
+        with pytest.raises(TypeError):
+            list(trace_lines(["not a request"]))
+
+    def test_string_lookup_key_rejected(self):
+        with pytest.raises(TypeError):
+            list(trace_lines([LookupRequest("string")]))
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ValueError):
+            list(parse_trace_lines(['{"version": 99}']))
+
+    def test_unknown_op_rejected(self):
+        lines = ['{"version": 1}', '{"op": "explode"}']
+        with pytest.raises(ValueError):
+            list(parse_trace_lines(lines))
+
+    def test_burst_length_mismatch_rejected(self):
+        burst = LookupBurst(np.arange(4, dtype=np.uint64))
+        lines = list(trace_lines([burst]))
+        import json
+
+        event = json.loads(lines[1])
+        event["n"] = 3
+        with pytest.raises(ValueError):
+            list(parse_trace_lines([lines[0], json.dumps(event)]))
+
+    def test_empty_trace(self):
+        assert list(parse_trace_lines([])) == []
+
+    def test_blank_lines_skipped(self):
+        lines = ['{"version": 1}', "", '{"op": "join", "id": {"s": "x"}}']
+        replayed = list(parse_trace_lines(lines))
+        assert replayed == [JoinRequest("x")]
+
+
+class TestTimingPercentiles:
+    def test_percentiles_available(self):
+        from repro.emulator import RequestGenerator
+
+        module = HashTableModule(ConsistentHashTable(seed=1), batch_size=32)
+        generator = RequestGenerator(seed=0)
+        report = module.process(generator.standard_workload(range(4), 400))
+        p50 = report.timing.batch_percentile_seconds(50)
+        p99 = report.timing.batch_percentile_seconds(99)
+        assert 0 < p50 <= p99
+
+    def test_empty_timing(self):
+        from repro.emulator import TimingStats
+
+        assert TimingStats().batch_percentile_seconds(99) == 0.0

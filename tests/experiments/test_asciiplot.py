@@ -1,0 +1,95 @@
+"""Tests for the terminal figure renderer."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EfficiencyConfig,
+    RobustnessConfig,
+    SimilarityProfileConfig,
+    UniformityConfig,
+    run_efficiency,
+    run_robustness,
+    run_similarity_profiles,
+    run_uniformity,
+)
+from repro.experiments.asciiplot import heatmap, line_chart, render_figure
+
+
+class TestLineChart:
+    def test_renders_with_markers_and_legend(self):
+        chart = line_chart(
+            {"up": ([1, 2, 3], [1, 2, 3]), "down": ([1, 2, 3], [3, 2, 1])},
+            width=20,
+            height=8,
+        )
+        assert "o up" in chart and "x down" in chart
+        plot_rows = [row for row in chart.splitlines() if "|" in row]
+        assert any("o" in row for row in plot_rows)
+        assert any("x" in row for row in plot_rows)
+
+    def test_monotone_series_lands_in_corners(self):
+        chart = line_chart({"s": ([0, 10], [0, 10])}, width=10, height=5)
+        rows = chart.splitlines()
+        plot_rows = [row for row in rows if "|" in row]
+        assert plot_rows[0].rstrip().endswith("o")  # max at top right
+        first_column = plot_rows[-1].split("|")[1]
+        assert first_column.startswith("o")  # min at bottom left
+
+    def test_log_scale_compresses(self):
+        linear = line_chart({"s": ([1, 2, 3], [1, 10, 10_000])}, height=10)
+        logged = line_chart(
+            {"s": ([1, 2, 3], [1, 10, 10_000])}, height=10, logy=True
+        )
+        assert linear != logged
+
+    def test_constant_series_ok(self):
+        chart = line_chart({"flat": ([1, 2], [5, 5])}, width=8, height=4)
+        assert "o" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+
+
+class TestHeatmap:
+    def test_identity_matrix_diagonal_bright(self):
+        text = heatmap(np.eye(4) * 2 - 1)  # diag=+1, off=-1
+        rows = text.splitlines()
+        for index in range(4):
+            assert rows[index][index] == "@"
+            assert rows[index][(index + 1) % 4] == " "
+
+    def test_title_included(self):
+        assert heatmap(np.zeros((2, 2)), title="demo").startswith("demo")
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            heatmap(np.zeros(4))
+
+
+class TestRenderFigure:
+    def test_fig2(self):
+        result = run_similarity_profiles(SimilarityProfileConfig.fast())
+        text = render_figure("fig2", result)
+        assert "circular basis" in text and "level basis" in text
+
+    def test_fig4(self):
+        result = run_efficiency(EfficiencyConfig.fast())
+        text = render_figure("fig4", result)
+        assert "rendezvous" in text and "us/request" in text
+
+    def test_fig5(self):
+        result = run_robustness(RobustnessConfig.fast())
+        text = render_figure("fig5", result)
+        assert "bit errors" in text
+
+    def test_fig6(self):
+        result = run_uniformity(UniformityConfig.fast())
+        text = render_figure("fig6", result)
+        assert "chi^2" in text
+
+    def test_unknown_artefact(self):
+        result = run_similarity_profiles(SimilarityProfileConfig.fast())
+        with pytest.raises(KeyError):
+            render_figure("fig99", result)

@@ -1,0 +1,81 @@
+"""Tests for the experiment-result infrastructure."""
+
+import pytest
+
+from repro.experiments import ExperimentResult
+from repro.experiments.tables import TableBuilder
+
+
+class TestExperimentResult:
+    def _result(self):
+        result = ExperimentResult(title="demo", columns=("a", "b"))
+        result.add(a=1, b="x")
+        result.add(a=2, b="y")
+        return result
+
+    def test_add_validates_columns(self):
+        result = ExperimentResult(title="t", columns=("a", "b"))
+        with pytest.raises(ValueError):
+            result.add(a=1)  # missing b
+
+    def test_filtered_and_column(self):
+        result = self._result()
+        assert result.filtered(b="y") == [{"a": 2, "b": "y"}]
+        assert result.column("a") == [1, 2]
+        assert result.column("a", b="x") == [1]
+
+    def test_table_renders_all_cells(self):
+        result = self._result()
+        result.note("context line")
+        text = result.to_table()
+        assert "demo" in text
+        for token in ("a", "b", "1", "2", "x", "y", "note: context line"):
+            assert token in text
+
+    def test_table_with_no_rows(self):
+        result = ExperimentResult(title="empty", columns=("only",))
+        text = result.to_table()
+        assert "only" in text
+
+    def test_float_formatting(self):
+        result = ExperimentResult(title="t", columns=("v",))
+        result.add(v=0.000001234)
+        result.add(v=1234567.0)
+        result.add(v=0.0)
+        text = result.to_csv()
+        assert "1.234e-06" in text
+        assert "1.235e+06" in text or "1.234e+06" in text
+
+    def test_csv_header_and_rows(self):
+        result = self._result()
+        lines = result.to_csv().strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,x"
+        assert len(lines) == 3
+
+
+class TestTableBuilder:
+    def test_codebook_cached(self):
+        builder = TableBuilder(seed=1, hd_dim=256, hd_codebook_size=64)
+        assert builder.codebook() is builder.codebook()
+
+    def test_build_each_algorithm(self):
+        builder = TableBuilder(seed=1, hd_dim=256, hd_codebook_size=64)
+        for name in ("modular", "consistent", "rendezvous", "hd"):
+            table = builder.build_populated(name, 4)
+            assert table.server_count == 4
+            assert table.name == name
+
+    def test_unknown_algorithm(self):
+        builder = TableBuilder(seed=1)
+        with pytest.raises(ValueError):
+            builder.build("quantum")
+
+    def test_shared_codebook_means_identical_routing(self):
+        import numpy as np
+
+        builder = TableBuilder(seed=1, hd_dim=256, hd_codebook_size=64)
+        words = np.random.default_rng(0).integers(0, 2 ** 64, 200, dtype=np.uint64)
+        a = builder.build_populated("hd", 6)
+        b = builder.build_populated("hd", 6)
+        assert np.array_equal(a.route_batch(words), b.route_batch(words))

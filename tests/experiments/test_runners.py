@@ -1,0 +1,194 @@
+"""Smoke and invariant tests for every experiment runner (fast profile)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    AblationConfig,
+    CostModelConfig,
+    EfficiencyConfig,
+    RemappingConfig,
+    RobustnessConfig,
+    SimilarityProfileConfig,
+    UniformityConfig,
+    active_profile,
+    profile_against_reference,
+    run_backend_ablation,
+    run_codebook_ablation,
+    run_cost_model,
+    run_dimension_ablation,
+    run_efficiency,
+    run_level_vs_circular,
+    run_mcu_headline,
+    run_remapping,
+    run_robustness,
+    run_similarity_profiles,
+    run_uniformity,
+)
+
+
+class TestProfiles:
+    def test_default_profile(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert active_profile() == "bench"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "full")
+        assert active_profile() == "full"
+
+    def test_invalid_profile(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "warp")
+        with pytest.raises(ValueError):
+            active_profile()
+
+
+class TestSimilarityProfiles:
+    def test_figure2_shapes(self):
+        result = run_similarity_profiles(SimilarityProfileConfig.fast())
+        random_profile = profile_against_reference(result, "random")
+        level_profile = profile_against_reference(result, "level")
+        circular_profile = profile_against_reference(result, "circular")
+        # Random: everything but self ~orthogonal.
+        assert random_profile[0] == pytest.approx(1.0)
+        assert np.abs(random_profile[1:]).max() < 0.2
+        # Level: monotone decay, ends dissimilar.
+        assert level_profile[0] == pytest.approx(1.0)
+        assert level_profile[-1] < 0.3
+        # Circular: wraps back up -- last vector nearly as similar as the
+        # second one; minimum at the antipode.
+        assert circular_profile[-1] > 0.4
+        assert np.argmin(circular_profile) in (5, 6, 7)
+
+    def test_matrix_is_complete(self):
+        config = SimilarityProfileConfig.fast()
+        result = run_similarity_profiles(config)
+        assert len(result.rows) == 3 * config.count * config.count
+
+
+class TestEfficiency:
+    def test_rows_and_positive_timings(self):
+        result = run_efficiency(EfficiencyConfig.fast())
+        assert result.rows
+        for row in result.rows:
+            assert row["us_per_request"] > 0
+            assert row["requests"] > 0
+
+    def test_rendezvous_scales_linearly(self):
+        result = run_efficiency(EfficiencyConfig.fast())
+        series = result.column("us_per_request", algorithm="rendezvous")
+        assert series[-1] > series[0]  # O(k) growth visible even at 2->32
+
+    def test_table_renders(self):
+        result = run_efficiency(EfficiencyConfig.fast())
+        text = result.to_table()
+        assert "rendezvous" in text and "us_per_request" in text
+
+
+class TestRobustness:
+    def test_figure5_ordering(self):
+        result = run_robustness(RobustnessConfig.fast())
+        servers = RobustnessConfig.fast().server_counts[0]
+        hd = result.column(
+            "mismatch_pct_mean", algorithm="hd", servers=servers, bit_errors=10
+        )[0]
+        rendezvous = result.column(
+            "mismatch_pct_mean",
+            algorithm="rendezvous",
+            servers=servers,
+            bit_errors=10,
+        )[0]
+        assert hd < rendezvous
+        zero_rows = result.filtered(bit_errors=0)
+        assert all(row["mismatch_pct_mean"] == 0.0 for row in zero_rows)
+
+    def test_mcu_headline(self):
+        result = run_mcu_headline(RobustnessConfig.fast(), servers=16)
+        assert result.rows
+        algorithms = {row["algorithm"] for row in result.rows}
+        assert "hd" in algorithms and "consistent" in algorithms
+
+
+class TestUniformity:
+    def test_figure6_ordering(self):
+        result = run_uniformity(UniformityConfig.fast())
+        servers = UniformityConfig.fast().server_counts[0]
+        rendezvous = result.column(
+            "chi2_mean", algorithm="rendezvous", servers=servers, bit_errors=0
+        )[0]
+        hd = result.column(
+            "chi2_mean", algorithm="hd", servers=servers, bit_errors=0
+        )[0]
+        consistent = result.column(
+            "chi2_mean", algorithm="consistent", servers=servers, bit_errors=0
+        )[0]
+        assert rendezvous < hd < consistent
+
+    def test_hd_chi2_stable_under_noise(self):
+        result = run_uniformity(UniformityConfig.fast())
+        servers = UniformityConfig.fast().server_counts[0]
+        clean = result.column(
+            "chi2_mean", algorithm="hd", servers=servers, bit_errors=0
+        )[0]
+        noisy = result.column(
+            "chi2_mean", algorithm="hd", servers=servers, bit_errors=10
+        )[0]
+        assert abs(noisy - clean) / clean < 0.2
+
+
+class TestRemapping:
+    def test_modular_remaps_nearly_all(self):
+        result = run_remapping(RemappingConfig.fast())
+        modular = result.filtered(algorithm="modular")[0]
+        assert modular["join_remap"] > 0.8
+
+    def test_others_near_ideal(self):
+        result = run_remapping(RemappingConfig.fast())
+        for algorithm in ("consistent", "rendezvous", "hd"):
+            row = result.filtered(algorithm=algorithm)[0]
+            assert row["join_remap"] < 4 * row["ideal_join"]
+
+
+class TestAblations:
+    def test_dimension_sweep_improves_with_d(self):
+        result = run_dimension_ablation(AblationConfig.fast())
+        series = [row["mismatch_pct_mean"] for row in result.rows]
+        assert series[-1] <= series[0] + 0.5
+
+    def test_codebook_sweep_has_rows(self):
+        result = run_codebook_ablation(AblationConfig.fast())
+        assert result.rows
+        for row in result.rows:
+            assert row["chi2"] >= 0
+
+    def test_backend_ablation_invariants(self):
+        result = run_backend_ablation(AblationConfig.fast())
+        count = result.filtered(subject="consistent-search", variant="count")[0]
+        bisect = result.filtered(subject="consistent-search", variant="bisect")[0]
+        assert count["value"] >= bisect["value"]
+
+    def test_level_codebook_violates_wraparound(self):
+        result = run_level_vs_circular(AblationConfig.fast())
+        circular = result.filtered(codebook="circular")[0]
+        level = result.filtered(codebook="level")[0]
+        assert level["violations"] > circular["violations"]
+
+
+class TestCostModel:
+    def test_accelerator_hd_flat(self):
+        result = run_cost_model(CostModelConfig.fast())
+        cycles = result.column(
+            "cycles", machine="hdc-accelerator", algorithm="hd"
+        )
+        assert max(cycles) == min(cycles)
+
+    def test_rendezvous_linear_in_model(self):
+        result = run_cost_model(CostModelConfig.fast())
+        cycles = result.column("cycles", machine="scalar", algorithm="rendezvous")
+        assert cycles[-1] > cycles[0]
+
+    def test_csv_roundtrip(self, tmp_path):
+        result = run_cost_model(CostModelConfig.fast())
+        path = tmp_path / "costs.csv"
+        text = result.to_csv(str(path))
+        assert path.read_text() == text
+        assert text.splitlines()[0] == "machine,algorithm,servers,cycles"

@@ -1,0 +1,50 @@
+"""FNV-1a reference-vector and behaviour tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashfn import fnv1a_32, fnv1a_64
+from repro.hashfn.fnv import FNV32_OFFSET_BASIS, FNV64_OFFSET_BASIS
+
+
+class TestFnv64Vectors:
+    """Vectors from the reference FNV test suite (Noll et al.)."""
+
+    def test_empty(self):
+        assert fnv1a_64(b"") == FNV64_OFFSET_BASIS == 0xCBF29CE484222325
+
+    def test_a(self):
+        assert fnv1a_64(b"a") == 0xAF63DC4C8601EC8C
+
+    def test_foobar(self):
+        assert fnv1a_64(b"foobar") == 0x85944171F73967E8
+
+
+class TestFnv32Vectors:
+    def test_empty(self):
+        assert fnv1a_32(b"") == FNV32_OFFSET_BASIS == 0x811C9DC5
+
+    def test_a(self):
+        assert fnv1a_32(b"a") == 0xE40C292C
+
+
+class TestBehaviour:
+    @given(st.binary(max_size=64))
+    def test_64_fits_in_64_bits(self, data):
+        assert 0 <= fnv1a_64(data) < 2 ** 64
+
+    @given(st.binary(max_size=64))
+    def test_32_fits_in_32_bits(self, data):
+        assert 0 <= fnv1a_32(data) < 2 ** 32
+
+    @given(st.binary(max_size=32), st.integers(min_value=1, max_value=2 ** 32))
+    def test_seed_changes_hash(self, data, seed):
+        assert fnv1a_64(data, seed=seed) != fnv1a_64(data) or seed == 0
+
+    @given(st.binary(max_size=32))
+    def test_deterministic(self, data):
+        assert fnv1a_64(data) == fnv1a_64(data)
+
+    def test_distinct_on_prefixes(self):
+        hashes = {fnv1a_64(b"x" * n) for n in range(64)}
+        assert len(hashes) == 64

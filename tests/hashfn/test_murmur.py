@@ -1,0 +1,76 @@
+"""MurmurHash3 x64-128 reference-vector and behaviour tests."""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashfn.murmur import murmur3_64, murmur3_x64_128
+
+
+def _canonical_hex(h1: int, h2: int) -> str:
+    """The byte-serialised form reference implementations print."""
+    return struct.pack("<QQ", h1, h2).hex()
+
+
+class TestReferenceVectors:
+    def test_empty_seed0(self):
+        assert murmur3_x64_128(b"") == (0, 0)
+
+    def test_quick_brown_fox(self):
+        h1, h2 = murmur3_x64_128(
+            b"The quick brown fox jumps over the lazy dog"
+        )
+        assert _canonical_hex(h1, h2) == (
+            "6c1b07bc7bbc4be347939ac4a93c437a"
+        )
+
+
+class TestStructure:
+    @pytest.mark.parametrize(
+        "length", [0, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 64]
+    )
+    def test_all_tail_lengths(self, length):
+        """Exercise the 16-byte block loop and every tail branch."""
+        h1, h2 = murmur3_x64_128(bytes(range(length)))
+        assert 0 <= h1 < 2 ** 64 and 0 <= h2 < 2 ** 64
+
+    def test_length_sensitivity(self):
+        values = {murmur3_x64_128(b"\x00" * n) for n in range(32)}
+        assert len(values) == 32
+
+    @given(st.binary(max_size=64), st.integers(0, 2 ** 32))
+    def test_deterministic(self, data, seed):
+        assert murmur3_x64_128(data, seed) == murmur3_x64_128(data, seed)
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_seed_separates(self, data):
+        assert murmur3_x64_128(data, 1) != murmur3_x64_128(data, 2)
+
+    def test_truncated_form(self):
+        data = b"server-42"
+        assert murmur3_64(data) == murmur3_x64_128(data)[0]
+
+    def test_avalanche(self):
+        base = bytes(range(48))
+        reference = murmur3_64(base)
+        flips = []
+        for position in range(48):
+            mutated = bytearray(base)
+            mutated[position] ^= 0x01
+            flips.append(bin(murmur3_64(bytes(mutated)) ^ reference).count("1"))
+        assert 24.0 < np.mean(flips) < 40.0
+
+    def test_independent_of_xxh64(self):
+        """The two byte-hash families must not be correlated."""
+        from repro.hashfn import xxh64
+
+        agreements = sum(
+            1
+            for n in range(256)
+            if (murmur3_64(bytes([n])) & 0xFF) == (xxh64(bytes([n])) & 0xFF)
+        )
+        # Chance agreement of a byte-sized slice is ~1/256 per sample.
+        assert agreements < 16

@@ -1,0 +1,65 @@
+"""XXH64 reference-vector and structure tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashfn import xxh64
+
+
+class TestReferenceVectors:
+    """Vectors published with the reference xxHash implementation."""
+
+    def test_empty_seed0(self):
+        assert xxh64(b"") == 0xEF46DB3751D8E999
+
+    def test_a_seed0(self):
+        assert xxh64(b"a") == 0xD24EC4F1A98C6E5B
+
+    def test_abc_seed0(self):
+        assert xxh64(b"abc") == 0x44BC2CF5AD770999
+
+    def test_quick_brown_fox(self):
+        data = b"The quick brown fox jumps over the lazy dog"
+        assert xxh64(data) == 0x0B242D361FDA71BC
+
+
+class TestStructure:
+    @pytest.mark.parametrize(
+        "length", [0, 1, 3, 4, 7, 8, 15, 16, 31, 32, 33, 63, 64, 100]
+    )
+    def test_all_length_regimes(self, length):
+        """Exercises the <32, ==32 stripe and tail code paths."""
+        value = xxh64(bytes(range(256))[:length] * (length // 256 + 1))
+        assert 0 <= value < 2 ** 64
+
+    def test_stripe_boundary_sensitivity(self):
+        base = b"\x00" * 64
+        variants = {xxh64(base[:n]) for n in range(64)}
+        assert len(variants) == 64  # length participates in the hash
+
+    @given(st.binary(max_size=128))
+    def test_deterministic(self, data):
+        assert xxh64(data) == xxh64(data)
+
+    @given(st.binary(max_size=128), st.integers(min_value=1, max_value=2 ** 63))
+    def test_seed_changes_hash(self, data, seed):
+        assert xxh64(data, seed=seed) != xxh64(data, seed=0)
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_single_byte_flip_changes_hash(self, data):
+        mutated = bytearray(data)
+        mutated[0] ^= 0xFF
+        assert xxh64(bytes(mutated)) != xxh64(data)
+
+    def test_avalanche_on_long_input(self):
+        import numpy as np
+
+        base = bytes(range(64))
+        reference = xxh64(base)
+        flips = []
+        for position in range(64):
+            mutated = bytearray(base)
+            mutated[position] ^= 0x01
+            flips.append(bin(xxh64(bytes(mutated)) ^ reference).count("1"))
+        assert 24.0 < np.mean(flips) < 40.0

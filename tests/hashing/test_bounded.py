@@ -1,0 +1,60 @@
+"""Tests for consistent hashing with bounded loads."""
+
+import numpy as np
+import pytest
+
+from repro.hashing import BoundedLoadConsistentHashTable, ConsistentHashTable
+
+from ..conftest import populate
+
+
+class TestConstruction:
+    def test_balance_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            BoundedLoadConsistentHashTable(balance=1.0)
+
+    def test_capacity_formula(self):
+        table = populate(BoundedLoadConsistentHashTable(seed=1, balance=1.25), 8)
+        assert table.capacity_for(800) == 125  # ceil(1.25 * 800 / 8)
+
+
+class TestBalancedAssignment:
+    def test_capacity_bound_holds(self, request_words):
+        table = populate(BoundedLoadConsistentHashTable(seed=1, balance=1.25), 16)
+        assignment = table.assign_batch(request_words)
+        capacity = table.capacity_for(request_words.size)
+        counts = np.bincount(assignment, minlength=16)
+        assert counts.max() <= capacity
+
+    def test_all_keys_assigned(self, request_words):
+        table = populate(BoundedLoadConsistentHashTable(seed=1), 16)
+        assignment = table.assign_batch(request_words)
+        assert assignment.shape == request_words.shape
+        assert assignment.min() >= 0 and assignment.max() < 16
+
+    def test_loose_balance_matches_plain_consistent(self, request_words):
+        """With an effectively unlimited capacity, bounded placement
+        degenerates to plain successor placement."""
+        bounded = populate(
+            BoundedLoadConsistentHashTable(seed=2, balance=1000.0), 12
+        )
+        plain = populate(ConsistentHashTable(seed=2), 12)
+        assert np.array_equal(
+            bounded.assign_batch(request_words),
+            plain.route_batch(request_words),
+        )
+
+    def test_tighter_balance_is_more_uniform(self, request_words):
+        from repro.analysis import uniformity_chi2
+
+        tight = populate(BoundedLoadConsistentHashTable(seed=3, balance=1.05), 16)
+        loose = populate(BoundedLoadConsistentHashTable(seed=3, balance=4.0), 16)
+        chi_tight = uniformity_chi2(tight.assign_batch(request_words), 16)
+        chi_loose = uniformity_chi2(loose.assign_batch(request_words), 16)
+        assert chi_tight < chi_loose
+
+    def test_single_lookup_falls_back_to_consistent(self, request_words):
+        bounded = populate(BoundedLoadConsistentHashTable(seed=4), 12)
+        plain = populate(ConsistentHashTable(seed=4), 12)
+        for word in request_words[:50]:
+            assert bounded.route_word(int(word)) == plain.route_word(int(word))

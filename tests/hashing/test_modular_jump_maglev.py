@@ -1,0 +1,127 @@
+"""Semantic tests for modular, jump and Maglev hashing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError
+from repro.hashing import (
+    JumpHashTable,
+    MaglevHashTable,
+    ModularHashTable,
+    jump_hash,
+)
+
+from ..conftest import populate
+
+
+class TestModular:
+    def test_route_is_word_mod_k(self, request_words):
+        table = populate(ModularHashTable(seed=1), 7)
+        for word in request_words[:100]:
+            assert table.route_word(int(word)) == int(word) % 7
+
+    def test_resize_remaps_almost_everything(self, request_words):
+        table = populate(ModularHashTable(seed=1), 16)
+        before = table.route_batch(request_words).copy()
+        table.join("new")
+        after = table.route_batch(request_words)
+        assert np.mean(before != after) > 0.8
+
+    def test_corrupted_slot_stays_in_range(self, request_words):
+        table = populate(ModularHashTable(seed=1), 5)
+        region = table.memory_regions()[0]
+        for bit in (1, 40, 63):
+            region.flip(bit)
+        slots = table.route_batch(request_words)
+        assert slots.min() >= 0 and slots.max() < 5
+
+
+class TestJumpHash:
+    def test_reference_behaviour_small_buckets(self):
+        # With one bucket every key lands in it.
+        for word in (0, 1, 2 ** 63, 2 ** 64 - 1):
+            assert jump_hash(word, 1) == 0
+
+    def test_range(self, request_words):
+        for word in request_words[:200]:
+            assert 0 <= jump_hash(int(word), 10) < 10
+
+    def test_monotone_growth_property(self, request_words):
+        """Adding a bucket moves keys only *into* the new bucket -- jump
+        hash's defining guarantee."""
+        for word in request_words[:300]:
+            before = jump_hash(int(word), 9)
+            after = jump_hash(int(word), 10)
+            assert after == before or after == 9
+
+    def test_uniformity(self):
+        words = np.random.default_rng(3).integers(
+            0, 2 ** 64, 30_000, dtype=np.uint64
+        )
+        counts = np.bincount(
+            [jump_hash(int(w), 8) for w in words], minlength=8
+        )
+        assert counts.max() < 1.15 * counts.mean()
+
+    def test_invalid_buckets(self):
+        with pytest.raises(ValueError):
+            jump_hash(1, 0)
+
+
+class TestJumpTable:
+    def test_growth_minimal_disruption(self, request_words):
+        table = populate(JumpHashTable(seed=2), 12)
+        before = table.route_batch(request_words).copy()
+        table.join("new")
+        after = table.route_batch(request_words)
+        moved = before != after
+        ids = np.asarray(table.server_ids, dtype=object)
+        assert np.all(ids[after[moved]] == "new")
+        assert np.mean(moved) < 0.2
+
+    def test_swap_remove_documented_disruption(self, request_words):
+        table = populate(JumpHashTable(seed=2), 12)
+        ids = np.asarray(table.server_ids, dtype=object)
+        before = ids[table.route_batch(request_words)]
+        table.leave(4)
+        ids_after = np.asarray(table.server_ids, dtype=object)
+        after = ids_after[table.route_batch(request_words)]
+        moved = before != after
+        # Keys move only off the leaver and off the swapped last bucket.
+        assert set(np.unique(before[moved]).tolist()) <= {4, 11}
+
+
+class TestMaglev:
+    def test_table_fully_populated(self):
+        table = populate(MaglevHashTable(seed=3, table_size=251), 10)
+        assert (table._table >= 0).all()
+        counts = np.bincount(table._table, minlength=10)
+        # Maglev guarantees nearly equal slot shares.
+        assert counts.max() - counts.min() <= max(2, 0.05 * counts.mean())
+
+    def test_route_in_range(self, request_words):
+        table = populate(MaglevHashTable(seed=3, table_size=251), 10)
+        slots = table.route_batch(request_words)
+        assert slots.min() >= 0 and slots.max() < 10
+
+    def test_minimal_disruption_on_leave(self, request_words):
+        table = populate(MaglevHashTable(seed=3, table_size=251), 10)
+        ids = np.asarray(table.server_ids, dtype=object)
+        before = ids[table.route_batch(request_words)]
+        table.leave(6)
+        ids_after = np.asarray(table.server_ids, dtype=object)
+        after = ids_after[table.route_batch(request_words)]
+        moved = np.mean(before != after)
+        # The leaver held ~10%; permutation stability keeps extra churn low.
+        assert moved < 0.35
+
+    def test_table_size_must_be_prime(self):
+        with pytest.raises(ValueError):
+            MaglevHashTable(table_size=100)
+
+    def test_capacity_bounded_by_table(self):
+        table = MaglevHashTable(seed=3, table_size=5)
+        for index in range(5):
+            table.join(index)
+        with pytest.raises(CapacityError):
+            table.join("extra")

@@ -1,0 +1,113 @@
+"""Semantic tests for rendezvous (HRW) hashing."""
+
+import numpy as np
+import pytest
+
+from repro.hashing import RendezvousHashTable, WeightedRendezvousHashTable
+
+from ..conftest import populate
+
+
+class TestArgmaxSemantics:
+    def test_matches_naive_argmax(self, request_words):
+        table = populate(RendezvousHashTable(seed=6), 12)
+        pair = table._pair_family.pair
+        for word in request_words[:200]:
+            weights = [
+                pair(int(table._server_words[slot]), int(word))
+                for slot in range(12)
+            ]
+            assert table.route_word(int(word)) == int(np.argmax(weights))
+
+
+class TestMinimalDisruption:
+    """HRW's disruption bounds are exact, not approximate."""
+
+    def test_leave_remaps_exactly_leavers_keys(self, request_words):
+        table = populate(RendezvousHashTable(seed=6), 16)
+        ids = np.asarray(table.server_ids, dtype=object)
+        before = ids[table.route_batch(request_words)]
+        table.leave(4)
+        ids_after = np.asarray(table.server_ids, dtype=object)
+        after = ids_after[table.route_batch(request_words)]
+        moved = before != after
+        assert np.all(before[moved] == 4)
+        assert np.all(after[~moved] == before[~moved])
+        # Every key that was on the leaver moved somewhere.
+        assert np.all(after[before == 4] != 4)
+
+    def test_join_steals_only_what_it_wins(self, request_words):
+        table = populate(RendezvousHashTable(seed=6), 16)
+        ids = np.asarray(table.server_ids, dtype=object)
+        before = ids[table.route_batch(request_words)]
+        table.join("thief")
+        ids_after = np.asarray(table.server_ids, dtype=object)
+        after = ids_after[table.route_batch(request_words)]
+        moved = before != after
+        assert np.all(after[moved] == "thief")
+
+    def test_rejoin_restores_assignment(self, request_words):
+        table = populate(RendezvousHashTable(seed=6), 16)
+        before = table.route_batch(request_words).copy()
+        table.leave(7)
+        table.join(7)
+        # Slot order changed (7 is now last), so compare by id.
+        ids = np.asarray(table.server_ids, dtype=object)
+        after_ids = ids[table.route_batch(request_words)]
+        original_ids = np.asarray(populate(
+            RendezvousHashTable(seed=6), 16
+        ).server_ids, dtype=object)[before]
+        assert np.array_equal(after_ids, original_ids)
+
+
+class TestUniformity:
+    def test_near_perfect_balance(self):
+        words = np.random.default_rng(7).integers(
+            0, 2 ** 64, 64_000, dtype=np.uint64
+        )
+        table = populate(RendezvousHashTable(seed=7), 32)
+        counts = np.bincount(table.route_batch(words), minlength=32)
+        assert counts.min() > 0.8 * counts.mean()
+        assert counts.max() < 1.2 * counts.mean()
+
+
+class TestWeighted:
+    def test_weight_must_be_positive(self):
+        table = WeightedRendezvousHashTable(seed=8)
+        with pytest.raises(ValueError):
+            table.join("a", weight=0.0)
+
+    def test_failed_join_leaves_no_weight_state(self):
+        table = WeightedRendezvousHashTable(seed=8)
+        table.join("a", weight=1.0)
+        with pytest.raises(Exception):
+            table.join("a", weight=2.0)  # duplicate
+        assert table._weights == {"a": 1.0}
+
+    def test_heavier_servers_take_more_load(self):
+        words = np.random.default_rng(9).integers(
+            0, 2 ** 64, 40_000, dtype=np.uint64
+        )
+        table = WeightedRendezvousHashTable(seed=9)
+        table.join("light", weight=1.0)
+        table.join("heavy", weight=3.0)
+        counts = np.bincount(table.route_batch(words), minlength=2)
+        ratio = counts[1] / counts[0]
+        assert 2.4 < ratio < 3.6  # ~3x with sampling noise
+
+    def test_equal_weights_match_unweighted_balance(self):
+        words = np.random.default_rng(10).integers(
+            0, 2 ** 64, 30_000, dtype=np.uint64
+        )
+        table = WeightedRendezvousHashTable(seed=10)
+        for index in range(8):
+            table.join(index, weight=2.0)
+        counts = np.bincount(table.route_batch(words), minlength=8)
+        assert counts.max() < 1.25 * counts.mean()
+
+    def test_leave_cleans_weight(self):
+        table = WeightedRendezvousHashTable(seed=8)
+        table.join("a", weight=1.5)
+        table.leave("a")
+        assert "a" not in table._weights
+        assert table._weight_array.size == 0

@@ -1,0 +1,61 @@
+"""Tests for the codebook encoder (Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.hashfn import HashFamily
+from repro.hdc import CodebookEncoder, circular_basis
+
+
+@pytest.fixture
+def encoder(rng):
+    return CodebookEncoder(circular_basis(32, 256, rng), HashFamily(seed=4))
+
+
+class TestPositions:
+    def test_position_is_word_mod_n(self, encoder):
+        family = encoder.family
+        for key in ("a", "b", 17):
+            assert encoder.position(key) == family.word(key) % 32
+
+    def test_vectorized_matches_scalar(self, encoder, rng):
+        words = rng.integers(0, 2 ** 64, 100, dtype=np.uint64)
+        positions = encoder.positions_of_words(words)
+        assert positions.tolist() == [
+            encoder.position_of_word(int(word)) for word in words
+        ]
+
+    def test_positions_in_range(self, encoder, rng):
+        words = rng.integers(0, 2 ** 64, 500, dtype=np.uint64)
+        positions = encoder.positions_of_words(words)
+        assert positions.min() >= 0 and positions.max() < 32
+
+
+class TestEncodings:
+    def test_encode_returns_codebook_row(self, encoder):
+        key = "server-9"
+        assert np.array_equal(
+            encoder.encode(key), encoder.codebook[encoder.position(key)]
+        )
+
+    def test_encode_packed_consistent(self, encoder):
+        key = "server-9"
+        assert np.array_equal(
+            encoder.encode_packed(key),
+            encoder.codebook.packed()[encoder.position(key)],
+        )
+
+    def test_same_key_same_encoding(self, encoder):
+        assert np.array_equal(encoder.encode("x"), encoder.encode("x"))
+
+    def test_properties(self, encoder):
+        assert encoder.size == 32
+        assert encoder.dim == 256
+
+    def test_empty_codebook_rejected(self, rng):
+        from repro.hdc import BasisSet
+
+        with pytest.raises(ValueError):
+            CodebookEncoder(
+                BasisSet("random", np.zeros((0, 8), np.uint8)), HashFamily()
+            )

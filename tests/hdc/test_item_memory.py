@@ -1,0 +1,138 @@
+"""Tests for the associative item memory."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hdc import ItemMemory, pack_bits
+
+
+def _bits(count, dim, seed):
+    return np.random.default_rng(seed).integers(0, 2, (count, dim), dtype=np.uint8)
+
+
+class TestLifecycle:
+    def test_add_and_introspect(self):
+        memory = ItemMemory(dim=64)
+        memory.add("a", _bits(1, 64, 0)[0])
+        assert len(memory) == 1
+        assert "a" in memory
+        assert memory.labels == ("a",)
+        assert memory.index_of("a") == 0
+
+    def test_duplicate_label_rejected(self):
+        memory = ItemMemory(dim=32)
+        memory.add("a", _bits(1, 32, 0)[0])
+        with pytest.raises(ValueError):
+            memory.add("a", _bits(1, 32, 1)[0])
+
+    def test_remove_compacts_preserving_order(self):
+        memory = ItemMemory(dim=32)
+        rows = _bits(4, 32, 0)
+        for index, label in enumerate("abcd"):
+            memory.add(label, rows[index])
+        memory.remove("b")
+        assert memory.labels == ("a", "c", "d")
+        # Row content stays aligned with the surviving labels.
+        for offset, label in enumerate(("a", "c", "d")):
+            original = {"a": 0, "c": 2, "d": 3}[label]
+            assert np.array_equal(
+                memory.memory_view()[offset], pack_bits(rows[original])
+            )
+
+    def test_remove_unknown_raises(self):
+        memory = ItemMemory(dim=8)
+        with pytest.raises(KeyError):
+            memory.remove("ghost")
+
+    def test_growth_beyond_initial_capacity(self):
+        memory = ItemMemory(dim=16)
+        rows = _bits(40, 16, 1)
+        for index in range(40):
+            memory.add(index, rows[index])
+        assert len(memory) == 40
+        for index in (0, 17, 39):
+            __, label, distance = memory.query(rows[index])
+            assert label == index and distance == 0
+
+    def test_bad_row_shape(self):
+        memory = ItemMemory(dim=16)
+        with pytest.raises(ValueError):
+            memory.add_packed("a", np.zeros(3, dtype=np.uint8))
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            ItemMemory(dim=0)
+
+
+class TestQueries:
+    def test_exact_match(self):
+        memory = ItemMemory(dim=128)
+        rows = _bits(6, 128, 2)
+        for index in range(6):
+            memory.add(index, rows[index])
+        for index in range(6):
+            __, label, distance = memory.query(rows[index])
+            assert label == index
+            assert distance == 0
+
+    @given(seed=st.integers(0, 2 ** 31), dim=st.integers(8, 128))
+    def test_matches_brute_force(self, seed, dim):
+        rows = _bits(7, dim, seed)
+        query = _bits(1, dim, seed + 1)[0]
+        memory = ItemMemory(dim=dim)
+        for index in range(7):
+            memory.add(index, rows[index])
+        __, label, distance = memory.query(query)
+        brute = [int(np.bitwise_xor(query, row).sum()) for row in rows]
+        assert distance == min(brute)
+        assert label == brute.index(min(brute))  # earliest-inserted tie-break
+
+    def test_tie_breaks_to_earliest(self):
+        memory = ItemMemory(dim=16)
+        row = _bits(1, 16, 3)[0]
+        memory.add("first", row)
+        memory.add("second", row)  # identical content
+        __, label, __d = memory.query(row)
+        assert label == "first"
+
+    def test_batch_matches_scalar(self):
+        dim = 100
+        rows = _bits(9, dim, 4)
+        queries = _bits(13, dim, 5)
+        memory = ItemMemory(dim=dim)
+        for index in range(9):
+            memory.add(index, rows[index])
+        indices, distances = memory.query_batch(pack_bits(queries))
+        for q in range(13):
+            index, __, distance = memory.query(queries[q])
+            assert indices[q] == index
+            assert distances[q] == distance
+
+    def test_empty_memory_raises(self):
+        memory = ItemMemory(dim=8)
+        with pytest.raises(LookupError):
+            memory.query(np.zeros(8, dtype=np.uint8))
+        with pytest.raises(LookupError):
+            memory.query_batch(np.zeros((1, 8), dtype=np.uint8))
+
+
+class TestLiveness:
+    def test_memory_view_flips_affect_queries(self):
+        """A bit flipped through the view must change the next query --
+        the property the fault injector depends on."""
+        dim = 64
+        memory = ItemMemory(dim=dim)
+        row = np.zeros(dim, dtype=np.uint8)
+        memory.add("z", row)
+        query = np.zeros(dim, dtype=np.uint8)
+        assert memory.query(query)[2] == 0
+        memory.memory_view()[0, 0] ^= 0b0000_0001  # flip stored bit 0
+        assert memory.query(query)[2] == 1
+
+    def test_view_shape_tracks_population(self):
+        memory = ItemMemory(dim=16)
+        assert memory.memory_view().shape == (0, 8)
+        memory.add("a", np.zeros(16, dtype=np.uint8))
+        assert memory.memory_view().shape == (1, 8)

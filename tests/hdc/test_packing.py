@@ -1,0 +1,126 @@
+"""Tests for packed storage and the popcount backends."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hdc import (
+    BACKENDS,
+    hamming_distance,
+    hamming_packed,
+    hamming_packed_matrix,
+    pack_bits,
+    popcount_u64,
+    row_bytes,
+    unpack_bits,
+    words_per_row,
+)
+
+
+def _bits(count, dim, seed):
+    return np.random.default_rng(seed).integers(0, 2, (count, dim), dtype=np.uint8)
+
+
+class TestLayout:
+    @pytest.mark.parametrize(
+        "dim,words", [(1, 1), (64, 1), (65, 2), (128, 2), (10_000, 157)]
+    )
+    def test_words_per_row(self, dim, words):
+        assert words_per_row(dim) == words
+        assert row_bytes(dim) == words * 8
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            words_per_row(0)
+
+
+class TestPackUnpack:
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=1, max_value=5),
+        st.integers(0, 2 ** 31),
+    )
+    def test_roundtrip(self, dim, count, seed):
+        bits = _bits(count, dim, seed)
+        assert np.array_equal(unpack_bits(pack_bits(bits), dim), bits)
+
+    def test_single_vector_roundtrip(self):
+        bits = np.asarray([1, 0, 1, 1, 0], dtype=np.uint8)
+        packed = pack_bits(bits)
+        assert packed.shape == (8,)
+        assert np.array_equal(unpack_bits(packed, 5), bits)
+
+    def test_padding_is_zero(self):
+        bits = np.ones((2, 3), dtype=np.uint8)
+        packed = pack_bits(bits)
+        assert packed[:, 1:].sum() == 0  # everything beyond the first byte
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.zeros((1, 2, 3), dtype=np.uint8))
+
+
+class TestPopcount:
+    @given(st.lists(st.integers(0, 2 ** 64 - 1), min_size=1, max_size=16))
+    def test_popcount_u64_matches_python(self, values):
+        array = np.asarray(values, dtype=np.uint64)
+        assert popcount_u64(array).tolist() == [bin(v).count("1") for v in values]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(
+        dim=st.integers(min_value=1, max_value=300),
+        seed=st.integers(0, 2 ** 31),
+    )
+    def test_hamming_packed_matches_unpacked(self, backend, dim, seed):
+        bits = _bits(2, dim, seed)
+        packed = pack_bits(bits)
+        expected = int(hamming_distance(bits[0], bits[1]))
+        got = int(hamming_packed(packed[0], packed[1], backend=backend))
+        assert got == expected
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_query_against_matrix(self, backend):
+        bits = _bits(9, 100, 3)
+        packed = pack_bits(bits)
+        distances = hamming_packed(packed[0], packed, backend=backend)
+        expected = [int(hamming_distance(bits[0], row)) for row in bits]
+        assert distances.tolist() == expected
+
+    def test_unknown_backend(self):
+        packed = pack_bits(_bits(1, 8, 0))
+        with pytest.raises(ValueError):
+            hamming_packed(packed[0], packed[0], backend="gpu")
+
+
+class TestHammingMatrix:
+    def test_matches_pairwise(self):
+        queries = _bits(5, 130, 1)
+        memory = _bits(7, 130, 2)
+        matrix = hamming_packed_matrix(pack_bits(queries), pack_bits(memory))
+        for i in range(5):
+            for j in range(7):
+                assert matrix[i, j] == hamming_distance(queries[i], memory[j])
+
+    def test_chunking_equivalence(self):
+        queries = pack_bits(_bits(33, 70, 4))
+        memory = pack_bits(_bits(9, 70, 5))
+        full = hamming_packed_matrix(queries, memory)
+        chunked = hamming_packed_matrix(queries, memory, chunk_rows=4)
+        assert np.array_equal(full, chunked)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            hamming_packed_matrix(
+                pack_bits(_bits(1, 64, 0)), pack_bits(_bits(1, 128, 0))
+            )
+
+    def test_backends_agree(self):
+        queries = pack_bits(_bits(6, 257, 6))
+        memory = pack_bits(_bits(11, 257, 7))
+        results = [
+            hamming_packed_matrix(queries, memory, backend=backend)
+            for backend in BACKENDS
+        ]
+        for other in results[1:]:
+            assert np.array_equal(results[0], other)

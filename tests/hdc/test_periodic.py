@@ -1,0 +1,66 @@
+"""Tests for the periodic encoder (Section 6 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.hdc import PeriodicEncoder, circular_distance
+
+
+class TestCircularDistance:
+    def test_wrapping(self):
+        assert circular_distance(23.0, 1.0, 24.0) == pytest.approx(2.0)
+        assert circular_distance(1.0, 23.0, 24.0) == pytest.approx(2.0)
+
+    def test_same_point(self):
+        assert circular_distance(5.0, 5.0, 24.0) == 0.0
+
+    def test_half_period_max(self):
+        assert circular_distance(0.0, 12.0, 24.0) == pytest.approx(12.0)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            circular_distance(0.0, 1.0, 0.0)
+
+
+@pytest.fixture
+def hours(rng):
+    return PeriodicEncoder(period=24.0, resolution=24, dim=4_096, rng=rng)
+
+
+class TestEncoder:
+    def test_node_mapping_wraps(self, hours):
+        assert hours.node_of(0.0) == 0
+        assert hours.node_of(24.0) == 0
+        assert hours.node_of(25.0) == 1
+        assert hours.node_of(-1.0) == 23
+
+    def test_roundtrip_at_node_centres(self, hours):
+        for hour in range(24):
+            assert hours.decode(hours.encode(float(hour))) == pytest.approx(
+                float(hour)
+            )
+
+    def test_similarity_respects_wraparound(self, hours):
+        late_vs_early = hours.similarity(23.0, 1.0)
+        late_vs_noon = hours.similarity(23.0, 12.0)
+        assert late_vs_early > late_vs_noon
+
+    def test_similarity_decreases_with_circular_distance(self, hours):
+        values = [hours.similarity(0.0, float(h)) for h in range(13)]
+        assert all(a >= b - 0.08 for a, b in zip(values, values[1:]))
+
+    def test_prototype_decodes_near_members(self, hours):
+        prototype = hours.prototype([22.0, 23.0, 0.0, 1.0, 2.0])
+        decoded = hours.decode(prototype)
+        assert circular_distance(decoded, 0.0, 24.0) <= 2.0
+
+    def test_invalid_construction(self, rng):
+        with pytest.raises(ValueError):
+            PeriodicEncoder(period=0.0, resolution=8, dim=64, rng=rng)
+        with pytest.raises(ValueError):
+            PeriodicEncoder(period=24.0, resolution=1, dim=64, rng=rng)
+
+    def test_properties(self, hours):
+        assert hours.period == 24.0
+        assert hours.resolution == 24
+        assert hours.basis.kind == "circular"

@@ -1,0 +1,91 @@
+"""Tests for compound HDC data structures (records, sequences, cleanup)."""
+
+import numpy as np
+import pytest
+
+from repro.hdc.structures import (
+    Vocabulary,
+    encode_record,
+    encode_sequence,
+    query_record,
+    sequence_similarity,
+)
+
+
+@pytest.fixture
+def vocab(rng):
+    return Vocabulary(dim=8_192, rng=rng)
+
+
+class TestVocabulary:
+    def test_symbols_assigned_once(self, vocab):
+        first = vocab.vector("x")
+        again = vocab.vector("x")
+        assert np.array_equal(first, again)
+        assert len(vocab) == 1
+
+    def test_distinct_symbols_orthogonal(self, vocab):
+        from repro.hdc import cosine_similarity
+
+        a, b = vocab.vector("a"), vocab.vector("b")
+        assert abs(float(cosine_similarity(a, b))) < 0.1
+
+    def test_cleanup_on_empty_raises(self, rng):
+        empty = Vocabulary(dim=64, rng=rng)
+        with pytest.raises(LookupError):
+            empty.cleanup(np.zeros(64, dtype=np.uint8))
+
+    def test_invalid_dim(self, rng):
+        with pytest.raises(ValueError):
+            Vocabulary(dim=0, rng=rng)
+
+
+class TestRecords:
+    def test_roundtrip_all_fields(self, vocab):
+        fields = {"city": "irvine", "venue": "dac", "year": "2022"}
+        record = encode_record(vocab, fields)
+        for role, value in fields.items():
+            recovered, similarity = query_record(vocab, record, role)
+            assert recovered == value
+            assert similarity > 0.25
+
+    def test_similarity_degrades_with_field_count(self, vocab):
+        small = encode_record(vocab, {"r1": "v1", "r2": "v2"})
+        fields = {"r{}".format(i): "v{}".format(i) for i in range(8)}
+        large = encode_record(vocab, fields)
+        __, sim_small = query_record(vocab, small, "r1")
+        __, sim_large = query_record(vocab, large, "r1")
+        assert sim_small > sim_large > 0.0
+
+    def test_unbinding_wrong_role_gives_noise(self, vocab):
+        record = encode_record(vocab, {"role": "value"})
+        vocab.vector("unrelated")
+        recovered, similarity = query_record(vocab, record, "ghost-role")
+        # Cleanup returns *something*, but with near-zero confidence.
+        assert similarity < 0.2 or recovered == "value"
+
+    def test_empty_record_rejected(self, vocab):
+        with pytest.raises(ValueError):
+            encode_record(vocab, {})
+
+
+class TestSequences:
+    def test_order_matters(self, vocab):
+        forward = sequence_similarity(vocab, "abc", "abc")
+        scrambled = sequence_similarity(vocab, "abc", "cba")
+        assert forward == pytest.approx(1.0)
+        assert abs(scrambled) < 0.15
+
+    def test_single_symbol_sequence(self, vocab):
+        encoded = encode_sequence(vocab, ["x"])
+        assert np.array_equal(encoded, vocab.vector("x"))
+
+    def test_shared_prefix_is_not_enough(self, vocab):
+        # Binding (unlike bundling) makes any symbol change catastrophic:
+        # n-grams behave like exact-match fingerprints.
+        similar = sequence_similarity(vocab, "abcd", "abce")
+        assert abs(similar) < 0.15
+
+    def test_empty_sequence_rejected(self, vocab):
+        with pytest.raises(ValueError):
+            encode_sequence(vocab, [])

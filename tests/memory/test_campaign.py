@@ -1,0 +1,97 @@
+"""Tests for the inject-replay-restore mismatch campaign."""
+
+import numpy as np
+import pytest
+
+from repro.hashing import ConsistentHashTable, RendezvousHashTable
+from repro.memory import (
+    MismatchCampaign,
+    NoError,
+    SingleBitFlips,
+    mismatch_fraction,
+)
+
+from ..conftest import populate
+
+
+class TestMismatchFraction:
+    def test_identical(self):
+        a = np.asarray(["x", "y"], dtype=object)
+        assert mismatch_fraction(a, a.copy()) == 0.0
+
+    def test_half(self):
+        a = np.asarray(["x", "y"], dtype=object)
+        b = np.asarray(["x", "z"], dtype=object)
+        assert mismatch_fraction(a, b) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mismatch_fraction(np.zeros(2), np.zeros(3))
+
+
+class TestCampaign:
+    def test_zero_errors_zero_mismatch(self, request_words):
+        table = populate(ConsistentHashTable(seed=1), 16)
+        campaign = MismatchCampaign(table, request_words)
+        outcome = campaign.run(NoError(), trials=3, rng=np.random.default_rng(0))
+        assert outcome.mean_mismatch == 0.0
+        assert outcome.max_mismatch == 0.0
+
+    def test_state_restored_after_run(self, request_words):
+        table = populate(RendezvousHashTable(seed=1), 16)
+        campaign = MismatchCampaign(table, request_words)
+        before = table.route_batch(request_words).copy()
+        campaign.run(SingleBitFlips(8), trials=4, rng=np.random.default_rng(1))
+        after = table.route_batch(request_words)
+        assert np.array_equal(before, after)
+
+    def test_trial_count_and_flip_records(self, request_words):
+        table = populate(RendezvousHashTable(seed=1), 8)
+        campaign = MismatchCampaign(table, request_words)
+        outcome = campaign.run(
+            SingleBitFlips(3), trials=5, rng=np.random.default_rng(2)
+        )
+        assert len(outcome.trials) == 5
+        assert all(len(trial.flipped_bits) == 3 for trial in outcome.trials)
+
+    def test_corruption_produces_mismatch(self, request_words):
+        table = populate(RendezvousHashTable(seed=1), 8)
+        campaign = MismatchCampaign(table, request_words)
+        outcome = campaign.run(
+            SingleBitFlips(10), trials=5, rng=np.random.default_rng(3)
+        )
+        assert outcome.mean_mismatch > 0.0
+
+    def test_region_name_filter(self, request_words):
+        table = populate(ConsistentHashTable(seed=1), 8)
+        campaign = MismatchCampaign(table, request_words)
+        outcome = campaign.run(
+            SingleBitFlips(2),
+            trials=2,
+            rng=np.random.default_rng(4),
+            region_names=["ring_positions"],
+        )
+        assert len(outcome.trials) == 2
+        with pytest.raises(KeyError):
+            campaign.run(
+                SingleBitFlips(2),
+                trials=1,
+                rng=np.random.default_rng(5),
+                region_names=["nonexistent"],
+            )
+
+    def test_requires_requests(self):
+        table = populate(ConsistentHashTable(seed=1), 4)
+        with pytest.raises(ValueError):
+            MismatchCampaign(table, np.empty(0, dtype=np.uint64))
+
+    def test_statistics(self, request_words):
+        table = populate(RendezvousHashTable(seed=1), 8)
+        campaign = MismatchCampaign(table, request_words)
+        outcome = campaign.run(
+            SingleBitFlips(10), trials=6, rng=np.random.default_rng(6)
+        )
+        values = outcome.mismatches
+        assert outcome.mean_mismatch == pytest.approx(values.mean())
+        assert outcome.max_mismatch == pytest.approx(values.max())
+        assert outcome.std_mismatch == pytest.approx(values.std())

@@ -1,0 +1,107 @@
+"""Tests for the SECDED scrubbing model."""
+
+import numpy as np
+import pytest
+
+from repro.memory import MemoryRegion, SecdedScrubber
+
+
+def _region(words=8, seed=0):
+    array = np.random.default_rng(seed).integers(
+        0, 2 ** 63, words, dtype=np.uint64
+    )
+    return array, MemoryRegion("mem", array)
+
+
+class TestCorrection:
+    def test_single_flip_per_word_corrected(self):
+        array, region = _region()
+        scrubber = SecdedScrubber([region])
+        before = array.copy()
+        region.flip(3)       # word 0
+        region.flip(64 + 9)  # word 1
+        report = scrubber.scrub()
+        assert report.corrected_words == 2
+        assert report.clean
+        assert np.array_equal(array, before)
+
+    def test_double_flip_detected_not_corrected(self):
+        array, region = _region()
+        scrubber = SecdedScrubber([region])
+        before = array.copy()
+        region.flip(5)
+        region.flip(17)  # same 64-bit word
+        report = scrubber.scrub()
+        assert report.corrected_words == 0
+        assert report.detected_uncorrectable == 1
+        assert not report.clean
+        assert not np.array_equal(array, before)  # still corrupted
+
+    def test_burst_in_one_word_uncorrectable(self):
+        array, region = _region()
+        scrubber = SecdedScrubber([region])
+        for bit in range(10):  # 10-bit MCU within word 0
+            region.flip(bit)
+        report = scrubber.scrub()
+        assert report.miscorrected_words == 1
+        assert not report.clean
+
+    def test_clean_memory_reports_clean(self):
+        __, region = _region()
+        scrubber = SecdedScrubber([region])
+        report = scrubber.scrub()
+        assert report.clean
+        assert report.corrected_words == 0
+
+    def test_mixed_words(self):
+        array, region = _region(words=4)
+        scrubber = SecdedScrubber([region])
+        region.flip(0)            # word 0: single -> corrected
+        region.flip(64)           # word 1: double -> detected
+        region.flip(65)
+        region.flip(128)          # word 2: triple -> miscorrected class
+        region.flip(130)
+        region.flip(140)
+        report = scrubber.scrub()
+        assert report.corrected_words == 1
+        assert report.detected_uncorrectable == 1
+        assert report.miscorrected_words == 1
+
+
+class TestArming:
+    def test_rearm_accepts_legitimate_update(self):
+        array, region = _region()
+        scrubber = SecdedScrubber([region])
+        array[0] ^= np.uint64(0xFFFF)  # a legitimate multi-bit write
+        scrubber.arm()
+        report = scrubber.scrub()
+        assert report.clean
+
+    def test_unarmed_update_looks_like_corruption(self):
+        array, region = _region()
+        scrubber = SecdedScrubber([region])
+        array[0] ^= np.uint64(0b11)  # two bits, no re-arm
+        report = scrubber.scrub()
+        assert report.detected_uncorrectable == 1
+
+    def test_requires_region(self):
+        with pytest.raises(ValueError):
+            SecdedScrubber([])
+
+
+class TestIntegrationWithTables:
+    def test_scrub_restores_hd_routing(self, request_words):
+        from repro.hashing import HDHashTable
+        from repro.memory import FaultInjector, SingleBitFlips
+
+        table = HDHashTable(seed=1, dim=1_024, codebook_size=128)
+        for index in range(12):
+            table.join(index)
+        reference = table.route_batch(request_words).copy()
+        regions = table.memory_regions()
+        scrubber = SecdedScrubber(regions)
+        injector = FaultInjector(regions)
+        injector.inject(SingleBitFlips(6), np.random.default_rng(3))
+        report = scrubber.scrub()
+        assert report.corrected_words >= 4  # some flips may share a word
+        assert np.array_equal(table.route_batch(request_words), reference)

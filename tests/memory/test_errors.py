@@ -1,0 +1,111 @@
+"""Tests for the memory error models."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory import (
+    BitErrorRate,
+    BurstError,
+    CompositeError,
+    NoError,
+    SingleBitFlips,
+)
+
+
+class TestNoError:
+    def test_samples_nothing(self, rng):
+        assert NoError().sample_bits(100, rng).size == 0
+
+
+class TestSingleBitFlips:
+    @given(
+        count=st.integers(min_value=0, max_value=64),
+        n_bits=st.integers(min_value=64, max_value=4_096),
+    )
+    def test_exact_distinct_count(self, count, n_bits):
+        rng = np.random.default_rng(count)
+        bits = SingleBitFlips(count).sample_bits(n_bits, rng)
+        assert bits.size == count
+        assert len(set(bits.tolist())) == count
+        assert all(0 <= bit < n_bits for bit in bits)
+
+    def test_too_many_flips_rejected(self, rng):
+        with pytest.raises(ValueError):
+            SingleBitFlips(9).sample_bits(8, rng)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            SingleBitFlips(-1)
+
+    def test_describe(self):
+        assert "3" in SingleBitFlips(3).describe()
+
+
+class TestBurstError:
+    def test_contiguous_run(self, rng):
+        bits = BurstError(length=10).sample_bits(1_000, rng)
+        assert bits.size == 10
+        assert bits.tolist() == list(range(bits[0], bits[0] + 10))
+
+    def test_multiple_events(self, rng):
+        bits = BurstError(length=4, events=3).sample_bits(1_000, rng)
+        assert bits.size == 12
+
+    def test_burst_fits_in_region(self):
+        rng = np.random.default_rng(0)
+        for __ in range(50):
+            bits = BurstError(length=8).sample_bits(16, rng)
+            assert bits.min() >= 0 and bits.max() < 16
+
+    def test_burst_longer_than_region_rejected(self, rng):
+        with pytest.raises(ValueError):
+            BurstError(length=20).sample_bits(10, rng)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BurstError(length=0)
+        with pytest.raises(ValueError):
+            BurstError(length=1, events=-1)
+
+
+class TestBitErrorRate:
+    def test_zero_rate(self, rng):
+        assert BitErrorRate(0.0).sample_bits(1_000, rng).size == 0
+
+    def test_expected_count_scale(self):
+        rng = np.random.default_rng(1)
+        counts = [
+            BitErrorRate(0.01).sample_bits(10_000, rng).size for __ in range(50)
+        ]
+        assert 50 < np.mean(counts) < 150
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            BitErrorRate(-0.1)
+        with pytest.raises(ValueError):
+            BitErrorRate(1.1)
+
+
+class TestComposite:
+    def test_concatenates_parts(self, rng):
+        model = CompositeError((SingleBitFlips(3), BurstError(length=5)))
+        assert model.sample_bits(1_000, rng).size == 8
+
+    def test_describe_joins(self):
+        model = CompositeError((SingleBitFlips(1), BurstError(length=2)))
+        description = model.describe()
+        assert "1" in description and "2" in description
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeError(())
+
+
+class TestReproducibility:
+    def test_same_seed_same_sample(self):
+        model = SingleBitFlips(7)
+        a = model.sample_bits(512, np.random.default_rng(3))
+        b = model.sample_bits(512, np.random.default_rng(3))
+        assert np.array_equal(a, b)

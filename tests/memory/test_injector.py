@@ -1,0 +1,76 @@
+"""Tests for flat-address fault injection over multiple regions."""
+
+import numpy as np
+import pytest
+
+from repro.memory import FaultInjector, MemoryRegion, SingleBitFlips
+
+
+def _regions():
+    a = np.zeros(1, dtype=np.uint64)  # 64 bits
+    b = np.zeros(2, dtype=np.uint32)  # 64 bits
+    return a, b, [MemoryRegion("a", a), MemoryRegion("b", b)]
+
+
+class TestAddressSpace:
+    def test_total_bits(self):
+        __, __, regions = _regions()
+        assert FaultInjector(regions).n_bits == 128
+
+    def test_locate_maps_across_regions(self):
+        __, __, regions = _regions()
+        injector = FaultInjector(regions)
+        region, bit = injector.locate(0)
+        assert region.name == "a" and bit == 0
+        region, bit = injector.locate(63)
+        assert region.name == "a" and bit == 63
+        region, bit = injector.locate(64)
+        assert region.name == "b" and bit == 0
+        region, bit = injector.locate(127)
+        assert region.name == "b" and bit == 63
+
+    def test_locate_out_of_range(self):
+        __, __, regions = _regions()
+        injector = FaultInjector(regions)
+        with pytest.raises(IndexError):
+            injector.locate(128)
+
+    def test_duplicate_names_rejected(self):
+        array = np.zeros(1, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            FaultInjector(
+                [MemoryRegion("x", array), MemoryRegion("x", array.copy())]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector([])
+
+
+class TestFlipping:
+    def test_flip_flat_touches_right_region(self):
+        a, b, regions = _regions()
+        injector = FaultInjector(regions)
+        flipped = injector.flip_flat([3, 64])
+        assert a[0] == 1 << 3
+        assert b[0] == 1
+        assert flipped == [("a", 3), ("b", 0)]
+
+    def test_inject_uses_model_sample(self, rng):
+        a, b, regions = _regions()
+        injector = FaultInjector(regions)
+        flipped = injector.inject(SingleBitFlips(5), rng)
+        assert len(flipped) == 5
+        total_set = bin(int(a[0])).count("1") + sum(
+            bin(int(word)).count("1") for word in b
+        )
+        assert total_set == 5
+
+    def test_snapshot_restore_roundtrip(self, rng):
+        a, b, regions = _regions()
+        injector = FaultInjector(regions)
+        saved = injector.snapshot()
+        injector.inject(SingleBitFlips(9), rng)
+        assert a[0] != 0 or b.any()
+        injector.restore(saved)
+        assert a[0] == 0 and not b.any()

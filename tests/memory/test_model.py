@@ -1,0 +1,108 @@
+"""Tests for bit-addressable memory regions."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory import MemoryRegion
+
+
+class TestAddressing:
+    def test_n_bits_flat_array(self):
+        region = MemoryRegion("r", np.zeros(4, dtype=np.uint64))
+        assert region.n_bits == 256
+
+    def test_n_bits_with_row_validity(self):
+        array = np.zeros((3, 8), dtype=np.uint8)  # 64 stored bits per row
+        region = MemoryRegion("r", array, valid_bits_per_row=50)
+        assert region.n_bits == 150
+
+    def test_flip_sets_expected_uint64_bit(self):
+        array = np.zeros(2, dtype=np.uint64)
+        region = MemoryRegion("r", array)
+        region.flip(5)
+        assert array[0] == 1 << 5
+        region.flip(64)
+        assert array[1] == 1
+
+    def test_flip_respects_row_padding(self):
+        # 2 rows of 8 bytes; only 10 logical bits per row.  Logical bit 10
+        # must land at row 1, bit 0 -- not at stored bit 10 of row 0.
+        array = np.zeros((2, 8), dtype=np.uint8)
+        region = MemoryRegion("r", array, valid_bits_per_row=10)
+        region.flip(10)
+        assert array[0].sum() == 0
+        assert array[1, 0] == 1
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_flip_twice_is_identity(self, bit):
+        array = np.arange(4, dtype=np.uint64)
+        region = MemoryRegion("r", array)
+        before = array.copy()
+        region.flip(bit)
+        region.flip(bit)
+        assert np.array_equal(array, before)
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_read_tracks_flip(self, bit):
+        array = np.zeros(4, dtype=np.uint64)
+        region = MemoryRegion("r", array)
+        assert region.read(bit) == 0
+        region.flip(bit)
+        assert region.read(bit) == 1
+
+    def test_out_of_range(self):
+        region = MemoryRegion("r", np.zeros(1, dtype=np.uint8))
+        with pytest.raises(IndexError):
+            region.flip(8)
+        with pytest.raises(IndexError):
+            region.flip(-1)
+
+
+class TestSnapshots:
+    def test_snapshot_restore_roundtrip(self, rng):
+        array = rng.integers(0, 2 ** 63, 16, dtype=np.uint64)
+        region = MemoryRegion("r", array)
+        saved = region.snapshot()
+        for bit in (3, 77, 500):
+            region.flip(bit)
+        region.restore(saved)
+        assert region.snapshot() == saved
+
+    def test_restore_size_mismatch(self):
+        region = MemoryRegion("r", np.zeros(2, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            region.restore(b"\x00")
+
+
+class TestValidation:
+    def test_requires_ndarray(self):
+        with pytest.raises(TypeError):
+            MemoryRegion("r", [1, 2, 3])
+
+    def test_requires_writable(self):
+        array = np.zeros(4, dtype=np.uint8)
+        array.setflags(write=False)
+        with pytest.raises(ValueError):
+            MemoryRegion("r", array)
+
+    def test_requires_contiguous(self):
+        array = np.zeros((4, 4), dtype=np.uint8)[:, ::2]
+        with pytest.raises(ValueError):
+            MemoryRegion("r", array)
+
+    def test_valid_bits_requires_2d(self):
+        with pytest.raises(ValueError):
+            MemoryRegion("r", np.zeros(8, dtype=np.uint8), valid_bits_per_row=4)
+
+    def test_valid_bits_bounds(self):
+        array = np.zeros((2, 2), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            MemoryRegion("r", array, valid_bits_per_row=0)
+        with pytest.raises(ValueError):
+            MemoryRegion("r", array, valid_bits_per_row=17)
+
+    def test_repr_mentions_name_and_bits(self):
+        region = MemoryRegion("ring", np.zeros(1, dtype=np.uint32))
+        assert "ring" in repr(region) and "32" in repr(region)

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import REGISTRY, main
+
+
+class TestList:
+    def test_lists_every_artefact(self):
+        out = io.StringIO()
+        assert main(["list"], out=out) == 0
+        text = out.getvalue()
+        for name in REGISTRY:
+            assert name in text
+
+    def test_registry_covers_paper_figures(self):
+        assert {"fig2", "fig4", "fig5", "fig6", "mcu"} <= set(REGISTRY)
+
+
+class TestRun:
+    def test_run_costmodel_fast(self):
+        out = io.StringIO()
+        assert main(["run", "costmodel", "--profile", "fast"], out=out) == 0
+        assert "hdc-accelerator" in out.getvalue()
+
+    def test_run_remap_fast(self):
+        out = io.StringIO()
+        assert main(["run", "remap", "--profile", "fast"], out=out) == 0
+        assert "modular" in out.getvalue()
+
+    def test_csv_export(self, tmp_path):
+        out = io.StringIO()
+        path = tmp_path / "costs.csv"
+        code = main(
+            ["run", "costmodel", "--profile", "fast", "--csv", str(path)],
+            out=out,
+        )
+        assert code == 0
+        header = path.read_text().splitlines()[0]
+        assert header == "machine,algorithm,servers,cycles"
+
+    def test_unknown_artefact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"], out=io.StringIO())
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig2", "--profile", "warp"], out=io.StringIO())
+
+    def test_all_with_csv_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["run", "all", "--profile", "fast", "--csv", "x.csv"],
+                out=io.StringIO(),
+            )
