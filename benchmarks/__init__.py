@@ -1,0 +1,1 @@
+"""Benchmark package marker (enables relative imports of benchmarks.conftest)."""

@@ -14,49 +14,33 @@ Run:  python examples/load_balancer.py
 
 import numpy as np
 
-from repro import (
-    ConsistentHashTable,
-    HDHashTable,
-    ModularHashTable,
-    RendezvousHashTable,
-)
-from repro.analysis import remap_fraction, summarize_loads, uniformity_chi2
+from repro import make_table
+from repro.analysis import summarize_loads, uniformity_chi2
 from repro.emulator import ZipfKeys
+from repro.service import Router
 
 
-def build_pool(factory, names):
-    table = factory()
-    for name in names:
-        table.join(name)
-    return table
+def autoscale_episode(spec, traffic):
+    """One autoscaling episode: 8 -> 12 -> 24 -> 16 servers.
 
-
-def autoscale_episode(factory, traffic):
-    """One autoscaling episode: 8 -> 12 -> 24 -> 16 servers."""
+    Membership is declarative: each scaling step hands the router the
+    full target server set; the router applies the minimal join/leave
+    diff one server at a time (the live-traffic migration pattern) and
+    accounts the per-epoch remap fraction over the request population.
+    """
     names = ["cache-{:02d}".format(i) for i in range(24)]
-    table = build_pool(factory, names[:8])
-    total_moved = 0.0
-    steps = 0
+    router = Router(make_table(spec, seed=3))
+    router.sync(names[:8])
+    router.track(traffic)
 
-    def assignments():
-        # lookup_batch hashes the application keys before routing.
-        return table.lookup_batch(traffic)
-
-    current = assignments()
     for target in (12, 24, 16):
-        while table.server_count < target:
-            table.join(names[table.server_count])
-            after = assignments()
-            total_moved += remap_fraction(current, after)
-            current = after
-            steps += 1
-        while table.server_count > target:
-            table.leave(table.server_ids[-1])
-            after = assignments()
-            total_moved += remap_fraction(current, after)
-            current = after
-            steps += 1
-    return total_moved / steps, current, table
+        while router.server_count < target:
+            router.sync(names[: router.server_count + 1])
+        while router.server_count > target:
+            router.sync(names[: router.server_count - 1])
+    # Epoch 1 was the initial fill; the scaling bill starts at epoch 2.
+    scaling = [record.remapped for record in router.history[1:]]
+    return float(np.mean(scaling)), router.route_batch(traffic), router
 
 
 def main():
@@ -64,11 +48,12 @@ def main():
     # Zipf request population: 50k requests over 100k distinct objects.
     traffic = ZipfKeys(universe=100_000, exponent=1.05).sample(50_000, rng)
 
-    factories = {
-        "modular": lambda: ModularHashTable(seed=3),
-        "consistent": lambda: ConsistentHashTable(seed=3),
-        "rendezvous": lambda: RendezvousHashTable(seed=3),
-        "hd": lambda: HDHashTable(seed=3, dim=4_096, codebook_size=512),
+    specs = {
+        "modular": "modular",
+        "consistent": "consistent",
+        "rendezvous": "rendezvous",
+        "hd": {"algorithm": "hd",
+               "config": {"dim": 4_096, "codebook_size": 512}},
     }
 
     print("autoscaling episode: 8 -> 12 -> 24 -> 16 cache servers")
@@ -78,13 +63,13 @@ def main():
     )
     print(header)
     print("-" * len(header))
-    for name, factory in factories.items():
-        moved, final_assignment, table = autoscale_episode(factory, traffic)
+    for name, spec in specs.items():
+        moved, final_assignment, router = autoscale_episode(spec, traffic)
         slots = np.asarray(
-            [table.server_ids.index(s) for s in final_assignment]
+            [router.server_ids.index(s) for s in final_assignment]
         )
-        counts = np.bincount(slots, minlength=table.server_count)
-        chi2 = uniformity_chi2(slots, table.server_count)
+        counts = np.bincount(slots, minlength=router.server_count)
+        chi2 = uniformity_chi2(slots, router.server_count)
         summary = summarize_loads(counts)
         p99 = np.percentile(counts, 99)
         print("{:>12}  {:>15.1%}  {:>12.0f}  {:>10.2f}  {:>9.0f}".format(

@@ -1,68 +1,75 @@
 #!/usr/bin/env python
 """Quickstart: route requests to a dynamic server pool with HD hashing.
 
-Demonstrates the core public API in under a minute:
+Demonstrates the production routing API in under a minute:
 
-1. build an :class:`repro.HDHashTable` (circular-hypervector codebook,
-   associative item memory);
-2. join servers, route requests;
-3. scale the pool up and down and observe minimal remapping;
-4. flip memory bits and observe that routing does not care.
+1. build a table by registry name with :func:`repro.hashing.make_table`;
+2. wrap it in a :class:`repro.service.Router` and declare membership
+   with ``sync`` (minimal join/leave diff, one epoch per batch);
+3. scale the pool and read the remap bill from the epoch records;
+4. flip memory bits and observe that routing does not care;
+5. snapshot the table and restore a bit-identical replica -- no replay.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import HDHashTable, SingleBitFlips
+from repro import SingleBitFlips, make_table
 from repro.memory import FaultInjector
+from repro.service import Router, loads_state, dumps_state
 
 
 def main():
     # A 4096-bit, 512-node circle keeps the demo fast; the paper's
     # defaults are dim=10000, codebook_size=4096.
-    table = HDHashTable(seed=7, dim=4_096, codebook_size=512)
+    table = make_table("hd", seed=7, dim=4_096, codebook_size=512)
 
-    print("== join servers ==")
-    for name in ("web-a", "web-b", "web-c", "web-d"):
-        table.join(name)
-        print("  joined {:6} (circle node {})".format(name, table.position_of(name)))
+    # Track 10k probe keys so every epoch reports its remap fraction.
+    router = Router(table, probe_keys=np.arange(10_000, dtype=np.uint64))
+
+    print("== declare the server set ==")
+    record = router.sync(["web-a", "web-b", "web-c", "web-d"])
+    print("  epoch {}: joined {}".format(record.epoch, list(record.joined)))
 
     print("\n== route some requests ==")
     requests = ["user:{}".format(i) for i in range(8)]
     for request in requests:
-        print("  {} -> {}".format(request, table.lookup(request)))
+        print("  {} -> {}".format(request, router.route(request)))
 
-    print("\n== scale out: add one server ==")
-    before = {request: table.lookup(request) for request in requests}
-    table.join("web-e")
-    moved = [r for r in requests if table.lookup(r) != before[r]]
-    print("  remapped {} of {} tracked requests: {}".format(
-        len(moved), len(requests), moved or "none"))
+    print("\n== scale out: declare one more server ==")
+    record = router.sync(["web-a", "web-b", "web-c", "web-d", "web-e"])
+    print("  epoch {}: +{} servers, remapped {:.1%} of tracked keys".format(
+        record.epoch, len(record.joined), record.remapped))
     print("  (only keys claimed by the newcomer move -- minimal disruption)")
 
-    print("\n== scale in: remove a server ==")
-    before = {request: table.lookup(request) for request in requests}
-    table.leave("web-b")
-    moved = [r for r in requests if table.lookup(r) != before[r]]
-    print("  remapped {} of {} tracked requests: {}".format(
-        len(moved), len(requests), moved or "none"))
+    print("\n== scale in: drop web-b from the declaration ==")
+    record = router.sync(["web-a", "web-c", "web-d", "web-e"])
+    print("  epoch {}: -{} servers, remapped {:.1%} of tracked keys".format(
+        record.epoch, len(record.left), record.remapped))
 
     print("\n== memory errors? HD hashing shrugs ==")
     keys = np.arange(10_000, dtype=np.uint64)
-    reference = table.lookup_batch(keys)
+    reference = router.route_batch(keys)
     injector = FaultInjector(table.memory_regions())
     pristine = injector.snapshot()
     rng = np.random.default_rng(0)
     flipped = injector.inject(SingleBitFlips(10), rng)
-    corrupted = table.lookup_batch(keys)
+    corrupted = router.route_batch(keys)
     mismatches = int(np.sum(corrupted != reference))
     print("  injected 10 bit flips into the item memory: {}".format(
         [(name, bit) for name, bit in flipped[:3]] + ["..."]))
     print("  mismatched requests: {} / {}".format(mismatches, keys.size))
     injector.restore(pristine)
-    assert np.array_equal(table.lookup_batch(keys), reference)
+    assert np.array_equal(router.route_batch(keys), reference)
     print("  (state restored; routing verified identical)")
+
+    print("\n== snapshot / restore: a replica without replay ==")
+    blob = dumps_state(router.snapshot())
+    replica = Router.restore(loads_state(blob))
+    assert np.array_equal(replica.route_batch(keys), reference)
+    print("  serialized {} bytes; replica at epoch {} routes identically".format(
+        len(blob), replica.epoch))
 
 
 if __name__ == "__main__":

@@ -38,6 +38,8 @@ from .errors import (
     DuplicateServerError,
     EmptyTableError,
     ReproError,
+    StateError,
+    UnknownAlgorithmError,
     UnknownServerError,
 )
 from .hashfn import HashFamily
@@ -68,6 +70,18 @@ from .hashing import (
     MultiProbeConsistentHashTable,
     RendezvousHashTable,
     WeightedRendezvousHashTable,
+    make_table,
+    register_table,
+    registered_algorithms,
+    table_class,
+)
+from .service import (
+    EpochRecord,
+    MembershipUpdate,
+    Router,
+    RouterObserver,
+    load_table,
+    save_table,
 )
 from .memory import (
     BitErrorRate,
@@ -97,6 +111,7 @@ __all__ = [
     "DynamicHashTable",
     "Emulator",
     "EmptyTableError",
+    "EpochRecord",
     "FaultInjector",
     "HDHashTable",
     "HashFamily",
@@ -107,16 +122,21 @@ __all__ = [
     "JumpHashTable",
     "MachineParameters",
     "MaglevHashTable",
+    "MembershipUpdate",
     "MemoryRegion",
     "MismatchCampaign",
     "ModularHashTable",
     "MultiProbeConsistentHashTable",
     "PeriodicEncoder",
     "RendezvousHashTable",
+    "Router",
+    "RouterObserver",
     "SecdedScrubber",
     "ReproError",
     "RequestGenerator",
+    "StateError",
     "UniformKeys",
+    "UnknownAlgorithmError",
     "UnknownServerError",
     "WeightedRendezvousHashTable",
     "ZipfKeys",
@@ -127,11 +147,17 @@ __all__ = [
     "cosine_similarity",
     "hamming_distance",
     "level_basis",
+    "load_table",
+    "make_table",
     "random_basis",
+    "register_table",
+    "registered_algorithms",
     "remap_fraction",
+    "save_table",
     "server_names",
     "similarity_matrix",
     "summarize_loads",
+    "table_class",
     "uniformity_chi2",
     "__version__",
 ]

@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate any paper artefact directly.
+"""Command-line interface: paper artefacts plus the routing stack.
 
 Usage::
 
@@ -6,16 +6,27 @@ Usage::
     python -m repro run fig4 --profile fast
     python -m repro run fig5 --profile bench --csv fig5.csv
     python -m repro run all --profile fast
+    python -m repro algorithms
+    python -m repro route hd --servers 4 --requests 8 -o dim=4096 \
+        -o codebook_size=512
 
-The registry maps artefact names to experiment runners; ``--profile``
-selects the ``fast`` / ``bench`` / ``full`` preset of each config.
+``run`` regenerates a paper artefact (the artefact registry maps names
+to experiment runners; ``--profile`` selects the ``fast`` / ``bench`` /
+``full`` preset).  ``algorithms`` lists the algorithm registry, and
+``route`` builds any registered table by name through
+:func:`repro.hashing.make_table`, drives it through the
+:class:`~repro.service.Router` facade and prints sample assignments.
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
 import sys
 from typing import Callable, Dict, Optional, Tuple
+
+from .hashing import algorithm_entry, make_table, registered_algorithms
+from .service import Router
 
 from .experiments import (
     AblationConfig,
@@ -127,6 +138,30 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
     commands.add_parser("list", help="list available artefacts")
+    commands.add_parser(
+        "algorithms", help="list the registered hash-table algorithms"
+    )
+    route = commands.add_parser(
+        "route", help="build a table by name and route sample requests"
+    )
+    route.add_argument(
+        "algorithm",
+        help="registered algorithm name (see `repro algorithms`)",
+    )
+    route.add_argument(
+        "--servers", type=int, default=4, help="pool size (default: 4)"
+    )
+    route.add_argument(
+        "--requests", type=int, default=8,
+        help="sample requests to route (default: 8)",
+    )
+    route.add_argument(
+        "--seed", type=int, default=0, help="hash-family seed (default: 0)"
+    )
+    route.add_argument(
+        "-o", "--option", action="append", default=[], metavar="KEY=VALUE",
+        help="algorithm config override (repeatable), e.g. -o dim=4096",
+    )
     run = commands.add_parser("run", help="regenerate an artefact")
     run.add_argument(
         "artefact",
@@ -173,6 +208,44 @@ def _run_one(
         print("wrote {}".format(csv_path), file=out)
 
 
+def _parse_options(pairs) -> Dict[str, object]:
+    """Parse ``-o key=value`` overrides; values are python literals when
+    they parse as one, raw strings otherwise."""
+    options: Dict[str, object] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit("-o expects KEY=VALUE, got {!r}".format(pair))
+        try:
+            options[key] = ast.literal_eval(raw)
+        except (SyntaxError, ValueError):
+            options[key] = raw
+    return options
+
+
+def _run_route(args, out) -> int:
+    try:
+        table = make_table(
+            args.algorithm, seed=args.seed, **_parse_options(args.option)
+        )
+    except (TypeError, ValueError) as error:
+        raise SystemExit("error: {}".format(error))
+    if args.servers < 1:
+        raise SystemExit("error: --servers must be at least 1")
+    router = Router(table)
+    router.sync("server-{:02d}".format(i) for i in range(args.servers))
+    print(
+        "{} (epoch {}, {} servers)".format(
+            router.algorithm, router.epoch, router.server_count
+        ),
+        file=out,
+    )
+    for index in range(args.requests):
+        key = "request:{}".format(index)
+        print("  {} -> {}".format(key, router.route(key)), file=out)
+    return 0
+
+
 def main(argv=None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -184,6 +257,21 @@ def main(argv=None, out=None) -> int:
             print("{:<{width}}  {}".format(name, description, width=width),
                   file=out)
         return 0
+    if args.command == "algorithms":
+        names = registered_algorithms()
+        width = max(len(name) for name in names)
+        for name in names:
+            entry = algorithm_entry(name)
+            tag = "paper" if entry.paper else "ext."
+            print(
+                "{:<{width}}  [{}]  {}".format(
+                    name, tag, entry.description, width=width
+                ),
+                file=out,
+            )
+        return 0
+    if args.command == "route":
+        return _run_route(args, out)
     if args.artefact == "all":
         for name in sorted(REGISTRY):
             if args.csv is not None:

@@ -30,7 +30,7 @@ from .scenario import (
     StepRecord,
     run_scenario,
 )
-from .stats import LoadStats, TimingStats
+from .stats import LoadStats, MembershipStats, TimingStats
 from .trace import load_trace, parse_trace_lines, save_trace, trace_lines
 
 __all__ = [
@@ -49,6 +49,7 @@ __all__ = [
     "LeaveRequest",
     "LoadStats",
     "LookupBurst",
+    "MembershipStats",
     "LookupRequest",
     "Request",
     "RequestBuffer",

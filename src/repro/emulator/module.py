@@ -12,20 +12,27 @@ Two execution paths mirror the paper's hardware asymmetry:
   algorithms on a CPU).
 
 Both paths produce identical assignments; only the timing differs.
+
+Membership requests are driven through the :class:`~repro.service.
+router.Router` facade, so every join/leave bumps the membership epoch
+and the module's stats collection observes the events (and, when the
+router tracks a probe set, per-epoch remap fractions) through the
+router's observer hooks.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, List
+from typing import Iterable, List, Union
 
 import numpy as np
 
 from ..hashing.base import DynamicHashTable
+from ..service.router import EpochRecord, MembershipUpdate, Router, RouterObserver
 from .buffer import RequestBuffer
 from .requests import JoinRequest, LeaveRequest, Request
-from .stats import LoadStats, TimingStats
+from .stats import LoadStats, MembershipStats, TimingStats
 
 __all__ = ["HashTableModule", "EmulationReport"]
 
@@ -37,6 +44,7 @@ class EmulationReport:
     table_name: str
     timing: TimingStats = field(default_factory=TimingStats)
     load: LoadStats = field(default_factory=LoadStats)
+    membership: MembershipStats = field(default_factory=MembershipStats)
     assignments: List[np.ndarray] = field(default_factory=list)
 
     @property
@@ -52,17 +60,42 @@ class EmulationReport:
         return self.timing.n_lookups
 
 
+class _StatsObserver(RouterObserver):
+    """Feeds router membership events into a report's stats."""
+
+    def __init__(self, stats: MembershipStats):
+        self._stats = stats
+
+    def on_join(self, server_id, epoch: int) -> None:
+        self._stats.record_join(epoch)
+
+    def on_leave(self, server_id, epoch: int) -> None:
+        self._stats.record_leave(epoch)
+
+    def on_remap(self, record: EpochRecord) -> None:
+        self._stats.record_epoch(record.epoch, record.remapped)
+
+
 class HashTableModule:
-    """Drives a :class:`DynamicHashTable` from a request stream."""
+    """Drives a :class:`DynamicHashTable` from a request stream.
+
+    Accepts either a bare table (wrapped in a fresh :class:`Router`) or
+    a pre-configured router (e.g. one tracking a probe set for remap
+    accounting).
+    """
 
     def __init__(
         self,
-        table: DynamicHashTable,
+        table: Union[DynamicHashTable, Router],
         batch_size: int = 256,
         vectorized: bool = True,
         record_assignments: bool = True,
     ):
-        self._table = table
+        if isinstance(table, Router):
+            self._router = table
+        else:
+            self._router = Router(table)
+        self._table = self._router.table
         self._buffer = RequestBuffer(batch_size)
         self._vectorized = vectorized
         self._record_assignments = record_assignments
@@ -71,6 +104,11 @@ class HashTableModule:
     def table(self) -> DynamicHashTable:
         """The algorithm under test."""
         return self._table
+
+    @property
+    def router(self) -> Router:
+        """The membership facade driving joins/leaves."""
+        return self._router
 
     @property
     def vectorized(self) -> bool:
@@ -97,15 +135,25 @@ class HashTableModule:
     def process(self, requests: Iterable[Request]) -> EmulationReport:
         """Run a request stream to completion and report statistics."""
         report = EmulationReport(table_name=self._table.name)
-        for unit in self._buffer.dispatch(requests):
-            if isinstance(unit, JoinRequest):
-                started = time.perf_counter()
-                self._table.join(unit.server_id)
-                report.timing.record_membership(time.perf_counter() - started)
-            elif isinstance(unit, LeaveRequest):
-                started = time.perf_counter()
-                self._table.leave(unit.server_id)
-                report.timing.record_membership(time.perf_counter() - started)
-            else:
-                self._serve_batch(unit, report)
+        observer = self._router.subscribe(_StatsObserver(report.membership))
+        try:
+            for unit in self._buffer.dispatch(requests):
+                if isinstance(unit, JoinRequest):
+                    record = self._router.apply(
+                        MembershipUpdate(joins=(unit.server_id,))
+                    )
+                    # mutate_seconds times only the table's own join, so
+                    # the facade's bookkeeping (validation, rollback
+                    # capture, probe accounting) does not pollute the
+                    # paper's membership-cost statistics.
+                    report.timing.record_membership(record.mutate_seconds)
+                elif isinstance(unit, LeaveRequest):
+                    record = self._router.apply(
+                        MembershipUpdate(leaves=(unit.server_id,))
+                    )
+                    report.timing.record_membership(record.mutate_seconds)
+                else:
+                    self._serve_batch(unit, report)
+        finally:
+            self._router.unsubscribe(observer)
         return report

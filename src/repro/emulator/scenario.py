@@ -10,6 +10,12 @@ the remap fraction and load imbalance the step produced.
 ``examples/load_balancer.py`` shows the single-episode form; this module
 generalises it with seeded stochastic churn and a load-targeting policy,
 and is exercised by the integration tests.
+
+Membership is driven declaratively: each step computes the *target*
+server set (survivors of random failure, resized by the policy) and
+hands it to :meth:`repro.service.router.Router.sync`, which applies the
+minimal join/leave diff as one epoch.  The step's remap fraction comes
+from the router's per-epoch probe accounting.
 """
 
 from __future__ import annotations
@@ -19,8 +25,8 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-from ..analysis import remap_fraction
 from ..hashing.base import DynamicHashTable
+from ..service.router import Router
 from .distributions import KeyDistribution, UniformKeys
 
 __all__ = ["AutoscalePolicy", "ScenarioConfig", "StepRecord", "ScenarioResult",
@@ -120,61 +126,58 @@ def run_scenario(
     policy = config.policy or AutoscalePolicy(
         target_load=config.requests_per_step / max(1, config.initial_servers)
     )
-    table = table_factory()
-    next_server_id = 0
-    for __ in range(config.initial_servers):
-        table.join(next_server_id)
-        next_server_id += 1
+    router = Router(table_factory())
+    router.sync(range(config.initial_servers))
+    next_server_id = config.initial_servers
 
     result = ScenarioResult()
-    reference_keys = distribution.sample(4_000, rng)
-    previous = table.lookup_batch(reference_keys)
+    # The router's probe set is the reference population whose movement
+    # defines each step's remap fraction.
+    router.track(distribution.sample(4_000, rng))
 
     for step in range(config.steps):
         factor = config.traffic_profile[step % len(config.traffic_profile)]
         n_requests = max(1, int(config.requests_per_step * factor))
-        joins = 0
-        leaves = 0
 
-        # Random failures first (they are not the operator's choice).
+        # Declare this step's target membership: random failures first
+        # (they are not the operator's choice), then reactive scaling
+        # toward the policy's band.
+        target = list(router.server_ids)
         if (
-            table.server_count > policy.min_servers
+            len(target) > policy.min_servers
             and rng.random() < config.failure_probability
         ):
-            victim = table.server_ids[
-                int(rng.integers(0, table.server_count))
-            ]
-            table.leave(victim)
-            leaves += 1
-
-        # Reactive scaling toward the target band.
-        delta = policy.decide(n_requests, table.server_count)
+            del target[int(rng.integers(0, len(target)))]
+        delta = policy.decide(n_requests, len(target))
         while delta > 0:
-            table.join(next_server_id)
+            target.append(next_server_id)
             next_server_id += 1
-            joins += 1
             delta -= 1
-        while delta < 0 and table.server_count > policy.min_servers:
-            table.leave(table.server_ids[-1])
-            leaves += 1
+        while delta < 0 and len(target) > policy.min_servers:
+            target.pop()
             delta += 1
+
+        # Reconcile: one epoch (or none) per step, remap accounted by
+        # the router's probe set.
+        record = router.sync(target)
+        joins = len(record.joined) if record else 0
+        leaves = len(record.left) if record else 0
+        remapped = record.remapped if record else 0.0
 
         # Serve this epoch's traffic and account the step.
         keys = distribution.sample(n_requests, rng)
-        assigned = table.lookup_batch(keys)
-        current = table.lookup_batch(reference_keys)
+        assigned = router.route_batch(keys)
         counts = np.unique(np.asarray(assigned, object), return_counts=True)[1]
         imbalance = float(counts.max() / counts.mean()) if counts.size else 0.0
         result.records.append(
             StepRecord(
                 step=step,
                 n_requests=n_requests,
-                n_servers=table.server_count,
+                n_servers=router.server_count,
                 joins=joins,
                 leaves=leaves,
-                remapped=remap_fraction(previous, current),
+                remapped=remapped,
                 imbalance=imbalance,
             )
         )
-        previous = current
     return result

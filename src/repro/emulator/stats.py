@@ -13,7 +13,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-__all__ = ["TimingStats", "LoadStats"]
+__all__ = ["TimingStats", "LoadStats", "MembershipStats"]
 
 
 @dataclass
@@ -58,6 +58,46 @@ class TimingStats:
         if not self.batch_durations:
             return 0.0
         return float(np.percentile(self.batch_durations, percentile))
+
+
+@dataclass
+class MembershipStats:
+    """Membership churn observed through the router facade.
+
+    Populated by the hash-table module's :class:`~repro.service.router.
+    RouterObserver` subscription: join/leave events and, when the router
+    tracks a probe set, the per-epoch remap fractions (the operational
+    churn bill).
+    """
+
+    n_joins: int = 0
+    n_leaves: int = 0
+    n_epochs: int = 0
+    last_epoch: int = 0
+    remap_fractions: List[float] = field(default_factory=list)
+
+    def record_join(self, epoch: int) -> None:
+        self.n_joins += 1
+        self.last_epoch = max(self.last_epoch, epoch)
+
+    def record_leave(self, epoch: int) -> None:
+        self.n_leaves += 1
+        self.last_epoch = max(self.last_epoch, epoch)
+
+    def record_epoch(self, epoch: int, remapped: float) -> None:
+        self.n_epochs += 1
+        self.last_epoch = max(self.last_epoch, epoch)
+        self.remap_fractions.append(float(remapped))
+
+    @property
+    def n_events(self) -> int:
+        """Total join + leave events."""
+        return self.n_joins + self.n_leaves
+
+    @property
+    def total_remapped(self) -> float:
+        """Sum of per-epoch remap fractions."""
+        return float(sum(self.remap_fractions))
 
 
 @dataclass

@@ -12,7 +12,9 @@ __all__ = [
     "EmptyTableError",
     "DuplicateServerError",
     "UnknownServerError",
+    "UnknownAlgorithmError",
     "CapacityError",
+    "StateError",
 ]
 
 
@@ -34,3 +36,11 @@ class UnknownServerError(ReproError, KeyError):
 
 class CapacityError(ReproError, RuntimeError):
     """A table ran out of placement capacity (e.g. HD circle full)."""
+
+
+class UnknownAlgorithmError(ReproError, ValueError):
+    """An algorithm name was not found in the registry."""
+
+
+class StateError(ReproError, ValueError):
+    """A snapshot could not be restored (wrong algorithm/format/shape)."""

@@ -14,19 +14,20 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..hashfn import HashFamily
-from ..hashing import (
-    ConsistentHashTable,
-    HDHashTable,
-    ModularHashTable,
-    RendezvousHashTable,
-)
+from ..hashing import make_table
 from ..hdc.basis import BasisSet, circular_basis
 
 __all__ = ["TableBuilder"]
 
 
 class TableBuilder:
-    """Factory for the paper's four algorithms with shared HD codebooks."""
+    """Registry-backed factory with shared HD codebooks.
+
+    Algorithms are selected by registry name via
+    :func:`repro.hashing.make_table`; the builder only adds the
+    experiment-specific defaults (seeds, consistent-hashing backends,
+    and the cached circular codebook reused across server-count sweeps).
+    """
 
     def __init__(
         self,
@@ -57,24 +58,26 @@ class TableBuilder:
         return self._codebooks[key]
 
     def build(self, algorithm: str):
-        """A fresh table for ``algorithm`` with this builder's seeds."""
-        if algorithm == "modular":
-            return ModularHashTable(seed=self.seed)
+        """A fresh table for ``algorithm`` with this builder's seeds.
+
+        Any registered algorithm name is accepted; the paper's four get
+        the builder's tuned defaults.
+        """
         if algorithm == "consistent":
-            return ConsistentHashTable(
+            return make_table(
+                "consistent",
                 seed=self.seed,
                 replicas=self.consistent_replicas,
                 search=self.consistent_search,
             )
-        if algorithm == "rendezvous":
-            return RendezvousHashTable(seed=self.seed)
         if algorithm == "hd":
-            return HDHashTable(
+            return make_table(
+                "hd",
                 seed=self.seed,
                 codebook=self.codebook(),
                 batch_size=self.hd_batch_size,
             )
-        raise ValueError("unknown algorithm {!r}".format(algorithm))
+        return make_table(algorithm, seed=self.seed)
 
     def build_populated(self, algorithm: str, n_servers: int):
         """A fresh table with ``n_servers`` servers already joined."""

@@ -16,51 +16,72 @@ weighted-rendezvous  HRW with capacity weights                       ext.
 All implement :class:`repro.hashing.base.DynamicHashTable`.
 """
 
-from .base import DynamicHashTable
-from .bounded import BoundedLoadConsistentHashTable
-from .consistent import ConsistentHashTable
-from .hd import HDHashTable
-from .hierarchical import HierarchicalHashTable
+from .base import DynamicHashTable, STATE_FORMAT_VERSION
+from .registry import (
+    AlgorithmEntry,
+    TableConfig,
+    algorithm_entry,
+    make_table,
+    register_table,
+    registered_algorithms,
+    table_class,
+)
+from .bounded import BoundedConfig, BoundedLoadConsistentHashTable
+from .consistent import ConsistentConfig, ConsistentHashTable
+from .hd import HDConfig, HDHashTable
+from .hierarchical import HierarchicalConfig, HierarchicalHashTable
 from .jump import JumpHashTable, jump_hash
-from .maglev import MaglevHashTable
+from .maglev import MaglevConfig, MaglevHashTable
 from .modular import ModularHashTable
-from .multiprobe import MultiProbeConsistentHashTable
+from .multiprobe import MultiProbeConfig, MultiProbeConsistentHashTable
 from .rendezvous import RendezvousHashTable, WeightedRendezvousHashTable
 
 #: The three algorithms the paper evaluates against each other, plus the
-#: modular baseline from its introduction.
+#: modular baseline from its introduction.  Derived from the registry;
+#: kept as a name -> class mapping for backward compatibility (prefer
+#: :func:`make_table` for construction).
 PAPER_ALGORITHMS = {
-    "modular": ModularHashTable,
-    "consistent": ConsistentHashTable,
-    "rendezvous": RendezvousHashTable,
-    "hd": HDHashTable,
+    name: table_class(name)
+    for name in ("modular", "consistent", "rendezvous", "hd")
 }
 
-#: Every available algorithm, including extension baselines.
-ALL_ALGORITHMS = dict(
-    PAPER_ALGORITHMS,
-    jump=JumpHashTable,
-    maglev=MaglevHashTable,
-    **{
-        "bounded-consistent": BoundedLoadConsistentHashTable,
-        "weighted-rendezvous": WeightedRendezvousHashTable,
-        "multiprobe-consistent": MultiProbeConsistentHashTable,
-    }
-)
+#: Every algorithm constructible as ``cls(seed=...)``, including the
+#: extension baselines.  ``hierarchical`` is registered (use
+#: ``make_table("hierarchical")``) but excluded here because its class
+#: constructor takes sub-table factories, not a bare seed.
+ALL_ALGORITHMS = {
+    name: algorithm_entry(name).cls
+    for name in registered_algorithms()
+    if algorithm_entry(name).factory is None
+}
 
 __all__ = [
     "ALL_ALGORITHMS",
     "PAPER_ALGORITHMS",
+    "STATE_FORMAT_VERSION",
+    "AlgorithmEntry",
+    "BoundedConfig",
     "BoundedLoadConsistentHashTable",
+    "ConsistentConfig",
     "ConsistentHashTable",
     "DynamicHashTable",
+    "HDConfig",
     "HDHashTable",
+    "HierarchicalConfig",
     "HierarchicalHashTable",
     "JumpHashTable",
+    "MaglevConfig",
     "MaglevHashTable",
     "ModularHashTable",
+    "MultiProbeConfig",
     "MultiProbeConsistentHashTable",
     "RendezvousHashTable",
+    "TableConfig",
     "WeightedRendezvousHashTable",
+    "algorithm_entry",
     "jump_hash",
+    "make_table",
+    "register_table",
+    "registered_algorithms",
+    "table_class",
 ]

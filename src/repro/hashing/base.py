@@ -20,15 +20,23 @@ replayed on bit-identical word streams.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import DuplicateServerError, EmptyTableError, UnknownServerError
+from ..errors import (
+    DuplicateServerError,
+    EmptyTableError,
+    StateError,
+    UnknownServerError,
+)
 from ..hashfn import HashFamily, Key
 from ..memory import MemoryRegion
 
-__all__ = ["DynamicHashTable"]
+__all__ = ["DynamicHashTable", "STATE_FORMAT_VERSION"]
+
+#: Version stamp written into every :meth:`DynamicHashTable.state_dict`.
+STATE_FORMAT_VERSION = 1
 
 
 class DynamicHashTable(ABC):
@@ -108,9 +116,9 @@ class DynamicHashTable(ABC):
         """Map a batch of request keys to server identifiers.
 
         Integer key batches take the vectorized path; mixed batches fall
-        back to element-wise hashing.
+        back to element-wise hashing.  The empty-pool check is delegated
+        to :meth:`route_batch`, so it runs exactly once per call.
         """
-        self._require_servers()
         array = np.asarray(keys)
         if array.dtype.kind in ("i", "u"):
             words = self._family.words(array)
@@ -128,16 +136,119 @@ class DynamicHashTable(ABC):
         """Route one pre-hashed 64-bit word to a server slot index."""
 
     def route_batch(self, words: np.ndarray) -> np.ndarray:
-        """Route pre-hashed words to slot indices (vectorized when the
-        subclass provides it; this default loops over :meth:`route_word`).
+        """Route pre-hashed words to slot indices.
+
+        Checks the pool once, normalises dtype, short-circuits empty
+        batches, then dispatches to the subclass's :meth:`_route_batch`
+        (vectorized where the algorithm provides one).
         """
         self._require_servers()
         words = np.asarray(words, dtype=np.uint64)
+        if words.size == 0:
+            return np.empty(0, dtype=np.int64)
+        return self._route_batch(words)
+
+    def _route_batch(self, words: np.ndarray) -> np.ndarray:
+        """Algorithm-specific batch routing on a non-empty uint64 batch.
+
+        This default loops over :meth:`route_word`; vectorized algorithms
+        override it.  ``words`` is guaranteed non-empty and the pool
+        non-empty (checked by :meth:`route_batch`).
+        """
         return np.fromiter(
             (self.route_word(int(word)) for word in words),
             dtype=np.int64,
             count=words.size,
         )
+
+    # -- snapshot / restore -------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """A complete, restorable snapshot of this table.
+
+        The snapshot captures the *live* routing state (including any
+        corruption injected through :meth:`memory_regions`), so a replica
+        built by :meth:`from_state` routes bit-identically without
+        replaying the join history.  Arrays in the returned dict are
+        copies; use :mod:`repro.service.snapshot` to serialize them.
+        """
+        return {
+            "format": STATE_FORMAT_VERSION,
+            "algorithm": self.name,
+            "config": dict(self._config_state()),
+            "server_ids": list(self._server_ids),
+            "payload": self._state_payload(),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "DynamicHashTable":
+        """Rebuild a table from a :meth:`state_dict` snapshot.
+
+        Dispatches through the algorithm registry, so
+        ``DynamicHashTable.from_state(state)`` restores any registered
+        algorithm; calling it on a concrete subclass additionally checks
+        that the snapshot matches that subclass.
+        """
+        from .registry import table_class
+
+        if state.get("format") != STATE_FORMAT_VERSION:
+            raise StateError(
+                "unsupported snapshot format {!r}".format(state.get("format"))
+            )
+        table = table_class(state["algorithm"])._build_for_restore(state)
+        if cls is not DynamicHashTable and not isinstance(table, cls):
+            raise StateError(
+                "snapshot holds a {!r} table, not {}".format(
+                    state["algorithm"], cls.__name__
+                )
+            )
+        table._restore(state)
+        return table
+
+    @classmethod
+    def _build_for_restore(cls, state: Dict[str, Any]) -> "DynamicHashTable":
+        """Construct the (empty) table a snapshot will be installed into.
+
+        Default: registry construction from the snapshot's config.
+        Subclasses whose constructors do discarded work (derive a
+        codebook the payload supersedes, build sub-tables the payload
+        replaces) override this to build a cheaper shell.
+        """
+        from .registry import make_table
+
+        return make_table(state["algorithm"], **state.get("config", {}))
+
+    def _restore(self, state: Dict[str, Any]) -> None:
+        if state.get("algorithm") != self.name:
+            raise StateError(
+                "snapshot algorithm {!r} does not match table {!r}".format(
+                    state.get("algorithm"), self.name
+                )
+            )
+        server_ids = list(state["server_ids"])
+        self._load_payload(state.get("payload", {}), server_ids)
+        self._server_ids = server_ids
+
+    def _config_state(self) -> Dict[str, Any]:
+        """Constructor kwargs that rebuild an equivalent empty table."""
+        return {"seed": self._family.seed}
+
+    def _state_payload(self) -> Dict[str, Any]:
+        """Algorithm-specific routing state (arrays are copied)."""
+        return {}
+
+    def _load_payload(self, payload: Dict[str, Any], server_ids: List[Key]) -> None:
+        """Install a :meth:`_state_payload` snapshot into a fresh table.
+
+        Default: deterministically replay the joins (exact for algorithms
+        whose state is a pure function of the join sequence, but blind to
+        post-snapshot memory corruption).  Every built-in algorithm
+        overrides this with a direct state install.
+        """
+        self._server_ids = []
+        for server_id in server_ids:
+            self._join(server_id, self._family.word(server_id))
+            self._server_ids.append(server_id)
 
     # -- fault-injection surface --------------------------------------------
 

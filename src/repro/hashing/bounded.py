@@ -18,15 +18,32 @@ with memory.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
+from typing import Any, Dict
 
 import numpy as np
 
 from ..hashfn import HashFamily
 from .consistent import ConsistentHashTable
+from .registry import register_table
 
-__all__ = ["BoundedLoadConsistentHashTable"]
+__all__ = ["BoundedLoadConsistentHashTable", "BoundedConfig"]
 
 
+@dataclass(frozen=True)
+class BoundedConfig:
+    """Constructor config for :class:`BoundedLoadConsistentHashTable`."""
+
+    seed: int = 0
+    replicas: int = 1
+    balance: float = 1.25
+
+
+@register_table(
+    "bounded-consistent",
+    config=BoundedConfig,
+    description="consistent hashing with bounded loads (SODA 2018)",
+)
 class BoundedLoadConsistentHashTable(ConsistentHashTable):
     """Consistent hashing with the bounded-loads placement rule."""
 
@@ -48,6 +65,13 @@ class BoundedLoadConsistentHashTable(ConsistentHashTable):
     def balance(self) -> float:
         """The load-balance parameter ``c``."""
         return self._balance
+
+    def _config_state(self) -> Dict[str, Any]:
+        return {
+            "seed": self._family.seed,
+            "replicas": self._replicas,
+            "balance": self._balance,
+        }
 
     def capacity_for(self, n_keys: int) -> int:
         """Per-server key capacity ``ceil(c * m / k)`` for ``m`` keys."""

@@ -34,15 +34,17 @@ replicas smooth the load and are exercised by ablations.
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import dataclass
+from typing import Any, Dict, List
 
 import numpy as np
 
 from ..hashfn import HashFamily, Key
 from ..memory import MemoryRegion
 from .base import DynamicHashTable
+from .registry import register_table
 
-__all__ = ["ConsistentHashTable"]
+__all__ = ["ConsistentHashTable", "ConsistentConfig"]
 
 #: Keys and positions live on a 2^32-slot fixed-point circle.
 _CIRCLE_BITS = 32
@@ -52,6 +54,22 @@ _CIRCLE_MASK = 0xFFFF_FFFF
 _CHUNK_CELLS = 1 << 22
 
 
+@dataclass(frozen=True)
+class ConsistentConfig:
+    """Constructor config for :class:`ConsistentHashTable`."""
+
+    seed: int = 0
+    replicas: int = 1
+    search: str = "count"
+    position_dtype: str = "fixed32"
+
+
+@register_table(
+    "consistent",
+    config=ConsistentConfig,
+    description="Karger ring with O(log k) successor search",
+    paper=True,
+)
 class ConsistentHashTable(DynamicHashTable):
     """Ring-based consistent hashing over a fixed-point unit circle."""
 
@@ -195,13 +213,36 @@ class ConsistentHashTable(DynamicHashTable):
             out[start:stop] = self._ring_slots[counts]
         return out
 
-    def route_batch(self, words: np.ndarray) -> np.ndarray:
-        self._require_servers()
-        words = np.asarray(words, dtype=np.uint64)
+    def _route_batch(self, words: np.ndarray) -> np.ndarray:
         keys = self._keys_of_words(words)
         if self._search == "count":
             return self._route_batch_count(keys)
         return self._route_batch_bisect(keys)
+
+    # -- snapshot / restore ----------------------------------------------
+
+    def _config_state(self) -> Dict[str, Any]:
+        return {
+            "seed": self._family.seed,
+            "replicas": self._replicas,
+            "search": self._search,
+            "position_dtype": self._position_dtype,
+        }
+
+    def _state_payload(self) -> Dict[str, Any]:
+        return {
+            "ring_positions": self._ring_positions.copy(),
+            "ring_slots": self._ring_slots.copy(),
+        }
+
+    def _load_payload(self, payload: Dict[str, Any], server_ids: List[Key]) -> None:
+        storage = self._ring_positions.dtype
+        self._ring_positions = np.asarray(
+            payload["ring_positions"], dtype=storage
+        ).copy()
+        self._ring_slots = np.asarray(
+            payload["ring_slots"], dtype=np.int64
+        ).copy()
 
     def memory_regions(self) -> List[MemoryRegion]:
         return [MemoryRegion("ring_positions", self._ring_positions)]

@@ -34,18 +34,21 @@ Placement details the paper leaves open (documented choices):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from ..errors import CapacityError
+from ..errors import CapacityError, StateError
 from ..hashfn import HashFamily, Key
 from ..hdc.basis import BasisSet, circular_basis
 from ..hdc.item_memory import ItemMemory
+from ..hdc.packing import unpack_bits
 from ..memory import MemoryRegion
 from .base import DynamicHashTable
+from .registry import register_table
 
-__all__ = ["HDHashTable"]
+__all__ = ["HDHashTable", "HDConfig"]
 
 #: Paper defaults: 10,000-bit hypervectors (Section 2.3).
 DEFAULT_DIM = 10_000
@@ -53,6 +56,31 @@ DEFAULT_DIM = 10_000
 DEFAULT_CODEBOOK_SIZE = 4_096
 
 
+@dataclass(frozen=True)
+class HDConfig:
+    """Constructor config for :class:`HDHashTable`.
+
+    ``codebook`` accepts a pre-built :class:`~repro.hdc.basis.BasisSet`
+    (shared across sweeps by the experiment harness); it is not part of
+    serialized snapshots, which carry the codebook in their payload.
+    """
+
+    seed: int = 0
+    dim: int = DEFAULT_DIM
+    codebook_size: int = DEFAULT_CODEBOOK_SIZE
+    codebook: Optional[BasisSet] = None
+    backend: str = "auto"
+    expose_codebook: bool = False
+    batch_size: int = 256
+    require_circular: bool = True
+
+
+@register_table(
+    "hd",
+    config=HDConfig,
+    description="the paper's HDC inference over circular-hypervectors",
+    paper=True,
+)
 class HDHashTable(DynamicHashTable):
     """Dynamic hash table routed by hyperdimensional inference."""
 
@@ -71,6 +99,7 @@ class HDHashTable(DynamicHashTable):
         require_circular: bool = True,
     ):
         super().__init__(family=family, seed=seed)
+        self._codebook_derived = codebook is None
         if codebook is not None:
             if require_circular and codebook.kind != "circular":
                 # Level codebooks re-introduce the wrap-around similarity
@@ -158,14 +187,14 @@ class HDHashTable(DynamicHashTable):
         slot, __, __ = self._memory.query_packed(self._codebook_packed[position])
         return slot
 
-    def route_batch(self, words: np.ndarray) -> np.ndarray:
+    def _route_batch(self, words: np.ndarray) -> np.ndarray:
         """Batched inference over the unique circle positions of a batch.
 
         Requests sharing a circle position share a similarity query, so a
-        batch of b requests costs ``min(b, n)`` memory sweeps.
+        batch of b requests costs ``min(b, n)`` memory sweeps.  Empty
+        batches are short-circuited by :meth:`route_batch` before the
+        ``np.unique`` indexing path.
         """
-        self._require_servers()
-        words = np.asarray(words, dtype=np.uint64)
         positions = (words % np.uint64(self.codebook_size)).astype(np.int64)
         unique_positions, inverse = np.unique(positions, return_inverse=True)
         slots = np.empty(unique_positions.size, dtype=np.int64)
@@ -174,6 +203,106 @@ class HDHashTable(DynamicHashTable):
             queries = self._codebook_packed[unique_positions[start:stop]]
             slots[start:stop], __ = self._memory.query_batch(queries)
         return slots[inverse]
+
+    # -- snapshot / restore -------------------------------------------------
+
+    def _config_state(self) -> Dict[str, Any]:
+        return {
+            "seed": self._family.seed,
+            "dim": self.dim,
+            "codebook_size": self.codebook_size,
+            "backend": self._memory.backend,
+            "batch_size": self._batch_size,
+            "expose_codebook": self._expose_codebook,
+        }
+
+    def _state_payload(self) -> Dict[str, Any]:
+        """The replica-defining state of Section 3: codebook + item memory.
+
+        A seed-derived codebook is recorded by reference (the family seed
+        in the config regenerates it bit-identically); an externally
+        supplied codebook is embedded packed.  The live packed codebook
+        copy is embedded only when it has diverged from the pristine
+        basis (i.e. fault injection with ``expose_codebook`` hit it), and
+        the item-memory rows are always captured live -- so a restored
+        replica reproduces even a corrupted table bit-for-bit.
+        """
+        pristine = self._codebook.packed()
+        if self._codebook_derived:
+            codebook: Dict[str, Any] = {"mode": "derived"}
+        else:
+            codebook = {
+                "mode": "explicit",
+                "kind": self._codebook.kind,
+                "packed": np.array(pristine, copy=True),
+            }
+        return {
+            "codebook": codebook,
+            "codebook_packed": (
+                None
+                if np.array_equal(self._codebook_packed, pristine)
+                else self._codebook_packed.copy()
+            ),
+            "positions": [
+                (server_id, int(self._position_of[server_id]))
+                for server_id in self._server_ids
+            ],
+            "memory_rows": self._memory.memory_view().copy(),
+        }
+
+    @classmethod
+    def _build_for_restore(cls, state: Dict[str, Any]) -> "HDHashTable":
+        # Hand an explicit payload codebook straight to the constructor,
+        # so it does not derive a throwaway basis from the family seed.
+        from .registry import make_table
+
+        config = dict(state.get("config", {}))
+        codebook = state["payload"]["codebook"]
+        if codebook["mode"] == "explicit":
+            packed = np.asarray(codebook["packed"], dtype=np.uint8)
+            config["codebook"] = BasisSet(
+                codebook["kind"],
+                unpack_bits(packed, config.get("dim", DEFAULT_DIM)),
+            )
+            config["require_circular"] = False
+        return make_table(state["algorithm"], **config)
+
+    def _load_payload(self, payload: Dict[str, Any], server_ids: List[Key]) -> None:
+        codebook = payload["codebook"]
+        if codebook["mode"] == "explicit" and self._codebook_derived:
+            # Fallback for restores that did not come through
+            # _build_for_restore (the constructor-supplied codebook path
+            # above already installed it).
+            packed = np.asarray(codebook["packed"], dtype=np.uint8)
+            vectors = unpack_bits(packed, self.dim)
+            self._codebook = BasisSet(codebook["kind"], vectors)
+            self._codebook_packed = self._codebook.packed().copy()
+        if codebook["mode"] == "explicit":
+            self._codebook_derived = False
+        # (derived mode: the constructor already rebuilt the identical
+        # codebook from the family seed)
+        if payload.get("codebook_packed") is not None:
+            self._codebook_packed = np.array(
+                payload["codebook_packed"], dtype=np.uint8, copy=True
+            )
+        self._memory = ItemMemory(self.dim, backend=self._memory.backend)
+        rows = np.asarray(payload["memory_rows"], dtype=np.uint8)
+        if rows.shape[0] != len(server_ids):
+            raise StateError(
+                "snapshot has {} item-memory rows for {} servers".format(
+                    rows.shape[0], len(server_ids)
+                )
+            )
+        for label, row in zip(server_ids, rows):
+            self._memory.add_packed(label, row)
+        self._position_of = {
+            server_id: int(position)
+            for server_id, position in payload["positions"]
+        }
+        self._occupied = {
+            position: server_id
+            for server_id, position in self._position_of.items()
+        }
 
     # -- fault-injection surface ------------------------------------------------
 

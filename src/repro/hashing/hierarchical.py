@@ -22,16 +22,54 @@ physical topology.
 
 from __future__ import annotations
 
-from typing import Callable, List
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
 
 from ..errors import EmptyTableError
 from ..hashfn import HashFamily, Key
 from ..memory import MemoryRegion
 from .base import DynamicHashTable
+from .registry import TableSpec, make_table, register_table
 
-__all__ = ["HierarchicalHashTable"]
+__all__ = ["HierarchicalHashTable", "HierarchicalConfig"]
 
 
+@dataclass(frozen=True)
+class HierarchicalConfig:
+    """Registry config for :class:`HierarchicalHashTable`.
+
+    ``outer`` and ``inner`` are table specs (an algorithm name, or an
+    ``{"algorithm": ..., "config": {...}}`` mapping).  A bare name
+    inherits this config's ``seed``.
+    """
+
+    seed: int = 0
+    n_groups: int = 4
+    outer: TableSpec = "consistent"
+    inner: TableSpec = "consistent"
+
+
+def _sub_factory(spec: TableSpec, default_seed: int) -> Callable[[], DynamicHashTable]:
+    if isinstance(spec, str):
+        return lambda: make_table(spec, seed=default_seed)
+    return lambda: make_table(spec)
+
+
+def _build_hierarchical(config: HierarchicalConfig) -> "HierarchicalHashTable":
+    return HierarchicalHashTable(
+        outer_factory=_sub_factory(config.outer, config.seed),
+        inner_factory=_sub_factory(config.inner, config.seed),
+        n_groups=config.n_groups,
+        seed=config.seed,
+    )
+
+
+@register_table(
+    "hierarchical",
+    config=HierarchicalConfig,
+    description="two-level composition: outer table routes to a group",
+    factory=_build_hierarchical,
+)
 class HierarchicalHashTable(DynamicHashTable):
     """Two-level composition of :class:`DynamicHashTable` instances."""
 
@@ -112,6 +150,57 @@ class HierarchicalHashTable(DynamicHashTable):
         """Two-level lookup (group, then server within the group)."""
         self._require_servers()
         return self._route_via_groups(self._family.word(key))
+
+    # -- snapshot / restore -------------------------------------------------
+
+    def _config_state(self) -> Dict[str, Any]:
+        inner = self._inners[0]
+        return {
+            "seed": self._family.seed,
+            "n_groups": self.n_groups,
+            "outer": {
+                "algorithm": self._outer.name,
+                "config": self._outer._config_state(),
+            },
+            "inner": {
+                "algorithm": inner.name,
+                "config": inner._config_state(),
+            },
+        }
+
+    @classmethod
+    def _build_for_restore(cls, state: Dict[str, Any]) -> "HierarchicalHashTable":
+        # The payload carries fully restored sub-table states, so skip
+        # the constructor (which would build n_groups + 1 fresh tables
+        # only for _load_payload to replace them) and hand _restore a
+        # bare shell instead.
+        table = cls.__new__(cls)
+        DynamicHashTable.__init__(
+            table, seed=state.get("config", {}).get("seed", 0)
+        )
+        table._outer = None
+        table._inners = []
+        table._group_of = {}
+        return table
+
+    def _state_payload(self) -> Dict[str, Any]:
+        return {
+            "outer": self._outer.state_dict(),
+            "inners": [inner.state_dict() for inner in self._inners],
+            "group_of": [
+                (server_id, int(self._group_of[server_id]))
+                for server_id in self._server_ids
+            ],
+        }
+
+    def _load_payload(self, payload: Dict[str, Any], server_ids: List[Key]) -> None:
+        self._outer = DynamicHashTable.from_state(payload["outer"])
+        self._inners = [
+            DynamicHashTable.from_state(state) for state in payload["inners"]
+        ]
+        self._group_of = {
+            server_id: int(group) for server_id, group in payload["group_of"]
+        }
 
     # -- fault-injection surface ------------------------------------------------
 

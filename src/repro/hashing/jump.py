@@ -19,13 +19,14 @@ pool size when corrupted, like :class:`~repro.hashing.modular.ModularHashTable`)
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List
 
 import numpy as np
 
 from ..hashfn import HashFamily, Key
 from ..memory import MemoryRegion
 from .base import DynamicHashTable
+from .registry import TableConfig, register_table
 
 __all__ = ["JumpHashTable", "jump_hash"]
 
@@ -47,6 +48,11 @@ def jump_hash(word: int, buckets: int) -> int:
     return bucket
 
 
+@register_table(
+    "jump",
+    config=TableConfig,
+    description="stateless O(log k) jump hash with bucket indirection",
+)
 class JumpHashTable(DynamicHashTable):
     """Jump consistent hashing with a swap-remove bucket indirection."""
 
@@ -76,6 +82,14 @@ class JumpHashTable(DynamicHashTable):
         count = self.server_count
         bucket = jump_hash(word, count)
         return int(self._bucket_refs[bucket]) % count
+
+    def _state_payload(self) -> Dict[str, Any]:
+        return {"bucket_refs": self._bucket_refs.copy()}
+
+    def _load_payload(self, payload: Dict[str, Any], server_ids: List[Key]) -> None:
+        self._bucket_refs = np.asarray(
+            payload["bucket_refs"], dtype=np.int64
+        ).copy()
 
     def memory_regions(self) -> List[MemoryRegion]:
         return [MemoryRegion("bucket_table", self._bucket_refs)]

@@ -14,7 +14,8 @@ re-interpreted modulo the pool size.
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import dataclass
+from typing import Any, Dict, List
 
 import numpy as np
 
@@ -22,8 +23,9 @@ from ..errors import CapacityError
 from ..hashfn import HashFamily, Key
 from ..memory import MemoryRegion
 from .base import DynamicHashTable
+from .registry import register_table
 
-__all__ = ["MaglevHashTable"]
+__all__ = ["MaglevHashTable", "MaglevConfig"]
 
 #: Default lookup-table size; prime and ~2x the largest pool exercised
 #: by the experiments, trading table weight for fill speed in tests.
@@ -43,6 +45,19 @@ def _is_prime(value: int) -> bool:
     return True
 
 
+@dataclass(frozen=True)
+class MaglevConfig:
+    """Constructor config for :class:`MaglevHashTable`."""
+
+    seed: int = 0
+    table_size: int = DEFAULT_TABLE_SIZE
+
+
+@register_table(
+    "maglev",
+    config=MaglevConfig,
+    description="Google Maglev O(1) prime lookup table",
+)
 class MaglevHashTable(DynamicHashTable):
     """Maglev consistent hashing with a prime lookup table."""
 
@@ -121,11 +136,26 @@ class MaglevHashTable(DynamicHashTable):
         entry = int(self._table[word % self._table_size])
         return entry % self.server_count
 
-    def route_batch(self, words: np.ndarray) -> np.ndarray:
-        self._require_servers()
-        words = np.asarray(words, dtype=np.uint64)
+    def _route_batch(self, words: np.ndarray) -> np.ndarray:
         entries = self._table[(words % np.uint64(self._table_size)).astype(np.int64)]
         return entries % np.int64(self.server_count)
+
+    # -- snapshot / restore ----------------------------------------------
+
+    def _config_state(self) -> Dict[str, Any]:
+        return {"seed": self._family.seed, "table_size": self._table_size}
+
+    def _state_payload(self) -> Dict[str, Any]:
+        return {
+            "server_words": self._server_words.copy(),
+            "table": self._table.copy(),
+        }
+
+    def _load_payload(self, payload: Dict[str, Any], server_ids: List[Key]) -> None:
+        self._server_words = np.asarray(
+            payload["server_words"], dtype=np.uint64
+        ).copy()
+        self._table = np.asarray(payload["table"], dtype=np.int64).copy()
 
     def memory_regions(self) -> List[MemoryRegion]:
         return [MemoryRegion("lookup_table", self._table)]

@@ -14,17 +14,24 @@ would land *somewhere*.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List
 
 import numpy as np
 
 from ..hashfn import HashFamily, Key
 from ..memory import MemoryRegion
 from .base import DynamicHashTable
+from .registry import TableConfig, register_table
 
 __all__ = ["ModularHashTable"]
 
 
+@register_table(
+    "modular",
+    config=TableConfig,
+    description="O(1) `h(r) mod k` baseline; remaps ~everything on resize",
+    paper=True,
+)
 class ModularHashTable(DynamicHashTable):
     """The classic ``h(r) mod k`` hash table."""
 
@@ -50,12 +57,16 @@ class ModularHashTable(DynamicHashTable):
         count = self.server_count
         return int(self._slot_refs[word % count]) % count
 
-    def route_batch(self, words: np.ndarray) -> np.ndarray:
-        self._require_servers()
-        words = np.asarray(words, dtype=np.uint64)
+    def _route_batch(self, words: np.ndarray) -> np.ndarray:
         count = np.uint64(self.server_count)
         buckets = (words % count).astype(np.int64)
         return self._slot_refs[buckets] % np.int64(self.server_count)
+
+    def _state_payload(self) -> Dict[str, Any]:
+        return {"slot_refs": self._slot_refs.copy()}
+
+    def _load_payload(self, payload: Dict[str, Any], server_ids: List[Key]) -> None:
+        self._slot_refs = np.asarray(payload["slot_refs"], dtype=np.int64).copy()
 
     def memory_regions(self) -> List[MemoryRegion]:
         return [MemoryRegion("slot_table", self._slot_refs)]

@@ -15,14 +15,31 @@ lookup hashing instead of hypervector memory.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Any, Dict
+
 import numpy as np
 
 from ..hashfn import HashFamily
 from .consistent import ConsistentHashTable
+from .registry import register_table
 
-__all__ = ["MultiProbeConsistentHashTable"]
+__all__ = ["MultiProbeConsistentHashTable", "MultiProbeConfig"]
 
 
+@dataclass(frozen=True)
+class MultiProbeConfig:
+    """Constructor config for :class:`MultiProbeConsistentHashTable`."""
+
+    seed: int = 0
+    probes: int = 21
+
+
+@register_table(
+    "multiprobe-consistent",
+    config=MultiProbeConfig,
+    description="multi-probe consistent hashing (one ring entry/server)",
+)
 class MultiProbeConsistentHashTable(ConsistentHashTable):
     """Consistent hashing with multi-probe key placement."""
 
@@ -44,6 +61,9 @@ class MultiProbeConsistentHashTable(ConsistentHashTable):
     def probes(self) -> int:
         """Number of key probes per lookup."""
         return self._probes
+
+    def _config_state(self) -> Dict[str, Any]:
+        return {"seed": self._family.seed, "probes": self._probes}
 
     def _probe_words(self, word: int) -> np.ndarray:
         seeds = np.arange(self._probes, dtype=np.uint64)
@@ -72,9 +92,7 @@ class MultiProbeConsistentHashTable(ConsistentHashTable):
         best = int(np.argmin(distances))
         return int(self._ring_slots[indices[best]])
 
-    def route_batch(self, words: np.ndarray) -> np.ndarray:
-        self._require_servers()
-        words = np.asarray(words, dtype=np.uint64)
+    def _route_batch(self, words: np.ndarray) -> np.ndarray:
         seeds = np.arange(self._probes, dtype=np.uint64)[:, None]
         probe_words = self._probe_family.pair_vec(words[None, :], seeds)
         keys = (probe_words >> np.uint64(32)).astype(np.uint32)

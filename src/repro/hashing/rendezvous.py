@@ -20,19 +20,26 @@ minimal disruption while skewing load toward heavier servers.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List
 
 import numpy as np
 
 from ..hashfn import HashFamily, Key
 from ..memory import MemoryRegion
 from .base import DynamicHashTable
+from .registry import TableConfig, register_table
 
 __all__ = ["RendezvousHashTable", "WeightedRendezvousHashTable"]
 
 _CHUNK_WORDS = 1 << 20  # bound the (k x chunk) weight matrix to ~8 MB rows
 
 
+@register_table(
+    "rendezvous",
+    config=TableConfig,
+    description="O(k) highest-random-weight hashing",
+    paper=True,
+)
 class RendezvousHashTable(DynamicHashTable):
     """Highest-random-weight (HRW) hashing."""
 
@@ -69,9 +76,7 @@ class RendezvousHashTable(DynamicHashTable):
                 best_slot = slot
         return best_slot
 
-    def route_batch(self, words: np.ndarray) -> np.ndarray:
-        self._require_servers()
-        words = np.asarray(words, dtype=np.uint64)
+    def _route_batch(self, words: np.ndarray) -> np.ndarray:
         out = np.empty(words.size, dtype=np.int64)
         chunk = max(1, _CHUNK_WORDS // max(1, self.server_count))
         columns = self._server_words[:, None]
@@ -81,10 +86,23 @@ class RendezvousHashTable(DynamicHashTable):
             out[start:stop] = weights.argmax(axis=0)
         return out
 
+    def _state_payload(self) -> Dict[str, Any]:
+        return {"server_words": self._server_words.copy()}
+
+    def _load_payload(self, payload: Dict[str, Any], server_ids: List[Key]) -> None:
+        self._server_words = np.asarray(
+            payload["server_words"], dtype=np.uint64
+        ).copy()
+
     def memory_regions(self) -> List[MemoryRegion]:
         return [MemoryRegion("server_words", self._server_words)]
 
 
+@register_table(
+    "weighted-rendezvous",
+    config=TableConfig,
+    description="HRW with per-server capacity weights (logarithm method)",
+)
 class WeightedRendezvousHashTable(RendezvousHashTable):
     """HRW with per-server capacity weights (logarithm method)."""
 
@@ -135,12 +153,28 @@ class WeightedRendezvousHashTable(RendezvousHashTable):
         self._require_servers()
         return int(self._scores(np.asarray([word], np.uint64)).argmax(axis=0)[0])
 
-    def route_batch(self, words: np.ndarray) -> np.ndarray:
-        self._require_servers()
-        words = np.asarray(words, dtype=np.uint64)
+    def _route_batch(self, words: np.ndarray) -> np.ndarray:
         out = np.empty(words.size, dtype=np.int64)
         chunk = max(1, _CHUNK_WORDS // max(1, self.server_count))
         for start in range(0, words.size, chunk):
             stop = min(start + chunk, words.size)
             out[start:stop] = self._scores(words[start:stop]).argmax(axis=0)
         return out
+
+    def _state_payload(self) -> Dict[str, Any]:
+        payload = super()._state_payload()
+        payload["weights"] = [
+            (server_id, float(self._weights[server_id]))
+            for server_id in self._server_ids
+        ]
+        return payload
+
+    def _load_payload(self, payload: Dict[str, Any], server_ids: List[Key]) -> None:
+        super()._load_payload(payload, server_ids)
+        self._weights = {
+            server_id: float(weight) for server_id, weight in payload["weights"]
+        }
+        self._weight_array = np.asarray(
+            [self._weights[server_id] for server_id in server_ids],
+            dtype=np.float64,
+        )

@@ -1,0 +1,36 @@
+"""The serving layer: production routing API over the paper's tables.
+
+Where :mod:`repro.hashing` speaks the paper's language (one join at a
+time, replay to rebuild), this package speaks a serving system's:
+
+* :class:`Router` -- facade wrapping any table with atomic bulk
+  membership updates (:class:`MembershipUpdate`), declarative
+  :meth:`Router.sync`, a monotonic membership epoch, per-epoch remap
+  accounting and :class:`RouterObserver` event hooks;
+* :mod:`repro.service.snapshot` -- bit-exact snapshot serialization so
+  replicas restore without replaying the join history.
+
+Quickstart::
+
+    from repro.hashing import make_table
+    from repro.service import Router
+
+    router = Router(make_table("hd", dim=4096, codebook_size=512))
+    router.sync(["web-a", "web-b", "web-c"])   # epoch 1
+    router.route("user:42")
+    router.sync(["web-a", "web-c", "web-d"])   # minimal diff, epoch 2
+"""
+
+from .router import EpochRecord, MembershipUpdate, Router, RouterObserver
+from .snapshot import dumps_state, load_table, loads_state, save_table
+
+__all__ = [
+    "EpochRecord",
+    "MembershipUpdate",
+    "Router",
+    "RouterObserver",
+    "dumps_state",
+    "load_table",
+    "loads_state",
+    "save_table",
+]

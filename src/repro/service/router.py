@@ -1,0 +1,332 @@
+"""The ``Router`` facade: batch-first, declarative routing over any table.
+
+The paper's tables mutate membership one ``join()``/``leave()`` at a
+time -- the emulator's request-stream shape.  A serving system works the
+other way around: a control plane *declares* the server set it wants
+(from service discovery, an autoscaler, a failure detector) and the
+routing layer reconciles.  :class:`Router` wraps any
+:class:`~repro.hashing.base.DynamicHashTable` with that control-plane
+surface:
+
+* :meth:`apply` -- one atomic :class:`MembershipUpdate` (a batch of
+  joins and leaves), validated before any mutation;
+* :meth:`sync` -- compute and apply the minimal join/leave diff to a
+  target server set (declarative membership);
+* a monotonically increasing **membership epoch**, bumped exactly once
+  per applied mutation batch -- the version number a cache or replica
+  compares to decide whether its routing view is stale;
+* per-epoch **remap accounting** over an optional probe key set (the
+  operational churn bill of Section 1, measured continuously);
+* :class:`RouterObserver` hooks for join/leave/remap events, which the
+  emulator's stats collection plugs into.
+
+Routing itself passes straight through to the wrapped table's scalar
+and batched paths.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DuplicateServerError, UnknownServerError
+from ..hashfn import Key
+from ..hashing.base import DynamicHashTable
+
+__all__ = ["MembershipUpdate", "EpochRecord", "RouterObserver", "Router"]
+
+
+def _unique(ids: Iterable[Key]) -> Tuple[Key, ...]:
+    """Order-preserving dedup (server ids may be any hashable)."""
+    seen = set()
+    out: List[Key] = []
+    for server_id in ids:
+        if server_id not in seen:
+            seen.add(server_id)
+            out.append(server_id)
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class MembershipUpdate:
+    """One atomic batch of membership mutations."""
+
+    joins: Tuple[Key, ...] = ()
+    leaves: Tuple[Key, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "joins", _unique(self.joins))
+        object.__setattr__(self, "leaves", _unique(self.leaves))
+        overlap = set(self.joins) & set(self.leaves)
+        if overlap:
+            raise ValueError(
+                "cannot join and leave {!r} in one update".format(
+                    sorted(overlap, key=repr)
+                )
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.joins and not self.leaves
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """What one membership epoch did to the routing state."""
+
+    epoch: int
+    joined: Tuple[Key, ...]
+    left: Tuple[Key, ...]
+    server_count: int
+    #: Fraction of tracked probe keys whose assignment changed this
+    #: epoch (0.0 when no probe set is tracked).
+    remapped: float
+    #: Absolute number of tracked probe keys that moved.
+    probes_moved: int
+    #: Wall time spent in the table's own join/leave mutations -- the
+    #: algorithmic membership cost, excluding validation, rollback
+    #: capture, probe accounting and observer dispatch.
+    mutate_seconds: float = 0.0
+
+
+class RouterObserver:
+    """Base class for router event hooks; override what you need."""
+
+    def on_join(self, server_id: Key, epoch: int) -> None:
+        """A server joined during the mutation batch closing ``epoch``."""
+
+    def on_leave(self, server_id: Key, epoch: int) -> None:
+        """A server left during the mutation batch closing ``epoch``."""
+
+    def on_remap(self, record: EpochRecord) -> None:
+        """An epoch closed; ``record`` carries its remap accounting."""
+
+
+class Router:
+    """Production-facing facade over a :class:`DynamicHashTable`."""
+
+    def __init__(
+        self,
+        table: DynamicHashTable,
+        probe_keys: Optional[Sequence[Key]] = None,
+        observers: Iterable[RouterObserver] = (),
+    ):
+        self._table = table
+        self._observers: List[RouterObserver] = list(observers)
+        self._epoch = 0
+        self._history: List[EpochRecord] = []
+        self._probe_keys: Optional[np.ndarray] = None
+        self._probe_assignment: Optional[np.ndarray] = None
+        if probe_keys is not None:
+            self.track(probe_keys)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def table(self) -> DynamicHashTable:
+        """The wrapped algorithm."""
+        return self._table
+
+    @property
+    def algorithm(self) -> str:
+        """Registry name of the wrapped algorithm."""
+        return self._table.name
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic membership version; bumped once per mutation batch."""
+        return self._epoch
+
+    @property
+    def history(self) -> Tuple[EpochRecord, ...]:
+        """Every epoch applied through this router, in order."""
+        return tuple(self._history)
+
+    @property
+    def server_ids(self) -> Tuple[Key, ...]:
+        return self._table.server_ids
+
+    @property
+    def server_count(self) -> int:
+        return self._table.server_count
+
+    def __contains__(self, server_id: Key) -> bool:
+        return server_id in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __repr__(self) -> str:
+        return "Router({}, servers={}, epoch={})".format(
+            self._table.name, self._table.server_count, self._epoch
+        )
+
+    # -- observers ---------------------------------------------------------
+
+    def subscribe(self, observer: RouterObserver) -> RouterObserver:
+        """Attach an observer; returns it (decorator-friendly)."""
+        self._observers.append(observer)
+        return observer
+
+    def unsubscribe(self, observer: RouterObserver) -> None:
+        """Detach a previously subscribed observer."""
+        self._observers.remove(observer)
+
+    # -- remap accounting --------------------------------------------------
+
+    def track(self, probe_keys: Sequence[Key]) -> None:
+        """Install the probe key set used for per-epoch remap accounting.
+
+        Probes are routed after every mutation batch; the fraction whose
+        assignment moved is recorded on that batch's
+        :class:`EpochRecord`.
+        """
+        self._probe_keys = np.asarray(probe_keys)
+        self._probe_assignment = (
+            self._table.lookup_batch(self._probe_keys)
+            if self._table.server_count
+            else None
+        )
+
+    @property
+    def probe_keys(self) -> Optional[np.ndarray]:
+        """The tracked probe set, or None when accounting is off."""
+        return self._probe_keys
+
+    def _account(self) -> Tuple[float, int]:
+        if self._probe_keys is None:
+            return 0.0, 0
+        if not self._table.server_count:
+            self._probe_assignment = None
+            return 0.0, 0
+        current = self._table.lookup_batch(self._probe_keys)
+        if self._probe_assignment is None:
+            moved = 0
+        else:
+            moved = int(np.sum(current != self._probe_assignment))
+        self._probe_assignment = current
+        if self._probe_keys.size == 0:
+            return 0.0, 0
+        return moved / self._probe_keys.size, moved
+
+    # -- membership --------------------------------------------------------
+
+    def apply(self, update: MembershipUpdate) -> Optional[EpochRecord]:
+        """Apply one mutation batch atomically; returns its epoch record.
+
+        The whole batch is validated against current membership before
+        any mutation, and the table state is captured first, so a
+        failure anywhere in the batch (including mid-batch algorithm
+        errors such as :class:`~repro.errors.CapacityError`) raises with
+        the table rolled back bit-exactly and no epoch consumed.  An
+        empty update is a no-op and does **not** bump the epoch.
+        """
+        if update.is_empty:
+            return None
+        current = set(self._table.server_ids)
+        for server_id in update.leaves:
+            if server_id not in current:
+                raise UnknownServerError(server_id)
+        for server_id in update.joins:
+            if server_id in current:
+                raise DuplicateServerError(server_id)
+        rollback = self._table.state_dict()
+        started = time.perf_counter()
+        try:
+            for server_id in update.leaves:
+                self._table.leave(server_id)
+            for server_id in update.joins:
+                self._table.join(server_id)
+        except Exception:
+            self._table._restore(rollback)
+            raise
+        mutate_seconds = time.perf_counter() - started
+        self._epoch += 1
+        for server_id in update.leaves:
+            for observer in self._observers:
+                observer.on_leave(server_id, self._epoch)
+        for server_id in update.joins:
+            for observer in self._observers:
+                observer.on_join(server_id, self._epoch)
+        remapped, moved = self._account()
+        record = EpochRecord(
+            epoch=self._epoch,
+            joined=update.joins,
+            left=update.leaves,
+            server_count=self._table.server_count,
+            remapped=remapped,
+            probes_moved=moved,
+            mutate_seconds=mutate_seconds,
+        )
+        self._history.append(record)
+        for observer in self._observers:
+            observer.on_remap(record)
+        return record
+
+    def join(self, server_id: Key) -> Optional[EpochRecord]:
+        """Single-server convenience for :meth:`apply`."""
+        return self.apply(MembershipUpdate(joins=(server_id,)))
+
+    def leave(self, server_id: Key) -> Optional[EpochRecord]:
+        """Single-server convenience for :meth:`apply`."""
+        return self.apply(MembershipUpdate(leaves=(server_id,)))
+
+    def diff(self, target_server_ids: Iterable[Key]) -> MembershipUpdate:
+        """The minimal update taking current membership to ``target``.
+
+        Joins preserve the target's iteration order; leaves preserve the
+        table's slot order.  Servers present in both sides are untouched.
+        """
+        target = _unique(target_server_ids)
+        target_set = set(target)
+        current = set(self._table.server_ids)
+        return MembershipUpdate(
+            joins=tuple(s for s in target if s not in current),
+            leaves=tuple(
+                s for s in self._table.server_ids if s not in target_set
+            ),
+        )
+
+    def sync(self, target_server_ids: Iterable[Key]) -> Optional[EpochRecord]:
+        """Reconcile membership to ``target_server_ids`` declaratively.
+
+        Computes the minimal join/leave diff and applies it as one
+        batch: one epoch bump for any amount of churn, no epoch bump
+        (and no events) when already in sync.
+        """
+        return self.apply(self.diff(target_server_ids))
+
+    # -- routing -----------------------------------------------------------
+
+    def route(self, key: Key) -> Key:
+        """Scalar lookup through the wrapped table."""
+        return self._table.lookup(key)
+
+    def route_batch(self, keys: Sequence[Key]) -> np.ndarray:
+        """Batched lookup through the wrapped table."""
+        return self._table.lookup_batch(keys)
+
+    # -- snapshot / restore ------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A restorable snapshot of the table plus router metadata."""
+        return {
+            "router": {"epoch": self._epoch},
+            "table": self._table.state_dict(),
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: Dict[str, Any],
+        probe_keys: Optional[Sequence[Key]] = None,
+        observers: Iterable[RouterObserver] = (),
+    ) -> "Router":
+        """Rebuild a router (and its table) from :meth:`snapshot`."""
+        table = DynamicHashTable.from_state(snapshot["table"])
+        router = cls(table, probe_keys=probe_keys, observers=observers)
+        router._epoch = int(snapshot.get("router", {}).get("epoch", 0))
+        return router

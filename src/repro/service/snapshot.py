@@ -1,0 +1,101 @@
+"""Serialize table snapshots: JSON text with base64-embedded arrays.
+
+:meth:`~repro.hashing.base.DynamicHashTable.state_dict` returns an
+in-memory dict whose leaves include numpy arrays (codebooks, item-memory
+rows, rings).  This module gives those snapshots a wire/disk format a
+replica on another host can consume:
+
+* :func:`dumps_state` / :func:`loads_state` -- snapshot dict <-> JSON
+  text.  Arrays are tagged ``{"__ndarray__": ...}`` with dtype, shape
+  and base64 payload, so restores are bit-exact; ``bytes`` server ids
+  are tagged the same way.
+* :func:`save_table` / :func:`load_table` -- one-call table
+  persistence.
+* Router snapshots (``Router.snapshot()``) use the same encoding.
+
+Server identifiers must be JSON-representable scalars (str, int, float,
+bool) or bytes; exotic id types stay supported by the in-memory
+``state_dict`` path only.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from ..hashing.base import DynamicHashTable
+
+__all__ = [
+    "dumps_state",
+    "loads_state",
+    "save_table",
+    "load_table",
+]
+
+_NDARRAY_TAG = "__ndarray__"
+_BYTES_TAG = "__bytes__"
+
+
+def _encode(value: Any) -> Any:
+    if isinstance(value, np.ndarray):
+        if value.dtype == object:
+            raise TypeError("object arrays cannot be serialized")
+        return {
+            _NDARRAY_TAG: base64.b64encode(
+                np.ascontiguousarray(value).tobytes()
+            ).decode("ascii"),
+            "dtype": value.dtype.str,
+            "shape": list(value.shape),
+        }
+    if isinstance(value, (bytes, bytearray)):
+        return {_BYTES_TAG: base64.b64encode(bytes(value)).decode("ascii")}
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(key): _encode(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode(item) for item in value]
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise TypeError(
+        "cannot serialize {!r} of type {}".format(value, type(value).__name__)
+    )
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, dict):
+        if _NDARRAY_TAG in value:
+            raw = base64.b64decode(value[_NDARRAY_TAG])
+            array = np.frombuffer(raw, dtype=np.dtype(value["dtype"]))
+            return array.reshape(value["shape"]).copy()
+        if _BYTES_TAG in value:
+            return base64.b64decode(value[_BYTES_TAG])
+        return {key: _decode(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decode(item) for item in value]
+    return value
+
+
+def dumps_state(state: Dict[str, Any], indent: int = None) -> str:
+    """Serialize a snapshot dict to JSON text (arrays base64-embedded)."""
+    return json.dumps(_encode(state), indent=indent)
+
+
+def loads_state(text: Union[str, bytes]) -> Dict[str, Any]:
+    """Parse :func:`dumps_state` output back into a snapshot dict."""
+    return _decode(json.loads(text))
+
+
+def save_table(table: DynamicHashTable, path: str) -> None:
+    """Write ``table.state_dict()`` to ``path`` as JSON."""
+    with open(path, "w") as handle:
+        handle.write(dumps_state(table.state_dict()))
+
+
+def load_table(path: str) -> DynamicHashTable:
+    """Restore a table saved by :func:`save_table`."""
+    with open(path) as handle:
+        return DynamicHashTable.from_state(loads_state(handle.read()))

@@ -1,0 +1,254 @@
+"""Tests for the Router facade: bulk membership, epochs, observers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DuplicateServerError, UnknownServerError
+from repro.hashing import make_table
+from repro.service import EpochRecord, MembershipUpdate, Router, RouterObserver
+
+
+def consistent_router(**kwargs):
+    return Router(make_table("consistent", seed=1), **kwargs)
+
+
+class TestMembershipUpdate:
+    def test_normalises_to_tuples(self):
+        update = MembershipUpdate(joins=["a", "b"], leaves=["c"])
+        assert update.joins == ("a", "b")
+        assert update.leaves == ("c",)
+
+    def test_dedups_preserving_order(self):
+        update = MembershipUpdate(joins=["b", "a", "b"])
+        assert update.joins == ("b", "a")
+
+    def test_join_leave_overlap_rejected(self):
+        with pytest.raises(ValueError, match="one update"):
+            MembershipUpdate(joins=["a"], leaves=["a"])
+
+    def test_is_empty(self):
+        assert MembershipUpdate().is_empty
+        assert not MembershipUpdate(joins=("a",)).is_empty
+
+
+class TestApply:
+    def test_batch_bumps_epoch_exactly_once(self):
+        router = consistent_router()
+        record = router.apply(MembershipUpdate(joins=("a", "b", "c")))
+        assert router.epoch == 1
+        assert record.epoch == 1
+        assert record.joined == ("a", "b", "c")
+        assert router.server_ids == ("a", "b", "c")
+
+    def test_empty_update_is_epochless_noop(self):
+        router = consistent_router()
+        assert router.apply(MembershipUpdate()) is None
+        assert router.epoch == 0
+        assert router.history == ()
+
+    def test_mixed_batch(self):
+        router = consistent_router()
+        router.apply(MembershipUpdate(joins=("a", "b")))
+        record = router.apply(
+            MembershipUpdate(joins=("c",), leaves=("a",))
+        )
+        assert router.epoch == 2
+        assert record.left == ("a",)
+        assert router.server_ids == ("b", "c")
+
+    def test_invalid_batch_raises_without_side_effects(self):
+        router = consistent_router()
+        router.apply(MembershipUpdate(joins=("a",)))
+        with pytest.raises(DuplicateServerError):
+            router.apply(MembershipUpdate(joins=("b", "a")))
+        with pytest.raises(UnknownServerError):
+            router.apply(MembershipUpdate(joins=("c",), leaves=("ghost",)))
+        # nothing mutated, no epoch consumed
+        assert router.server_ids == ("a",)
+        assert router.epoch == 1
+        assert len(router.history) == 1
+
+    def test_mid_batch_capacity_failure_rolls_back_atomically(self):
+        from repro.errors import CapacityError
+
+        # A 4-node circle can hold at most 4 servers, so the fifth join
+        # of the batch fails *after* earlier joins already mutated.
+        router = Router(make_table("hd", seed=1, dim=64, codebook_size=4))
+        router.sync(["a", "b"])
+        reference = router.route_batch(np.arange(500, dtype=np.uint64))
+        with pytest.raises(CapacityError):
+            router.sync(["a", "b", "c", "d", "e", "f"])
+        assert router.server_ids == ("a", "b")
+        assert router.epoch == 1
+        assert len(router.history) == 1
+        assert np.array_equal(
+            router.route_batch(np.arange(500, dtype=np.uint64)), reference
+        )
+        # and the router still works after the rollback
+        record = router.sync(["a", "b", "c"])
+        assert record.epoch == 2
+
+    def test_records_mutation_time(self):
+        router = consistent_router()
+        record = router.apply(MembershipUpdate(joins=("a", "b")))
+        assert record.mutate_seconds >= 0.0
+
+    def test_single_server_conveniences(self):
+        router = consistent_router()
+        router.join("a")
+        router.join("b")
+        router.leave("a")
+        assert router.server_ids == ("b",)
+        assert router.epoch == 3
+
+
+class TestSync:
+    def test_reaches_target_from_empty(self):
+        router = consistent_router()
+        record = router.sync(["a", "b", "c"])
+        assert router.server_ids == ("a", "b", "c")
+        assert record.joined == ("a", "b", "c")
+        assert record.left == ()
+
+    def test_minimal_diff(self):
+        router = consistent_router()
+        router.sync(["a", "b", "c", "d"])
+        record = router.sync(["b", "c", "e"])
+        # Only the difference moved: one join, two leaves, one epoch.
+        assert record.joined == ("e",)
+        assert set(record.left) == {"a", "d"}
+        assert router.epoch == 2
+        assert set(router.server_ids) == {"b", "c", "e"}
+
+    def test_noop_sync_does_not_bump_epoch(self):
+        router = consistent_router()
+        router.sync(["a", "b"])
+        assert router.sync(["a", "b"]) is None
+        assert router.sync(["b", "a"]) is None  # order is not membership
+        assert router.epoch == 1
+
+    def test_sync_to_empty_drains_pool(self):
+        router = consistent_router()
+        router.sync(["a", "b"])
+        record = router.sync([])
+        assert router.server_count == 0
+        assert set(record.left) == {"a", "b"}
+
+    def test_diff_is_pure(self):
+        router = consistent_router()
+        router.sync(["a", "b"])
+        update = router.diff(["b", "c"])
+        assert update.joins == ("c",)
+        assert update.leaves == ("a",)
+        assert router.server_ids == ("a", "b")  # not applied
+
+    def test_sync_fuzz_reaches_arbitrary_targets(self, rng):
+        router = consistent_router()
+        universe = list(range(40))
+        for __ in range(25):
+            target = [
+                server_id for server_id in universe if rng.random() < 0.4
+            ]
+            before = router.epoch
+            record = router.sync(target)
+            assert set(router.server_ids) == set(target)
+            if record is None:
+                assert router.epoch == before
+            else:
+                assert router.epoch == before + 1
+                # minimality: every event was strictly necessary
+                assert not (set(record.joined) & set(record.left))
+
+
+class TestObservers:
+    def test_events_fire_with_epoch(self):
+        events = []
+
+        class Recorder(RouterObserver):
+            def on_join(self, server_id, epoch):
+                events.append(("join", server_id, epoch))
+
+            def on_leave(self, server_id, epoch):
+                events.append(("leave", server_id, epoch))
+
+            def on_remap(self, record):
+                events.append(("epoch", record.epoch, record.server_count))
+
+        router = consistent_router(observers=[Recorder()])
+        router.sync(["a", "b"])
+        router.sync(["b", "c"])
+        assert events == [
+            ("join", "a", 1),
+            ("join", "b", 1),
+            ("epoch", 1, 2),
+            ("leave", "a", 2),
+            ("join", "c", 2),
+            ("epoch", 2, 2),
+        ]
+
+    def test_subscribe_unsubscribe(self):
+        seen = []
+
+        class Counter(RouterObserver):
+            def on_remap(self, record):
+                seen.append(record.epoch)
+
+        router = consistent_router()
+        observer = router.subscribe(Counter())
+        router.sync(["a"])
+        router.unsubscribe(observer)
+        router.sync(["a", "b"])
+        assert seen == [1]
+
+
+class TestRemapAccounting:
+    def test_probe_fractions_recorded_per_epoch(self):
+        probe = np.arange(4_000, dtype=np.uint64)
+        router = consistent_router(probe_keys=probe)
+        first = router.sync(["a", "b", "c", "d"])
+        assert first.remapped == 0.0  # no previous assignment to move from
+        record = router.sync(["a", "b", "c", "d", "e"])
+        # consistent hashing: the newcomer claims ~1/k of the keys
+        assert 0.0 < record.remapped < 0.8
+        assert record.probes_moved == int(record.remapped * probe.size)
+
+    def test_modular_remaps_more_than_consistent(self):
+        probe = np.arange(4_000, dtype=np.uint64)
+        results = {}
+        for name in ("modular", "consistent"):
+            router = Router(make_table(name, seed=1), probe_keys=probe)
+            router.sync(range(8))
+            results[name] = router.sync(range(9)).remapped
+        assert results["modular"] > 2 * results["consistent"]
+
+    def test_no_probes_means_zero_accounting(self):
+        router = consistent_router()
+        record = router.sync(["a", "b"])
+        assert record.remapped == 0.0
+        assert record.probes_moved == 0
+
+    def test_routing_passthrough(self):
+        router = consistent_router()
+        router.sync(["a", "b", "c"])
+        assert router.route("key") in router.server_ids
+        batch = router.route_batch(np.arange(50, dtype=np.uint64))
+        assert set(batch.tolist()) <= set(router.server_ids)
+        assert len(router) == 3
+        assert "a" in router
+        assert "consistent" in repr(router)
+
+
+class TestRouterSnapshot:
+    def test_restore_preserves_epoch_and_routing(self):
+        probe = np.arange(2_000, dtype=np.uint64)
+        router = Router(
+            make_table("hd", seed=2, dim=1_024, codebook_size=128),
+            probe_keys=probe,
+        )
+        router.sync(["a", "b", "c"])
+        router.sync(["a", "c", "d"])
+        reference = router.route_batch(probe)
+        restored = Router.restore(router.snapshot())
+        assert restored.epoch == router.epoch
+        assert restored.server_ids == router.server_ids
+        assert np.array_equal(restored.route_batch(probe), reference)

@@ -15,8 +15,10 @@ MODULES = [
     "repro.experiments",
     "repro.hashfn",
     "repro.hashing",
+    "repro.hashing.registry",
     "repro.hdc",
     "repro.memory",
+    "repro.service",
 ]
 
 
