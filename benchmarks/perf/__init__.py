@@ -1,0 +1,2 @@
+"""Throughput suite: requests/second per algorithm, and the proof that
+the vectorized HD hot path beats the scalar loop (see conftest.py)."""

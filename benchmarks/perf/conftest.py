@@ -1,0 +1,24 @@
+"""Shared fixtures for the throughput suite.
+
+Running
+
+    pytest benchmarks/perf -q
+
+measures every registered algorithm at the ``fast`` profile (one suite
+run shared across tests), checks the ``BENCH_throughput.json`` report
+machinery, and asserts the headline acceptance: vectorized HD batch
+routing at the ``bench`` profile is >= 5x faster per word than the
+pre-vectorization scalar dispatch loop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import run_suite
+
+
+@pytest.fixture(scope="session")
+def fast_report():
+    """One fast-profile suite run, shared by every test in the package."""
+    return run_suite("fast")

@@ -16,7 +16,7 @@ Run:  python examples/periodic_encoding.py
 
 import numpy as np
 
-from repro.hdc import PeriodicEncoder, cosine_similarity, bundle
+from repro.hdc import PeriodicEncoder, cosine_similarity
 
 
 def main():
@@ -76,7 +76,9 @@ def main():
     from repro.hdc import level_basis
 
     level = level_basis(48, 8_192, np.random.default_rng(5))
-    node = lambda hour: int(round(hour / 24.0 * 48)) % 48
+    def node(hour):
+        return int(round(hour / 24.0 * 48)) % 48
+
     late, early = level[node(23.5)], level[node(0.5)]
     print(
         "  level encoding: sim(23.5h, 0.5h) = {:+.3f}   <- the seam".format(

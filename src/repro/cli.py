@@ -9,6 +9,8 @@ Usage::
     python -m repro algorithms
     python -m repro route hd --servers 4 --requests 8 -o dim=4096 \
         -o codebook_size=512
+    python -m repro bench --profile fast
+    python -m repro bench --profile fast --check BENCH_throughput.json
 
 ``run`` regenerates a paper artefact (the artefact registry maps names
 to experiment runners; ``--profile`` selects the ``fast`` / ``bench`` /
@@ -16,6 +18,10 @@ to experiment runners; ``--profile`` selects the ``fast`` / ``bench`` /
 ``route`` builds any registered table by name through
 :func:`repro.hashing.make_table`, drives it through the
 :class:`~repro.service.Router` facade and prints sample assignments.
+``bench`` runs the throughput suite (:mod:`repro.perf`), writes the
+machine-readable ``BENCH_throughput.json`` report, and with ``--check``
+gates against a committed baseline (exit code 1 on regression) -- the
+command the CI ``perf-smoke`` job runs.
 """
 
 from __future__ import annotations
@@ -26,6 +32,9 @@ import sys
 from typing import Callable, Dict, Optional, Tuple
 
 from .hashing import algorithm_entry, make_table, registered_algorithms
+from .perf import compare_reports, format_report, load_report, run_suite, save_report
+from .perf.baseline import DEFAULT_TOLERANCE, coverage_drift
+from .perf.profiles import PERF_PROFILES
 from .service import Router
 
 from .experiments import (
@@ -162,6 +171,44 @@ def _build_parser() -> argparse.ArgumentParser:
         "-o", "--option", action="append", default=[], metavar="KEY=VALUE",
         help="algorithm config override (repeatable), e.g. -o dim=4096",
     )
+    bench = commands.add_parser(
+        "bench", help="measure routing throughput; optionally gate vs baseline"
+    )
+    bench.add_argument(
+        "--profile",
+        choices=tuple(PERF_PROFILES),
+        default="fast",
+        help="measurement scale (default: fast)",
+    )
+    bench.add_argument(
+        "--algorithms",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="comma-separated subset (default: every registered algorithm)",
+    )
+    bench.add_argument(
+        "--seed", type=int, default=0, help="hash-family seed (default: 0)"
+    )
+    bench.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="where to write the fresh report (default: "
+        "BENCH_throughput.json, or BENCH_throughput.fresh.json in "
+        "--check mode so the baseline is never clobbered)",
+    )
+    bench.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="compare against this committed report; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="max tolerated fractional throughput drop (default: 0.30)",
+    )
     run = commands.add_parser("run", help="regenerate an artefact")
     run.add_argument(
         "artefact",
@@ -246,6 +293,77 @@ def _run_route(args, out) -> int:
     return 0
 
 
+def _run_bench(args, out) -> int:
+    algorithms = None
+    if args.algorithms:
+        algorithms = [
+            name.strip() for name in args.algorithms.split(",") if name.strip()
+        ]
+    try:
+        report = run_suite(
+            args.profile,
+            algorithms=algorithms,
+            seed=args.seed,
+            progress=lambda line: print(line, file=out),
+        )
+    except (KeyError, ValueError) as error:
+        raise SystemExit("error: {}".format(error))
+    print("", file=out)
+    print(format_report(report), file=out)
+    # Load the baseline before any write: --check must never compare
+    # against a file the fresh report just clobbered.
+    baseline = None
+    if args.check is not None:
+        try:
+            baseline = load_report(args.check)
+        except (OSError, ValueError) as error:
+            raise SystemExit("error: {}".format(error))
+    output = args.output
+    if output is None:
+        # Check mode keeps the baseline untouched by default.
+        output = (
+            "BENCH_throughput.fresh.json"
+            if args.check is not None
+            else "BENCH_throughput.json"
+        )
+    save_report(report, output)
+    print("\nwrote {}".format(output), file=out)
+    if baseline is None:
+        return 0
+    try:
+        regressions = compare_reports(
+            report, baseline, tolerance=args.tolerance
+        )
+    except ValueError as error:
+        raise SystemExit("error: {}".format(error))
+    missing, added = coverage_drift(report, baseline)
+    for name in missing:
+        print(
+            "warning: baseline algorithm {!r} was not measured".format(name),
+            file=out,
+        )
+    for name in added:
+        print(
+            "note: {!r} is new (no baseline entry yet)".format(name), file=out
+        )
+    if regressions:
+        print(
+            "\nFAIL: {} throughput regression(s) beyond {:.0%} "
+            "tolerance:".format(len(regressions), args.tolerance),
+            file=out,
+        )
+        for regression in regressions:
+            print("  " + regression.describe(), file=out)
+        return 1
+    print(
+        "\nOK: no regression beyond {:.0%} vs {}".format(
+            args.tolerance, args.check
+        ),
+        file=out,
+    )
+    return 0
+
+
 def main(argv=None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -272,6 +390,8 @@ def main(argv=None, out=None) -> int:
         return 0
     if args.command == "route":
         return _run_route(args, out)
+    if args.command == "bench":
+        return _run_bench(args, out)
     if args.artefact == "all":
         for name in sorted(REGISTRY):
             if args.csv is not None:

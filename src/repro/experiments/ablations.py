@@ -17,7 +17,6 @@ from typing import Sequence
 import numpy as np
 
 from ..analysis import uniformity_chi2
-from ..hashfn import HashFamily
 from ..hashing import ConsistentHashTable, HDHashTable, RendezvousHashTable
 from ..hdc.basis import circular_basis, level_basis
 from ..hdc.packing import BACKENDS, hamming_packed_matrix, pack_bits

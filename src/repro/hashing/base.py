@@ -112,24 +112,35 @@ class DynamicHashTable(ABC):
         self._require_servers()
         return self._server_ids[self.route_word(self._family.word(key))]
 
-    def lookup_batch(self, keys: Sequence[Key]) -> np.ndarray:
-        """Map a batch of request keys to server identifiers.
+    def words_of_keys(self, keys: Sequence[Key]) -> np.ndarray:
+        """Hash a batch of request keys to pre-routed 64-bit words.
 
         Integer key batches take the vectorized path; mixed batches fall
-        back to element-wise hashing.  The empty-pool check is delegated
-        to :meth:`route_batch`, so it runs exactly once per call.
+        back to element-wise hashing.  Callers that route the same key
+        set repeatedly (remap accounting, replay harnesses) hash once
+        here and feed :meth:`route_batch` / :meth:`lookup_words`.
         """
         array = np.asarray(keys)
         if array.dtype.kind in ("i", "u"):
-            words = self._family.words(array)
-        else:
-            words = np.fromiter(
-                (self._family.word(key) for key in keys),
-                dtype=np.uint64,
-                count=len(keys),
-            )
+            return self._family.words(array)
+        return np.fromiter(
+            (self._family.word(key) for key in keys),
+            dtype=np.uint64,
+            count=len(keys),
+        )
+
+    def lookup_words(self, words: np.ndarray) -> np.ndarray:
+        """Map pre-hashed words to server identifiers (batch)."""
         slots = self.route_batch(words)
         return np.asarray(self._server_ids, dtype=object)[slots]
+
+    def lookup_batch(self, keys: Sequence[Key]) -> np.ndarray:
+        """Map a batch of request keys to server identifiers.
+
+        The empty-pool check is delegated to :meth:`route_batch`, so it
+        runs exactly once per call.
+        """
+        return self.lookup_words(self.words_of_keys(keys))
 
     @abstractmethod
     def route_word(self, word: int) -> int:

@@ -43,7 +43,7 @@ from ..errors import CapacityError, StateError
 from ..hashfn import HashFamily, Key
 from ..hdc.basis import BasisSet, circular_basis
 from ..hdc.item_memory import ItemMemory
-from ..hdc.packing import unpack_bits
+from ..hdc.packing import as_words, unpack_bits
 from ..memory import MemoryRegion
 from .base import DynamicHashTable
 from .registry import register_table
@@ -112,8 +112,11 @@ class HDHashTable(DynamicHashTable):
             self._codebook = circular_basis(codebook_size, dim, rng)
         # The table owns a writable packed copy: it is the memory the
         # lookups actually read, hence the corruptible region when
-        # ``expose_codebook`` is set.
+        # ``expose_codebook`` is set.  The uint64 word alias of the same
+        # storage is what the routing kernels consume; it is refreshed
+        # only here and on restore, never per query.
         self._codebook_packed = self._codebook.packed().copy()
+        self._codebook_words = as_words(self._codebook_packed)
         self._expose_codebook = expose_codebook
         if batch_size < 1:
             raise ValueError("batch size must be at least 1")
@@ -146,7 +149,11 @@ class HDHashTable(DynamicHashTable):
 
     @property
     def batch_size(self) -> int:
-        """Inference batch size (the paper uses 256 on its GPU)."""
+        """Configured inference batch size (the paper uses 256 on its GPU).
+
+        Kept as declarative config; the batch kernel now sizes its own
+        sweeps by memory budget rather than fixed query counts.
+        """
         return self._batch_size
 
     def position_of(self, server_id: Key) -> int:
@@ -184,24 +191,25 @@ class HDHashTable(DynamicHashTable):
     def route_word(self, word: int) -> int:
         self._require_servers()
         position = int(word % self.codebook_size)
-        slot, __, __ = self._memory.query_packed(self._codebook_packed[position])
+        slot, __, __ = self._memory.query_words(self._codebook_words[position])
         return slot
 
     def _route_batch(self, words: np.ndarray) -> np.ndarray:
         """Batched inference over the unique circle positions of a batch.
 
-        Requests sharing a circle position share a similarity query, so a
-        batch of b requests costs ``min(b, n)`` memory sweeps.  Empty
-        batches are short-circuited by :meth:`route_batch` before the
-        ``np.unique`` indexing path.
+        Requests sharing a circle position share a similarity query, so
+        a batch of b requests costs one kernel sweep over ``min(b, n)``
+        unique queries -- a single XOR+popcount pass over the
+        mutation-time uint64 views of codebook and item memory, with no
+        per-word or per-chunk Python dispatch.  Empty batches are
+        short-circuited by :meth:`route_batch` before the ``np.unique``
+        indexing path.
         """
         positions = (words % np.uint64(self.codebook_size)).astype(np.int64)
         unique_positions, inverse = np.unique(positions, return_inverse=True)
-        slots = np.empty(unique_positions.size, dtype=np.int64)
-        for start in range(0, unique_positions.size, self._batch_size):
-            stop = min(start + self._batch_size, unique_positions.size)
-            queries = self._codebook_packed[unique_positions[start:stop]]
-            slots[start:stop], __ = self._memory.query_batch(queries)
+        slots, __ = self._memory.query_batch_words(
+            self._codebook_words[unique_positions]
+        )
         return slots[inverse]
 
     # -- snapshot / restore -------------------------------------------------
@@ -277,6 +285,7 @@ class HDHashTable(DynamicHashTable):
             vectors = unpack_bits(packed, self.dim)
             self._codebook = BasisSet(codebook["kind"], vectors)
             self._codebook_packed = self._codebook.packed().copy()
+            self._codebook_words = as_words(self._codebook_packed)
         if codebook["mode"] == "explicit":
             self._codebook_derived = False
         # (derived mode: the constructor already rebuilt the identical
@@ -285,6 +294,7 @@ class HDHashTable(DynamicHashTable):
             self._codebook_packed = np.array(
                 payload["codebook_packed"], dtype=np.uint8, copy=True
             )
+            self._codebook_words = as_words(self._codebook_packed)
         self._memory = ItemMemory(self.dim, backend=self._memory.backend)
         rows = np.asarray(payload["memory_rows"], dtype=np.uint8)
         if rows.shape[0] != len(server_ids):

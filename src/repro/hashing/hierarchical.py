@@ -22,8 +22,10 @@ physical topology.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List
+
+import numpy as np
 
 from ..errors import EmptyTableError
 from ..hashfn import HashFamily, Key
@@ -145,6 +147,48 @@ class HierarchicalHashTable(DynamicHashTable):
     def route_word(self, word: int) -> int:
         self._require_servers()
         return self._server_ids.index(self._route_via_groups(word))
+
+    def _route_batch(self, words: np.ndarray) -> np.ndarray:
+        """Two-level batch routing: one outer sweep, one inner sweep per
+        non-empty group.
+
+        The empty-group probe of :meth:`_route_via_groups` is
+        precomputed as a group->group indirection, so the per-word work
+        is entirely array-wide; the only Python loop is over the (few)
+        distinct groups the batch actually touches.
+        """
+        n_groups = len(self._inners)
+        counts = np.fromiter(
+            (inner.server_count for inner in self._inners),
+            dtype=np.int64,
+            count=n_groups,
+        )
+        probe = np.empty(n_groups, dtype=np.int64)
+        for group in range(n_groups):
+            for offset in range(n_groups):
+                target = (group + offset) % n_groups
+                if counts[target]:
+                    probe[group] = target
+                    break
+            else:
+                raise EmptyTableError("no group has any servers")
+        groups = probe[self._outer.route_batch(words)]
+        slot_of = {
+            server_id: slot
+            for slot, server_id in enumerate(self._server_ids)
+        }
+        out = np.empty(words.size, dtype=np.int64)
+        for group in np.unique(groups):
+            inner = self._inners[int(group)]
+            mask = groups == group
+            inner_slots = inner.route_batch(words[mask])
+            mapping = np.fromiter(
+                (slot_of[server_id] for server_id in inner.server_ids),
+                dtype=np.int64,
+                count=inner.server_count,
+            )
+            out[mask] = mapping[inner_slots]
+        return out
 
     def lookup(self, key: Key) -> Key:
         """Two-level lookup (group, then server within the group)."""

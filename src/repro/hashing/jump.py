@@ -28,7 +28,7 @@ from ..memory import MemoryRegion
 from .base import DynamicHashTable
 from .registry import TableConfig, register_table
 
-__all__ = ["JumpHashTable", "jump_hash"]
+__all__ = ["JumpHashTable", "jump_hash", "jump_hash_batch"]
 
 _MASK64 = 0xFFFF_FFFF_FFFF_FFFF
 _JUMP_MUL = 2_862_933_555_777_941_757
@@ -46,6 +46,38 @@ def jump_hash(word: int, buckets: int) -> int:
         key = (key * _JUMP_MUL + 1) & _MASK64
         next_bucket = int((bucket + 1) * (1 << 31) / ((key >> 33) + 1))
     return bucket
+
+
+def jump_hash_batch(words: np.ndarray, buckets: int) -> np.ndarray:
+    """Vectorized :func:`jump_hash` over a batch of 64-bit words.
+
+    Runs the PRNG walk on the whole batch at once, masking out words
+    whose walk has converged; the iteration count is the longest walk in
+    the batch (~``ln buckets`` expected), not the batch size.  Exact bit
+    match with the scalar walk: both sides compute the candidate bucket
+    in float64 from operands small enough (< 2**53) to convert exactly.
+    """
+    if buckets <= 0:
+        raise ValueError("bucket count must be positive")
+    words = np.asarray(words, dtype=np.uint64)
+    key = words.copy()
+    bucket = np.full(words.shape, -1, dtype=np.int64)
+    candidate = np.zeros(words.shape, dtype=np.int64)
+    active = np.ones(words.shape, dtype=bool)
+    mul = np.uint64(_JUMP_MUL)
+    one = np.uint64(1)
+    shift = np.uint64(33)
+    while True:
+        bucket[active] = candidate[active]
+        key[active] = key[active] * mul + one
+        candidate[active] = (
+            (bucket[active] + 1).astype(np.float64)
+            * float(1 << 31)
+            / ((key[active] >> shift).astype(np.float64) + 1.0)
+        ).astype(np.int64)
+        active = candidate < buckets
+        if not active.any():
+            return bucket
 
 
 @register_table(
@@ -82,6 +114,11 @@ class JumpHashTable(DynamicHashTable):
         count = self.server_count
         bucket = jump_hash(word, count)
         return int(self._bucket_refs[bucket]) % count
+
+    def _route_batch(self, words: np.ndarray) -> np.ndarray:
+        count = self.server_count
+        buckets = jump_hash_batch(words, count)
+        return self._bucket_refs[buckets] % np.int64(count)
 
     def _state_payload(self) -> Dict[str, Any]:
         return {"bucket_refs": self._bucket_refs.copy()}

@@ -42,9 +42,12 @@ from .operations import (
 )
 from .packing import (
     BACKENDS,
+    as_words,
     default_backend,
     hamming_packed,
     hamming_packed_matrix,
+    hamming_words,
+    nearest_rows_words,
     pack_bits,
     popcount_u64,
     row_bytes,
@@ -73,6 +76,7 @@ __all__ = [
     "CodebookEncoder",
     "ItemMemory",
     "PeriodicEncoder",
+    "as_words",
     "bind",
     "bundle",
     "circular_basis",
@@ -86,10 +90,12 @@ __all__ = [
     "hamming_packed",
     "hamming_packed_matrix",
     "hamming_similarity",
+    "hamming_words",
     "invert",
     "inverse_hamming",
     "level_basis",
     "level_hypervectors",
+    "nearest_rows_words",
     "pack_bits",
     "permute",
     "popcount_u64",

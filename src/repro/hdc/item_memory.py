@@ -24,9 +24,11 @@ from typing import Hashable, List, Optional, Tuple
 import numpy as np
 
 from .packing import (
+    as_words,
     default_backend,
     hamming_packed,
-    hamming_packed_matrix,
+    hamming_words,
+    nearest_rows_words,
     pack_bits,
     row_bytes,
 )
@@ -47,6 +49,12 @@ class ItemMemory:
         self._backend = default_backend() if backend == "auto" else backend
         self._labels: List[Hashable] = []
         self._buffer = np.zeros((_INITIAL_CAPACITY, self._row_bytes), dtype=np.uint8)
+        # uint64 alias of the same storage, refreshed only when the
+        # buffer is reallocated (growth) -- the query hot path reads
+        # words directly, with no per-query view conversion.  Writes
+        # through ``memory_view`` (fault injection) land in the same
+        # bytes, so both views always agree.
+        self._buffer_words = as_words(self._buffer)
 
     # -- introspection ----------------------------------------------------
 
@@ -79,6 +87,14 @@ class ItemMemory:
         """
         return self._buffer[: len(self._labels)]
 
+    def memory_words(self) -> np.ndarray:
+        """The live occupied rows as ``uint64`` words (count, row_words).
+
+        Aliases the same storage as :meth:`memory_view`; maintained at
+        mutation time so queries never re-view or re-pack per call.
+        """
+        return self._buffer_words[: len(self._labels)]
+
     def index_of(self, label: Hashable) -> int:
         """Insertion-order index of ``label`` (raises ``KeyError``)."""
         try:
@@ -106,6 +122,7 @@ class ItemMemory:
             grown = np.zeros((2 * count, self._row_bytes), dtype=np.uint8)
             grown[:count] = self._buffer
             self._buffer = grown
+            self._buffer_words = as_words(self._buffer)
         self._buffer[count] = packed_row
         self._labels.append(label)
 
@@ -139,21 +156,52 @@ class ItemMemory:
         """Nearest-row query with an unpacked {0,1} hypervector."""
         return self.query_packed(pack_bits(np.asarray(bits, dtype=np.uint8)))
 
-    def query_batch(
-        self, packed_queries: np.ndarray, chunk_rows: Optional[int] = None
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Batched nearest-row query.
+    def distances_words(self, query_words: np.ndarray) -> np.ndarray:
+        """Hamming distance from a ``uint64`` word query to every row."""
+        if not self._labels:
+            raise LookupError("item memory is empty")
+        return hamming_words(query_words, self.memory_words(), self._backend)
 
-        ``packed_queries`` has shape (q, row_bytes); returns
-        ``(indices, distances)`` arrays of length q.  This is the batched
-        inference path that stands in for the paper's GPU execution.
+    def query_words(self, query_words: np.ndarray) -> Tuple[int, Hashable, int]:
+        """Nearest-row query over a pre-viewed ``uint64`` word row."""
+        distances = self.distances_words(query_words)
+        index = int(np.argmin(distances))
+        return index, self._labels[index], int(distances[index])
+
+    def query_batch_words(
+        self, query_words: np.ndarray, chunk_bytes: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched nearest-row query over ``uint64`` word rows.
+
+        The routing hot path: one contiguous XOR+popcount+argmin sweep
+        against the mutation-time word view of the memory (chunked only
+        to bound the XOR intermediate).  Returns ``(indices,
+        distances)`` ``int64`` arrays aligned with ``query_words``.
         """
         if not self._labels:
             raise LookupError("item memory is empty")
-        kwargs = {} if chunk_rows is None else {"chunk_rows": chunk_rows}
-        matrix = hamming_packed_matrix(
-            packed_queries, self.memory_view(), self._backend, **kwargs
+        kwargs = {} if chunk_bytes is None else {"chunk_bytes": chunk_bytes}
+        return nearest_rows_words(
+            np.atleast_2d(np.asarray(query_words, dtype=np.uint64)),
+            self.memory_words(),
+            self._backend,
+            **kwargs
         )
-        indices = matrix.argmin(axis=1)
-        distances = matrix[np.arange(matrix.shape[0]), indices]
-        return indices.astype(np.int64), distances.astype(np.int64)
+
+    def query_batch(
+        self, packed_queries: np.ndarray, chunk_rows: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched nearest-row query over packed byte rows.
+
+        ``packed_queries`` has shape (q, row_bytes); returns
+        ``(indices, distances)`` arrays of length q.  Views the queries
+        as words once and dispatches to :meth:`query_batch_words` (the
+        batched inference path that stands in for the paper's GPU
+        execution).  ``chunk_rows`` bounds the per-sweep query count.
+        """
+        queries = as_words(np.atleast_2d(packed_queries))
+        chunk_bytes = None
+        if chunk_rows is not None and len(self._labels):
+            per_query = len(self._labels) * self._row_bytes
+            chunk_bytes = max(1, int(chunk_rows)) * per_query
+        return self.query_batch_words(queries, chunk_bytes=chunk_bytes)

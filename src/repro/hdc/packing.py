@@ -34,8 +34,11 @@ __all__ = [
     "pack_bits",
     "unpack_bits",
     "popcount_u64",
+    "as_words",
     "hamming_packed",
+    "hamming_words",
     "hamming_packed_matrix",
+    "nearest_rows_words",
 ]
 
 #: Bytes in one packed storage word.
@@ -109,12 +112,21 @@ def popcount_u64(words: np.ndarray) -> np.ndarray:
     return (x * _SWAR_H) >> np.uint64(56)
 
 
-def _as_words(packed: np.ndarray) -> np.ndarray:
-    """View padded packed rows as ``uint64`` words (zero-copy)."""
+def as_words(packed: np.ndarray) -> np.ndarray:
+    """View padded packed rows as ``uint64`` words (zero-copy).
+
+    The returned array aliases ``packed`` (when it is already contiguous
+    ``uint8``), so writes through either view are seen by the other --
+    this is how mutation-time word views stay coherent with the byte
+    rows the fault injector flips.
+    """
     packed = np.ascontiguousarray(packed, dtype=np.uint8)
     if packed.shape[-1] % _WORD_BYTES:
         raise ValueError("packed rows must be padded to 64-bit words")
     return packed.view(np.uint64)
+
+
+_as_words = as_words
 
 
 def hamming_packed(a: np.ndarray, b: np.ndarray, backend: str = "auto") -> np.ndarray:
@@ -166,3 +178,61 @@ def hamming_packed_matrix(
         block = queries[start:stop, None, :]
         out[start:stop] = hamming_packed(block, memory[None, :, :], backend)
     return out
+
+
+def hamming_words(a: np.ndarray, b: np.ndarray, backend: str = "auto") -> np.ndarray:
+    """Hamming distance between ``uint64`` word rows (XOR + popcount).
+
+    The word-native core of the routing hot path: ``a`` and ``b`` are
+    pre-viewed ``uint64`` arrays (see :func:`as_words`) broadcasting in
+    every dimension except the last, so no per-query byte/word
+    conversion happens here -- one XOR sweep, one popcount, one sum.
+    """
+    if backend == "auto":
+        backend = default_backend()
+    xor = np.bitwise_xor(np.asarray(a, np.uint64), np.asarray(b, np.uint64))
+    if backend == "bitcount":
+        if not _HAS_BITWISE_COUNT:
+            raise ValueError("numpy.bitwise_count is unavailable")
+        return np.bitwise_count(xor).sum(axis=-1, dtype=np.int64)
+    if backend == "swar64":
+        return popcount_u64(xor).sum(axis=-1, dtype=np.int64)
+    if backend == "lut8":
+        bytes_view = np.ascontiguousarray(xor).view(np.uint8)
+        return _POPCOUNT8[bytes_view].sum(axis=-1, dtype=np.int64)
+    raise ValueError("unknown popcount backend {!r}".format(backend))
+
+
+def nearest_rows_words(
+    query_words: np.ndarray,
+    memory_words: np.ndarray,
+    backend: str = "auto",
+    chunk_bytes: int = 32 * 1024 * 1024,
+) -> "tuple":
+    """Nearest memory row per query, over pre-packed ``uint64`` words.
+
+    Returns ``(indices, distances)`` ``int64`` arrays of length
+    ``len(query_words)``; ties break toward the lowest row index
+    (``argmin`` keeps the first minimum).  The only Python-level loop is
+    the chunking over query rows that bounds the XOR intermediate to
+    ``chunk_bytes`` -- each chunk is a single array-wide
+    XOR+popcount+argmin sweep.
+    """
+    queries = np.atleast_2d(np.asarray(query_words, dtype=np.uint64))
+    memory = np.atleast_2d(np.asarray(memory_words, dtype=np.uint64))
+    if queries.shape[1] != memory.shape[1]:
+        raise ValueError("query and memory row widths differ")
+    n_queries = queries.shape[0]
+    indices = np.empty(n_queries, dtype=np.int64)
+    distances = np.empty(n_queries, dtype=np.int64)
+    per_query_bytes = max(1, memory.shape[0] * memory.shape[1] * _WORD_BYTES)
+    chunk = max(1, chunk_bytes // per_query_bytes)
+    for start in range(0, n_queries, chunk):
+        stop = min(start + chunk, n_queries)
+        block = hamming_words(
+            queries[start:stop, None, :], memory[None, :, :], backend
+        )
+        best = block.argmin(axis=1)
+        indices[start:stop] = best
+        distances[start:stop] = block[np.arange(block.shape[0]), best]
+    return indices, distances

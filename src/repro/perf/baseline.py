@@ -1,0 +1,173 @@
+"""The ``BENCH_throughput.json`` artifact and the CI regression gate.
+
+Schema (version 1)::
+
+    {
+      "schema": 1,
+      "kind": "repro-throughput",
+      "profile": "fast",                  # measurement scale
+      "seed": 0,
+      "python": "3.11.7", "numpy": "2.4.6",
+      "calibration": {"xor_popcount_gbps": <float>},
+      "algorithms": {
+        "<name>": {
+          "servers": <int>, "batch_words": <int>, "config": {...},
+          "route":  {"keys_per_s": <float>, "normalized": <float>},
+          "lookup": {"keys_per_s": <float>, "normalized": <float>},
+          "churn":  {"events_per_s": <float>, "normalized": <float>}
+        }, ...
+      }
+    }
+
+``normalized`` is the raw rate divided by the host's calibrated bulk
+XOR+popcount bandwidth (GB/s), so a baseline committed from one machine
+remains meaningful on another: the gate compares *normalized* scores
+and flags an algorithm+metric whose score fell more than ``tolerance``
+(default 30 %) below the baseline.  Algorithms present on only one side
+are reported as coverage drift, never silently skipped.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_TOLERANCE",
+    "METRICS",
+    "Regression",
+    "compare_reports",
+    "coverage_drift",
+    "format_report",
+    "load_report",
+    "save_report",
+]
+
+#: Version stamp of the report layout documented above.
+SCHEMA_VERSION = 1
+
+#: Maximum tolerated fractional drop in normalized throughput.
+DEFAULT_TOLERANCE = 0.30
+
+#: Metric sections every per-algorithm record carries.
+METRICS = ("route", "lookup", "churn")
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One algorithm+metric whose throughput fell past the tolerance."""
+
+    algorithm: str
+    metric: str
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (e.g. 0.55 = lost 45 % of throughput)."""
+        return self.current / self.baseline if self.baseline else float("inf")
+
+    def describe(self) -> str:
+        return "{}/{}: normalized {:.3f} -> {:.3f} ({:+.0%} vs baseline)".format(
+            self.algorithm, self.metric, self.baseline, self.current, self.ratio - 1.0
+        )
+
+
+def save_report(report: Dict[str, Any], path: str) -> None:
+    """Write a throughput report as stable, diff-friendly JSON."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Read a throughput report, validating the schema stamp."""
+    with open(path) as handle:
+        report = json.load(handle)
+    if report.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            "unsupported throughput report schema {!r} in {}".format(
+                report.get("schema"), path
+            )
+        )
+    if not isinstance(report.get("algorithms"), dict):
+        raise ValueError("throughput report {} has no algorithms".format(path))
+    return report
+
+
+def coverage_drift(
+    current: Dict[str, Any], baseline: Dict[str, Any]
+) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """(missing, added) algorithm names between baseline and current."""
+    current_names = set(current["algorithms"])
+    baseline_names = set(baseline["algorithms"])
+    return (
+        tuple(sorted(baseline_names - current_names)),
+        tuple(sorted(current_names - baseline_names)),
+    )
+
+
+def compare_reports(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[Regression]:
+    """Regressions of ``current`` against ``baseline``.
+
+    Compares normalized scores per algorithm and metric; a regression is
+    a score strictly below ``baseline * (1 - tolerance)``.  Profiles
+    must match -- comparing a ``fast`` run against a ``bench`` baseline
+    would compare different workloads.
+    """
+    if not 0 <= tolerance < 1:
+        raise ValueError("tolerance must be in [0, 1)")
+    if current.get("profile") != baseline.get("profile"):
+        raise ValueError(
+            "profile mismatch: current {!r} vs baseline {!r}".format(
+                current.get("profile"), baseline.get("profile")
+            )
+        )
+    regressions: List[Regression] = []
+    for name in sorted(baseline["algorithms"]):
+        if name not in current["algorithms"]:
+            continue
+        for metric in METRICS:
+            before = float(baseline["algorithms"][name][metric]["normalized"])
+            after = float(current["algorithms"][name][metric]["normalized"])
+            if after < before * (1.0 - tolerance):
+                regressions.append(
+                    Regression(
+                        algorithm=name,
+                        metric=metric,
+                        baseline=before,
+                        current=after,
+                    )
+                )
+    return regressions
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """Human-readable summary table of a throughput report."""
+    lines = [
+        "profile={}  calibration={:.2f} GB/s  (normalized = keys/s per "
+        "GB/s, x1e6)".format(
+            report.get("profile"),
+            report.get("calibration", {}).get("xor_popcount_gbps", 0.0),
+        ),
+        "{:<22} {:>14} {:>14} {:>12}".format(
+            "algorithm", "route keys/s", "lookup keys/s", "churn ev/s"
+        ),
+    ]
+    for name in sorted(report["algorithms"]):
+        record = report["algorithms"][name]
+        lines.append(
+            "{:<22} {:>14,.0f} {:>14,.0f} {:>12,.0f}".format(
+                name,
+                record["route"]["keys_per_s"],
+                record["lookup"]["keys_per_s"],
+                record["churn"]["events_per_s"],
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Measurement scales for the throughput harness.
+
+Mirrors the experiment harness's ``fast`` / ``bench`` / ``full``
+convention: ``fast`` is the CI smoke scale (seconds), ``bench`` is the
+local default (tens of seconds, the scale the HD speedup acceptance is
+stated at), ``full`` approaches production pool sizes.
+
+Per-algorithm constructor overrides keep the expensive tables honest at
+each scale: HD's codebook construction and Maglev's table fill are
+sized so the *measured* phases dominate, not setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+__all__ = ["PerfProfile", "PERF_PROFILES", "perf_profile", "profile_names"]
+
+
+@dataclass(frozen=True)
+class PerfProfile:
+    """One measurement scale for :func:`repro.perf.run_suite`."""
+
+    name: str
+    #: Pool size every algorithm is measured at.
+    servers: int
+    #: Pre-hashed words per routed batch (the route/lookup batch width).
+    batch_words: int
+    #: Timed repetitions per metric; the best (minimum-time) run wins,
+    #: which filters scheduler noise without averaging it in.
+    repeats: int
+    #: Leave+join cycles timed for churn throughput (2 events/cycle).
+    churn_cycles: int
+    #: Per-algorithm constructor overrides applied through
+    #: :func:`repro.hashing.make_table`.
+    table_configs: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+
+    def config_for(self, algorithm: str) -> Dict[str, Any]:
+        """Constructor overrides for ``algorithm`` at this scale."""
+        return dict(self.table_configs.get(algorithm, {}))
+
+
+PERF_PROFILES: Dict[str, PerfProfile] = {
+    "fast": PerfProfile(
+        name="fast",
+        servers=16,
+        batch_words=8_192,
+        repeats=3,
+        churn_cycles=6,
+        table_configs={
+            "hd": {"dim": 2_048, "codebook_size": 256},
+            "maglev": {"table_size": 509},
+        },
+    ),
+    "bench": PerfProfile(
+        name="bench",
+        servers=64,
+        batch_words=65_536,
+        repeats=5,
+        churn_cycles=12,
+        table_configs={
+            "hd": {"dim": 10_000, "codebook_size": 1_024},
+        },
+    ),
+    "full": PerfProfile(
+        name="full",
+        servers=256,
+        batch_words=262_144,
+        repeats=7,
+        churn_cycles=24,
+        table_configs={},
+    ),
+}
+
+
+def perf_profile(name: str) -> PerfProfile:
+    """Look up a profile by name (raises ``KeyError`` with the options)."""
+    try:
+        return PERF_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            "unknown perf profile {!r}; choose from {}".format(
+                name, ", ".join(sorted(PERF_PROFILES))
+            )
+        ) from None
+
+
+def profile_names() -> Tuple[str, ...]:
+    """Registered profile names (fast, bench, full)."""
+    return tuple(PERF_PROFILES)

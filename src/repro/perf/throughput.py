@@ -1,0 +1,200 @@
+"""The throughput harness: route / lookup / churn rates per algorithm.
+
+Three metrics per registered algorithm, all measured on a live table at
+the profile's pool size:
+
+``route``
+    pre-hashed words through :meth:`route_batch` -- the pure routing
+    hot path, the sweep this repo vectorized end to end.
+``lookup``
+    integer keys through :meth:`lookup_batch` -- hashing + routing +
+    slot-to-identifier mapping, the full serving path.
+``churn``
+    alternating leave/join membership events -- the reconciliation cost
+    a control plane pays under autoscaling.
+
+Every metric is timed ``repeats`` times and the best run is kept (the
+minimum time is the least-noise estimate of the machine's capability).
+
+Raw keys/sec are machine-dependent, so each rate is also recorded
+*normalized* by a calibration sweep -- the machine's own bulk
+XOR+popcount bandwidth, measured at suite start.  Normalized scores are
+comparable across hosts, which is what lets a laptop-committed
+``BENCH_throughput.json`` gate a CI runner (see
+:mod:`repro.perf.baseline`).
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..hashing import make_table, registered_algorithms
+from .baseline import SCHEMA_VERSION
+from .profiles import PerfProfile, perf_profile
+
+__all__ = ["calibrate", "measure_algorithm", "run_suite"]
+
+#: Words in the calibration sweep (8 MiB of uint64 per operand).
+_CALIBRATION_WORDS = 1 << 20
+
+#: Server-identifier template; zero-padded so join order is name order.
+_SERVER_FMT = "srv-{:05d}"
+
+
+def _best_seconds(fn: Callable[[], Any], repeats: int) -> float:
+    """Minimum wall time of ``repeats`` calls to ``fn`` (after 1 warmup)."""
+    fn()
+    best = float("inf")
+    for __ in range(max(1, repeats)):
+        started = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    # Timer resolution floor: never report an infinite rate.
+    return max(best, 1e-9)
+
+
+def calibrate(repeats: int = 3, words: int = _CALIBRATION_WORDS) -> float:
+    """The machine's bulk XOR+popcount bandwidth, in GB/s.
+
+    This is the same kernel shape as HD routing's inner loop (XOR two
+    uint64 streams, popcount, reduce), so it tracks exactly the hardware
+    capabilities -- memory bandwidth and popcount throughput -- that the
+    routing numbers depend on.  Used as the denominator for normalized
+    scores.
+    """
+    rng = np.random.default_rng(0xBEEF)
+    a = rng.integers(0, 2**64, words, dtype=np.uint64)
+    b = rng.integers(0, 2**64, words, dtype=np.uint64)
+    if hasattr(np, "bitwise_count"):
+
+        def sweep():
+            return int(np.bitwise_count(np.bitwise_xor(a, b)).sum())
+    else:
+        from ..hdc.packing import popcount_u64
+
+        def sweep():
+            return int(popcount_u64(np.bitwise_xor(a, b)).sum())
+    seconds = _best_seconds(sweep, repeats)
+    return (words * 8) / seconds / 1e9
+
+
+def _normalized(rate: float, calibration_gbps: float) -> float:
+    """Machine-relative score: rate per GB/s of calibrated bandwidth."""
+    return rate / max(calibration_gbps, 1e-12) / 1e6
+
+
+def measure_algorithm(
+    name: str,
+    profile: Union[str, PerfProfile],
+    seed: int = 0,
+    calibration_gbps: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Measure one algorithm's route/lookup/churn throughput.
+
+    Returns the per-algorithm record that ``run_suite`` embeds in the
+    report: raw rates, normalized scores, and the table config used.
+    """
+    if isinstance(profile, str):
+        profile = perf_profile(profile)
+    if calibration_gbps is None:
+        calibration_gbps = calibrate()
+    config = profile.config_for(name)
+    table = make_table(name, seed=seed, **config)
+    for index in range(profile.servers):
+        table.join(_SERVER_FMT.format(index))
+
+    rng = np.random.default_rng(seed + 1)
+    words = rng.integers(0, 2**64, profile.batch_words, dtype=np.uint64)
+    keys = rng.integers(0, 2**63, profile.batch_words, dtype=np.int64)
+
+    route_seconds = _best_seconds(lambda: table.route_batch(words), profile.repeats)
+    lookup_seconds = _best_seconds(lambda: table.lookup_batch(keys), profile.repeats)
+
+    # Churn: retire the oldest server, admit a fresh one, repeatedly.
+    # Fresh identifiers per cycle keep placement realistic (no cached
+    # rejoin of an identical member).
+    next_id = profile.servers + 1_000_000
+
+    def churn_cycle():
+        nonlocal next_id
+        table.leave(table.server_ids[0])
+        table.join(_SERVER_FMT.format(next_id))
+        next_id += 1
+
+    churn_started = time.perf_counter()
+    for __ in range(profile.churn_cycles):
+        churn_cycle()
+    churn_seconds = max(time.perf_counter() - churn_started, 1e-9)
+    churn_events = 2 * profile.churn_cycles
+
+    route_rate = profile.batch_words / route_seconds
+    lookup_rate = profile.batch_words / lookup_seconds
+    churn_rate = churn_events / churn_seconds
+    return {
+        "servers": profile.servers,
+        "batch_words": profile.batch_words,
+        "config": config,
+        "route": {
+            "keys_per_s": route_rate,
+            "normalized": _normalized(route_rate, calibration_gbps),
+        },
+        "lookup": {
+            "keys_per_s": lookup_rate,
+            "normalized": _normalized(lookup_rate, calibration_gbps),
+        },
+        "churn": {
+            "events_per_s": churn_rate,
+            "normalized": _normalized(churn_rate, calibration_gbps),
+        },
+    }
+
+
+def run_suite(
+    profile: Union[str, PerfProfile] = "fast",
+    algorithms: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run the throughput suite; returns the ``BENCH_throughput`` report.
+
+    ``algorithms`` defaults to every registered algorithm.  ``progress``
+    (when given) receives one line per measured algorithm -- the CLI
+    plugs its printer in.
+    """
+    if isinstance(profile, str):
+        profile = perf_profile(profile)
+    names: Iterable[str] = (
+        registered_algorithms() if algorithms is None else algorithms
+    )
+    calibration_gbps = calibrate()
+    report: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "kind": "repro-throughput",
+        "profile": profile.name,
+        "seed": seed,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "calibration": {"xor_popcount_gbps": calibration_gbps},
+        "algorithms": {},
+    }
+    for name in names:
+        record = measure_algorithm(
+            name, profile, seed=seed, calibration_gbps=calibration_gbps
+        )
+        report["algorithms"][name] = record
+        if progress is not None:
+            progress(
+                "{:<22} route {:>12,.0f} keys/s   lookup {:>12,.0f} keys/s   "
+                "churn {:>9,.0f} ev/s".format(
+                    name,
+                    record["route"]["keys_per_s"],
+                    record["lookup"]["keys_per_s"],
+                    record["churn"]["events_per_s"],
+                )
+            )
+    return report

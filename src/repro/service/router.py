@@ -119,6 +119,7 @@ class Router:
         self._epoch = 0
         self._history: List[EpochRecord] = []
         self._probe_keys: Optional[np.ndarray] = None
+        self._probe_words: Optional[np.ndarray] = None
         self._probe_assignment: Optional[np.ndarray] = None
         if probe_keys is not None:
             self.track(probe_keys)
@@ -182,11 +183,14 @@ class Router:
 
         Probes are routed after every mutation batch; the fraction whose
         assignment moved is recorded on that batch's
-        :class:`EpochRecord`.
+        :class:`EpochRecord`.  Probe keys are hashed to words once here,
+        so each epoch's accounting pass is pure batched routing with no
+        per-key re-hashing.
         """
         self._probe_keys = np.asarray(probe_keys)
+        self._probe_words = self._table.words_of_keys(self._probe_keys)
         self._probe_assignment = (
-            self._table.lookup_batch(self._probe_keys)
+            self._table.lookup_words(self._probe_words)
             if self._table.server_count
             else None
         )
@@ -202,7 +206,7 @@ class Router:
         if not self._table.server_count:
             self._probe_assignment = None
             return 0.0, 0
-        current = self._table.lookup_batch(self._probe_keys)
+        current = self._table.lookup_words(self._probe_words)
         if self._probe_assignment is None:
             moved = 0
         else:

@@ -1,7 +1,6 @@
 """End-to-end tests for the hash-table module and emulator."""
 
 import numpy as np
-import pytest
 
 from repro.emulator import (
     Emulator,

@@ -1,7 +1,5 @@
 """Tests for the longitudinal scenario runner."""
 
-import numpy as np
-import pytest
 
 from repro.emulator.scenario import (
     AutoscalePolicy,

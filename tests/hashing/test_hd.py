@@ -82,6 +82,33 @@ class TestPlacementCollisions:
         assert table.server_count == 4
 
 
+class TestBatchDedup:
+    def test_kernel_runs_once_per_unique_word(self, monkeypatch):
+        """A duplicate-heavy batch reaches the similarity kernel as one
+        call over the unique circle positions only -- repeated words must
+        not recompute their query."""
+        table = populate(_table(), 8)
+        words = np.asarray([5, 7, 5, 9, 7, 5] * 50, dtype=np.uint64)
+        seen_query_counts = []
+        original = type(table.item_memory).query_batch_words
+
+        def spy(self, query_words, **kwargs):
+            seen_query_counts.append(
+                np.atleast_2d(np.asarray(query_words)).shape[0]
+            )
+            return original(self, query_words, **kwargs)
+
+        monkeypatch.setattr(
+            type(table.item_memory), "query_batch_words", spy
+        )
+        routed = table.route_batch(words)
+        assert seen_query_counts == [3]  # one call, one row per unique word
+        expected = {
+            word: table.route_word(int(word)) for word in (5, 7, 9)
+        }
+        assert routed.tolist() == [expected[int(w)] for w in words]
+
+
 class TestTieBreaks:
     def test_stable_under_rebuild(self, request_words):
         a = populate(_table(), 16)

@@ -9,7 +9,6 @@ from repro.hashing import (
     HDHashTable,
     HierarchicalHashTable,
     MultiProbeConsistentHashTable,
-    RendezvousHashTable,
 )
 
 from ..conftest import populate

@@ -1,0 +1,100 @@
+"""Property: every algorithm's batch path is bit-identical to scalar.
+
+``route_batch`` is the vectorized hot path; ``route_word`` is the
+scalar deployment path.  They must agree word for word -- across random
+batches, duplicated words, empty batches, and membership states reached
+through declarative ``sync()`` churn -- or replicas replaying the same
+word stream through different paths would diverge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing import make_table, registered_algorithms
+from repro.service import Router
+
+#: Constructor overrides keeping expensive tables test-sized.
+_CONFIGS = {
+    "hd": {"dim": 256, "codebook_size": 64},
+    "maglev": {"table_size": 101},
+}
+
+_INITIAL = tuple("s{:02d}".format(index) for index in range(7))
+#: Post-sync membership: drops four of the originals, adds three.
+_SYNCED = ("s01", "s04", "s06", "n00", "n01", "n02")
+
+_TABLE_CACHE = {}
+
+
+def _tables(name):
+    """One pristine and one churned (post-``sync()``) table per algorithm.
+
+    Built once and shared across hypothesis examples -- routing never
+    mutates, so reuse is safe and keeps the property fast.
+    """
+    if name not in _TABLE_CACHE:
+        pristine = make_table(name, seed=5, **_CONFIGS.get(name, {}))
+        for server_id in _INITIAL:
+            pristine.join(server_id)
+        churned = make_table(name, seed=5, **_CONFIGS.get(name, {}))
+        for server_id in _INITIAL:
+            churned.join(server_id)
+        Router(churned).sync(_SYNCED)
+        _TABLE_CACHE[name] = (pristine, churned)
+    return _TABLE_CACHE[name]
+
+
+def _scalar_loop(table, words):
+    """The pre-vectorization reference: one route_word call per word."""
+    return np.fromiter(
+        (table.route_word(int(word)) for word in words),
+        dtype=np.int64,
+        count=words.size,
+    )
+
+
+@pytest.mark.parametrize("name", registered_algorithms())
+@given(
+    words=st.lists(
+        st.integers(min_value=0, max_value=2 ** 64 - 1),
+        min_size=1,
+        max_size=64,
+    )
+)
+def test_batch_matches_scalar_loop(name, words):
+    words = np.asarray(words, dtype=np.uint64)
+    for table in _tables(name):
+        assert np.array_equal(
+            table.route_batch(words), _scalar_loop(table, words)
+        ), "{} diverged (servers={})".format(name, table.server_count)
+
+
+@pytest.mark.parametrize("name", registered_algorithms())
+def test_duplicate_heavy_batch_matches_scalar_loop(name):
+    rng = np.random.default_rng(9)
+    distinct = rng.integers(0, 2 ** 64, 5, dtype=np.uint64)
+    words = rng.choice(distinct, size=400)
+    for table in _tables(name):
+        assert np.array_equal(
+            table.route_batch(words), _scalar_loop(table, words)
+        )
+
+
+@pytest.mark.parametrize("name", registered_algorithms())
+def test_empty_batch_routes_to_empty(name):
+    for table in _tables(name):
+        out = table.route_batch(np.empty(0, dtype=np.uint64))
+        assert out.shape == (0,)
+        assert out.dtype == np.int64
+
+
+@pytest.mark.parametrize("name", registered_algorithms())
+def test_sync_actually_churned_membership(name):
+    """Guard the fixture: the second table really is a different state."""
+    pristine, churned = _tables(name)
+    assert set(pristine.server_ids) == set(_INITIAL)
+    assert set(churned.server_ids) == set(_SYNCED)

@@ -1,6 +1,5 @@
 """Tests for the periodic encoder (Section 6 future work)."""
 
-import numpy as np
 import pytest
 
 from repro.hdc import PeriodicEncoder, circular_distance

@@ -1,0 +1,145 @@
+"""Unit tests for the BENCH_throughput.json schema and regression gate.
+
+These run on synthetic reports (no timing), so they belong to tier-1;
+the measured suite lives in ``benchmarks/perf``.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.perf import (
+    SCHEMA_VERSION,
+    compare_reports,
+    format_report,
+    load_report,
+    save_report,
+)
+from repro.perf.baseline import METRICS, Regression, coverage_drift
+from repro.perf.profiles import PERF_PROFILES, perf_profile
+
+
+def _record(scale: float) -> dict:
+    return {
+        "servers": 16,
+        "batch_words": 8_192,
+        "config": {},
+        "route": {"keys_per_s": 1e7 * scale, "normalized": 2.0 * scale},
+        "lookup": {"keys_per_s": 8e6 * scale, "normalized": 1.6 * scale},
+        "churn": {"events_per_s": 1e5 * scale, "normalized": 0.02 * scale},
+    }
+
+
+def _report(**scales) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "repro-throughput",
+        "profile": "fast",
+        "seed": 0,
+        "python": "3.11",
+        "numpy": "2.0",
+        "calibration": {"xor_popcount_gbps": 5.0},
+        "algorithms": {name: _record(scale) for name, scale in scales.items()},
+    }
+
+
+class TestArtifactIO:
+    def test_roundtrip(self, tmp_path):
+        report = _report(hd=1.0, modular=1.0)
+        path = str(tmp_path / "BENCH_throughput.json")
+        save_report(report, path)
+        assert load_report(path) == report
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        report = _report(hd=1.0)
+        report["schema"] = SCHEMA_VERSION + 1
+        path = str(tmp_path / "bad.json")
+        save_report(report, path)
+        with pytest.raises(ValueError):
+            load_report(path)
+
+    def test_missing_algorithms_rejected(self, tmp_path):
+        path = str(tmp_path / "empty.json")
+        save_report({"schema": SCHEMA_VERSION}, path)
+        with pytest.raises(ValueError):
+            load_report(path)
+
+
+class TestRegressionGate:
+    def test_identical_reports_pass(self):
+        report = _report(hd=1.0, jump=1.0)
+        assert compare_reports(report, report) == []
+
+    def test_drop_beyond_tolerance_flagged_per_metric(self):
+        baseline = _report(hd=1.0, jump=1.0)
+        current = copy.deepcopy(baseline)
+        current["algorithms"]["hd"] = _record(0.5)  # -50 % on all metrics
+        regressions = compare_reports(current, baseline, tolerance=0.30)
+        assert {(r.algorithm, r.metric) for r in regressions} == {
+            ("hd", metric) for metric in METRICS
+        }
+        for regression in regressions:
+            assert regression.ratio == pytest.approx(0.5)
+            assert "hd/" in regression.describe()
+
+    def test_drop_within_tolerance_passes(self):
+        baseline = _report(hd=1.0)
+        current = _report(hd=0.75)  # -25 % < 30 % tolerance
+        assert compare_reports(current, baseline, tolerance=0.30) == []
+
+    def test_improvement_never_flags(self):
+        baseline = _report(hd=1.0)
+        current = _report(hd=5.0)
+        assert compare_reports(current, baseline) == []
+
+    def test_profile_mismatch_rejected(self):
+        baseline = _report(hd=1.0)
+        current = copy.deepcopy(baseline)
+        current["profile"] = "bench"
+        with pytest.raises(ValueError):
+            compare_reports(current, baseline)
+
+    def test_bad_tolerance_rejected(self):
+        report = _report(hd=1.0)
+        with pytest.raises(ValueError):
+            compare_reports(report, report, tolerance=1.5)
+
+    def test_missing_algorithm_is_drift_not_regression(self):
+        baseline = _report(hd=1.0, jump=1.0)
+        current = _report(hd=1.0)
+        assert compare_reports(current, baseline) == []
+        missing, added = coverage_drift(current, baseline)
+        assert missing == ("jump",)
+        assert added == ()
+
+    def test_ratio_of_zero_baseline(self):
+        regression = Regression("hd", "route", baseline=0.0, current=1.0)
+        assert regression.ratio == float("inf")
+
+
+class TestProfilesAndFormatting:
+    def test_profiles_scale_monotonically(self):
+        fast, bench, full = (
+            PERF_PROFILES["fast"],
+            PERF_PROFILES["bench"],
+            PERF_PROFILES["full"],
+        )
+        assert fast.servers < bench.servers < full.servers
+        assert fast.batch_words < bench.batch_words < full.batch_words
+
+    def test_unknown_profile_names_the_options(self):
+        with pytest.raises(KeyError, match="fast"):
+            perf_profile("warp")
+
+    def test_config_for_returns_copy(self):
+        profile = perf_profile("fast")
+        config = profile.config_for("hd")
+        config["dim"] = 1
+        assert profile.config_for("hd")["dim"] != 1
+
+    def test_format_report_mentions_rates(self):
+        text = format_report(_report(hd=1.0))
+        assert "hd" in text
+        assert "route" in text

@@ -1,0 +1,69 @@
+"""End-to-end tests of `repro bench` (one cheap algorithm, fast profile)."""
+
+from __future__ import annotations
+
+import copy
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.perf import load_report, save_report
+
+
+def _bench(tmp_path, *extra):
+    out = io.StringIO()
+    path = str(tmp_path / "report.json")
+    code = main(
+        [
+            "bench",
+            "--profile",
+            "fast",
+            "--algorithms",
+            "modular",
+            "--output",
+            path,
+        ]
+        + list(extra),
+        out=out,
+    )
+    return code, path, out.getvalue()
+
+
+class TestBenchCommand:
+    def test_writes_report(self, tmp_path):
+        code, path, text = _bench(tmp_path)
+        assert code == 0
+        report = load_report(path)
+        assert set(report["algorithms"]) == {"modular"}
+        assert "modular" in text
+
+    def test_check_against_equal_baseline_passes(self, tmp_path):
+        __, path, __ = _bench(tmp_path)
+        report = load_report(path)
+        baseline_path = str(tmp_path / "baseline.json")
+        save_report(report, baseline_path)
+        code, __, text = _bench(tmp_path, "--check", baseline_path)
+        assert code == 0
+        assert "OK" in text
+
+    def test_check_fails_on_regression(self, tmp_path):
+        __, path, __ = _bench(tmp_path)
+        report = load_report(path)
+        inflated = copy.deepcopy(report)
+        for metric in ("route", "lookup", "churn"):
+            inflated["algorithms"]["modular"][metric]["normalized"] *= 100.0
+        baseline_path = str(tmp_path / "baseline.json")
+        save_report(inflated, baseline_path)
+        code, __, text = _bench(tmp_path, "--check", baseline_path)
+        assert code == 1
+        assert "FAIL" in text
+
+    def test_check_missing_baseline_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            _bench(tmp_path, "--check", str(tmp_path / "nope.json"))
+
+    def test_unknown_algorithm_is_an_error(self, tmp_path):
+        out = io.StringIO()
+        with pytest.raises(SystemExit):
+            main(["bench", "--profile", "fast", "--algorithms", "warp"], out=out)

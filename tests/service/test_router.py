@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import DuplicateServerError, UnknownServerError
 from repro.hashing import make_table
-from repro.service import EpochRecord, MembershipUpdate, Router, RouterObserver
+from repro.service import MembershipUpdate, Router, RouterObserver
 
 
 def consistent_router(**kwargs):
