@@ -36,8 +36,18 @@ class TestSuiteCoverage:
     def test_rates_are_positive_and_finite(self, fast_report):
         for record in fast_report["algorithms"].values():
             assert 0 < record["route"]["keys_per_s"] < float("inf")
+            assert 0 < record["route_replicas"]["keys_per_s"] < float("inf")
+            assert 0 < record["cluster_route"]["keys_per_s"] < float("inf")
             assert 0 < record["lookup"]["keys_per_s"] < float("inf")
             assert 0 < record["churn"]["events_per_s"] < float("inf")
+
+    def test_replica_and_cluster_metrics_cover_every_algorithm(self, fast_report):
+        # The CI gate compares every METRICS section; the new replica
+        # and cluster metrics must be present for the whole registry.
+        for name, record in fast_report["algorithms"].items():
+            for metric in ("route_replicas", "cluster_route"):
+                assert metric in record, (name, metric)
+                assert record[metric]["normalized"] > 0
 
     def test_format_report_lists_every_algorithm(self, fast_report):
         text = format_report(fast_report)

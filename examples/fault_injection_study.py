@@ -7,28 +7,29 @@ paper's abstract summarises: "a realistic level of memory errors causes
 more than 20% mismatches for consistent hashing while HD hashing remains
 unaffected."
 
+Tables are built by registry name and driven through the production
+:class:`~repro.service.Router` facade (declarative membership, as in
+``quickstart.py``); the fault campaign then corrupts each router's live
+table state.
+
 Run:  python examples/fault_injection_study.py
 """
 
 import numpy as np
 
-from repro import (
-    ConsistentHashTable,
-    HDHashTable,
-    MismatchCampaign,
-    RendezvousHashTable,
-    SingleBitFlips,
-)
+from repro import MismatchCampaign, SingleBitFlips, make_table
+from repro.service import Router
 
 
 def main():
     k = 256
     n_requests = 10_000
     trials = 10
-    factories = {
-        "consistent": lambda: ConsistentHashTable(seed=17),
-        "rendezvous": lambda: RendezvousHashTable(seed=17),
-        "hd": lambda: HDHashTable(seed=17, dim=10_000, codebook_size=1_024),
+    specs = {
+        "consistent": "consistent",
+        "rendezvous": "rendezvous",
+        "hd": {"algorithm": "hd",
+               "config": {"dim": 10_000, "codebook_size": 1_024}},
     }
     words = np.random.default_rng(8).integers(
         0, 2 ** 64, n_requests, dtype=np.uint64
@@ -43,11 +44,10 @@ def main():
     print("{:>12} ".format("bit errors") + "".join(
         "{:>9}".format(bits) for bits in bit_levels))
     print("-" * (13 + 9 * len(bit_levels)))
-    for name, factory in factories.items():
-        table = factory()
-        for index in range(k):
-            table.join(index)
-        campaign = MismatchCampaign(table, words)
+    for name, spec in specs.items():
+        router = Router(make_table(spec, seed=17))
+        router.sync(range(k))  # one declarative epoch fills the pool
+        campaign = MismatchCampaign(router.table, words)
         cells = []
         for bits in bit_levels:
             if bits == 0:

@@ -8,8 +8,12 @@ picks the rack and a per-rack HD table picks the server, and compares it
 with one flat 256-server HD table on:
 
 * lookup latency (two narrow inferences vs one wide sweep);
-* blast radius of a rack-local memory fault;
-* churn confinement when a server leaves.
+* churn confinement when a server leaves (priced by the routers' own
+  per-epoch remap accounting);
+* blast radius of a rack-local memory fault.
+
+Both deployments are built by registry spec and driven through the
+:class:`~repro.service.Router` facade, matching ``load_balancer.py``.
 
 Run:  python examples/hierarchical_cluster.py
 """
@@ -18,71 +22,70 @@ import time
 
 import numpy as np
 
-from repro import (
-    ConsistentHashTable,
-    HDHashTable,
-    HierarchicalHashTable,
-    MismatchCampaign,
-    SingleBitFlips,
-)
+from repro import MismatchCampaign, SingleBitFlips, make_table
+from repro.service import Router
+
+FLAT_SPEC = {
+    "algorithm": "hd",
+    "config": {"dim": 4_096, "codebook_size": 1_024},
+}
+CLUSTER_SPEC = {
+    "algorithm": "hierarchical",
+    "config": {
+        "n_groups": 16,
+        "outer": {"algorithm": "consistent",
+                  "config": {"replicas": 8, "seed": 5}},
+        "inner": {"algorithm": "hd",
+                  "config": {"dim": 4_096, "codebook_size": 256, "seed": 5}},
+    },
+}
 
 
-def build_flat(k):
-    table = HDHashTable(seed=5, dim=4_096, codebook_size=1_024)
-    for index in range(k):
-        table.join(index)
-    return table
-
-
-def build_cluster(k, racks):
-    table = HierarchicalHashTable(
-        outer_factory=lambda: ConsistentHashTable(seed=5, replicas=8),
-        inner_factory=lambda: HDHashTable(seed=5, dim=4_096, codebook_size=256),
-        n_groups=racks,
-        seed=5,
-    )
-    for index in range(k):
-        table.join(index)
-    return table
+def build_router(spec, k, probe_keys):
+    router = Router(make_table(spec, seed=5), probe_keys=probe_keys)
+    router.sync(range(k))
+    return router
 
 
 def main():
     k, racks = 256, 16
-    words = np.random.default_rng(11).integers(0, 2 ** 64, 4_000, dtype=np.uint64)
+    rng = np.random.default_rng(11)
+    probe_keys = rng.integers(0, 2 ** 63, 4_000, dtype=np.int64)
 
-    flat = build_flat(k)
-    cluster = build_cluster(k, racks)
-    rack_sizes = [cluster.inner(g).server_count for g in range(racks)]
+    flat = build_router(FLAT_SPEC, k, probe_keys)
+    cluster = build_router(CLUSTER_SPEC, k, probe_keys)
+    table = cluster.table
+    rack_sizes = [table.inner(g).server_count for g in range(racks)]
     print("cluster: {} servers over {} racks (sizes {}..{})\n".format(
         k, racks, min(rack_sizes), max(rack_sizes)))
 
     print("== lookup latency (scalar path, 500 requests) ==")
-    for name, table in (("flat", flat), ("hierarchical", cluster)):
+    for name, router in (("flat", flat), ("hierarchical", cluster)):
         started = time.perf_counter()
-        for word in words[:500]:
-            table.route_word(int(word))
+        for key in range(500):
+            router.route(int(probe_keys[key]))
         elapsed = (time.perf_counter() - started) / 500 * 1e6
         print("  {:>13}: {:6.1f} us/lookup".format(name, elapsed))
 
-    print("\n== churn confinement: one server leaves ==")
-    for name, table in (("flat", flat), ("hierarchical", cluster)):
-        ids = np.asarray(table.server_ids, dtype=object)
-        before = ids[table.route_batch(words)]
-        table.leave(100)
-        ids2 = np.asarray(table.server_ids, dtype=object)
-        after = ids2[table.route_batch(words)]
-        moved = float(np.mean(before != after))
-        table.join(100)
-        print("  {:>13}: {:.2%} of requests remapped "
-              "(ideal 1/k = {:.2%})".format(name, moved, 1 / k))
-    if hasattr(cluster, "group_of"):
-        print("  (hierarchical churn never leaves rack {})".format(
-            cluster.group_of(100)))
+    print("\n== churn confinement: the busiest server leaves ==")
+    for name, router in (("flat", flat), ("hierarchical", cluster)):
+        served = router.route_batch(probe_keys)
+        ids, counts = np.unique(served, return_counts=True)
+        victim = ids[int(np.argmax(counts))]
+        record = router.sync(s for s in router.server_ids if s != victim)
+        router.sync(list(router.server_ids) + [victim])  # rejoin for phase 3
+        note = ""
+        if name == "hierarchical":
+            note = ", churn never left rack {}".format(table.group_of(victim))
+        print("  {:>13}: {:.2%} of probes remapped when server {} left "
+              "(ideal 1/k = {:.2%}{})".format(
+                  name, record.remapped, victim, 1 / k, note))
 
     print("\n== fault blast radius: 10 bit flips in routing memory ==")
+    words = flat.table.words_of_keys(probe_keys)
     rng = np.random.default_rng(3)
-    for name, table in (("flat", flat), ("hierarchical", cluster)):
-        campaign = MismatchCampaign(table, words)
+    for name, router in (("flat", flat), ("hierarchical", cluster)):
+        campaign = MismatchCampaign(router.table, words)
         outcome = campaign.run(SingleBitFlips(10), trials=10, rng=rng)
         print("  {:>13}: mean {:.3%}, worst {:.3%} mismatched".format(
             name, outcome.mean_mismatch, outcome.max_mismatch))

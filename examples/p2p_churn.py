@@ -1,72 +1,82 @@
 #!/usr/bin/env python
-"""P2P network under churn and memory faults (the emulator end to end).
+"""P2P network under churn and memory faults, on the Router facade.
 
 Peers join and leave continuously (cloud elasticity / peer availability,
-Section 1 of the paper) while lookups stream through the full emulation
-pipeline: generator -> buffer -> hash-table module.  Midway through, the
-routing memory of each table takes a burst of bit errors -- a multi-cell
-upset -- and we count how many lookups each algorithm misroutes relative
-to a pristine replica.
+Section 1 of the paper) while lookups stream through the production
+routing layer: tables are built by registry name, membership is driven
+declaratively through :class:`~repro.service.Router` (each churn event
+is one ``sync()`` epoch, remap-accounted over a tracked probe
+population), and lookups use the batched serving path.  Midway through,
+the routing memory of each table takes a burst of bit errors -- a
+multi-cell upset -- and we count how many lookups each algorithm
+misroutes relative to a pristine replica.
 
 Run:  python examples/p2p_churn.py
 """
 
 import numpy as np
 
-from repro import (
-    BurstError,
-    ConsistentHashTable,
-    HDHashTable,
-    MismatchCampaign,
-    RendezvousHashTable,
-)
-from repro.emulator import HashTableModule, RequestGenerator
+from repro import BurstError, MismatchCampaign, make_table
+from repro.service import Router
 
 
-def run_churn_phase(factory, seed):
+def run_churn_phase(spec, seed):
     """Drive 40 churn events with 500 lookups between each."""
-    generator = RequestGenerator(seed=seed)
-    table = factory()
-    module = HashTableModule(table, batch_size=256)
+    rng = np.random.default_rng(seed)
+    router = Router(make_table(spec, seed=13))
     peers = ["peer-{:03d}".format(i) for i in range(48)]
-    stream = list(generator.joins(peers[:32]))
-    stream += list(
-        generator.churn(
-            peers[:32], peers[32:], events=40, lookups_between=500
-        )
+    alive = list(peers[:32])
+    spare = list(peers[32:])
+    router.sync(alive)
+    # The probe population whose movement prices each churn epoch.
+    router.track(rng.integers(0, 2 ** 63, 4_000, dtype=np.int64))
+
+    lookups = 0
+    for event in range(40):
+        # One stochastic churn event: an arrival or a departure...
+        if spare and (len(alive) <= 16 or rng.random() < 0.5):
+            alive.append(spare.pop(0))
+        else:
+            spare.append(alive.pop(int(rng.integers(0, len(alive)))))
+        # ...declared to the router as one epoch, then traffic between.
+        router.sync(alive)
+        router.route_batch(rng.integers(0, 2 ** 63, 500, dtype=np.int64))
+        lookups += 500
+    remap_per_event = float(
+        np.mean([record.remapped for record in router.history[1:]])
     )
-    report = module.process(stream)
-    return table, report
+    return router, lookups, remap_per_event
 
 
 def main():
-    factories = {
-        "consistent": lambda: ConsistentHashTable(seed=13),
-        "rendezvous": lambda: RendezvousHashTable(seed=13),
-        "hd": lambda: HDHashTable(seed=13, dim=10_000, codebook_size=1_024),
+    specs = {
+        "consistent": "consistent",
+        "rendezvous": "rendezvous",
+        "hd": {"algorithm": "hd",
+               "config": {"dim": 10_000, "codebook_size": 1_024}},
     }
 
-    print("phase 1: 40 churn events, 20,000 lookups through the emulator\n")
-    tables = {}
-    for name, factory in factories.items():
-        table, report = run_churn_phase(factory, seed=99)
-        tables[name] = table
+    print("phase 1: 40 churn events, 20,000 lookups through the router\n")
+    routers = {}
+    for name, spec in specs.items():
+        router, lookups, remap_per_event = run_churn_phase(spec, seed=99)
+        routers[name] = router
         print(
-            "  {:>10}: {} peers alive, {} lookups served, "
-            "{:.1f} us/lookup, load imbalance {:.2f}".format(
+            "  {:>10}: {} peers alive after {} epochs, {} lookups served, "
+            "{:.1%} of probes remapped per churn event".format(
                 name,
-                table.server_count,
-                report.n_lookups,
-                report.timing.mean_lookup_micros,
-                report.load.imbalance(),
+                router.server_count,
+                router.epoch,
+                lookups,
+                remap_per_event,
             )
         )
 
     print("\nphase 2: a 10-bit multi-cell upset hits each routing memory\n")
     words = np.random.default_rng(7).integers(0, 2 ** 64, 20_000, dtype=np.uint64)
     rng = np.random.default_rng(1234)
-    for name, table in tables.items():
-        campaign = MismatchCampaign(table, words)
+    for name, router in routers.items():
+        campaign = MismatchCampaign(router.table, words)
         outcome = campaign.run(BurstError(length=10), trials=20, rng=rng)
         print(
             "  {:>10}: mean {:6.2%}  worst {:6.2%} of lookups misrouted".format(

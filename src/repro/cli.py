@@ -9,6 +9,9 @@ Usage::
     python -m repro algorithms
     python -m repro route hd --servers 4 --requests 8 -o dim=4096 \
         -o codebook_size=512
+    python -m repro route consistent --servers 6 --replicas 3
+    python -m repro cluster hd --shards 4 --servers 8 --replicas 2
+    python -m repro cluster consistent --avoid server-01
     python -m repro bench --profile fast
     python -m repro bench --profile fast --check BENCH_throughput.json
 
@@ -17,11 +20,15 @@ to experiment runners; ``--profile`` selects the ``fast`` / ``bench`` /
 ``full`` preset).  ``algorithms`` lists the algorithm registry, and
 ``route`` builds any registered table by name through
 :func:`repro.hashing.make_table`, drives it through the
-:class:`~repro.service.Router` facade and prints sample assignments.
-``bench`` runs the throughput suite (:mod:`repro.perf`), writes the
-machine-readable ``BENCH_throughput.json`` report, and with ``--check``
-gates against a committed baseline (exit code 1 on regression) -- the
-command the CI ``perf-smoke`` job runs.
+:class:`~repro.service.Router` facade and prints sample assignments
+(``--replicas K`` prints each key's k-distinct replica set).
+``cluster`` stands up a sharded :class:`~repro.service.ClusterRouter`
+and prints shard ownership, replica sets and -- with ``--avoid`` --
+the failover reroute around dead servers.  ``bench`` runs the
+throughput suite (:mod:`repro.perf`), writes the machine-readable
+``BENCH_throughput.json`` report, and with ``--check`` gates against a
+committed baseline (exit code 1 on regression) -- the command the CI
+``perf-smoke`` job runs.
 """
 
 from __future__ import annotations
@@ -35,7 +42,7 @@ from .hashing import algorithm_entry, make_table, registered_algorithms
 from .perf import compare_reports, format_report, load_report, run_suite, save_report
 from .perf.baseline import DEFAULT_TOLERANCE, coverage_drift
 from .perf.profiles import PERF_PROFILES
-from .service import Router
+from .service import ClusterRouter, Router
 
 from .experiments import (
     AblationConfig,
@@ -168,6 +175,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="hash-family seed (default: 0)"
     )
     route.add_argument(
+        "--replicas", type=int, default=1, metavar="K",
+        help="distinct servers per key (default: 1, plain routing)",
+    )
+    route.add_argument(
+        "-o", "--option", action="append", default=[], metavar="KEY=VALUE",
+        help="algorithm config override (repeatable), e.g. -o dim=4096",
+    )
+    cluster = commands.add_parser(
+        "cluster",
+        help="stand up a sharded ClusterRouter and route sample requests",
+    )
+    cluster.add_argument(
+        "algorithm",
+        help="registered algorithm name (see `repro algorithms`)",
+    )
+    cluster.add_argument(
+        "--shards", type=int, default=4, help="shard count (default: 4)"
+    )
+    cluster.add_argument(
+        "--servers", type=int, default=8, help="fleet size (default: 8)"
+    )
+    cluster.add_argument(
+        "--requests", type=int, default=8,
+        help="sample requests to route (default: 8)",
+    )
+    cluster.add_argument(
+        "--replicas", type=int, default=1, metavar="K",
+        help="distinct servers per key (default: 1)",
+    )
+    cluster.add_argument(
+        "--avoid", action="append", default=[], metavar="SERVER",
+        help="server to fail over around (repeatable)",
+    )
+    cluster.add_argument(
+        "--seed", type=int, default=0, help="hash-family seed (default: 0)"
+    )
+    cluster.add_argument(
         "-o", "--option", action="append", default=[], metavar="KEY=VALUE",
         help="algorithm config override (repeatable), e.g. -o dim=4096",
     )
@@ -279,6 +323,10 @@ def _run_route(args, out) -> int:
         raise SystemExit("error: {}".format(error))
     if args.servers < 1:
         raise SystemExit("error: --servers must be at least 1")
+    if not 1 <= args.replicas <= args.servers:
+        raise SystemExit(
+            "error: --replicas must be in [1, --servers]"
+        )
     router = Router(table)
     router.sync("server-{:02d}".format(i) for i in range(args.servers))
     print(
@@ -289,7 +337,67 @@ def _run_route(args, out) -> int:
     )
     for index in range(args.requests):
         key = "request:{}".format(index)
-        print("  {} -> {}".format(key, router.route(key)), file=out)
+        if args.replicas > 1:
+            replicas = router.route_replicas(key, args.replicas)
+            print(
+                "  {} -> {}".format(key, ", ".join(map(str, replicas))),
+                file=out,
+            )
+        else:
+            print("  {} -> {}".format(key, router.route(key)), file=out)
+    return 0
+
+
+def _run_cluster(args, out) -> int:
+    if args.shards < 1:
+        raise SystemExit("error: --shards must be at least 1")
+    if args.servers < 1:
+        raise SystemExit("error: --servers must be at least 1")
+    if not 1 <= args.replicas <= args.servers:
+        raise SystemExit("error: --replicas must be in [1, --servers]")
+    spec = {
+        "algorithm": args.algorithm,
+        "config": _parse_options(args.option),
+    }
+    try:
+        cluster = ClusterRouter(spec, n_shards=args.shards, seed=args.seed)
+    except (TypeError, ValueError) as error:
+        raise SystemExit("error: {}".format(error))
+    fleet = ["server-{:02d}".format(i) for i in range(args.servers)]
+    cluster.sync(fleet)
+    avoid = set(args.avoid)
+    unknown = avoid - set(fleet)
+    if unknown:
+        raise SystemExit(
+            "error: --avoid names unknown servers: {}".format(
+                ", ".join(sorted(unknown))
+            )
+        )
+    if len(avoid) >= len(fleet):
+        raise SystemExit(
+            "error: --avoid covers the whole fleet; nothing left to serve"
+        )
+    print(
+        "{} x{} shards (epochs {}, fleet {})".format(
+            cluster.algorithm,
+            cluster.n_shards,
+            list(cluster.epochs),
+            len(cluster),
+        ),
+        file=out,
+    )
+    for index in range(args.requests):
+        key = "request:{}".format(index)
+        shard = cluster.shard_of(key)
+        if args.replicas > 1:
+            replicas = cluster.route_replicas(key, args.replicas)
+            assignment = ", ".join(map(str, replicas))
+        else:
+            assignment = str(cluster.route(key))
+        line = "  {} -> shard {} -> {}".format(key, shard, assignment)
+        if avoid:
+            line += "  (failover: {})".format(cluster.route(key, avoid=avoid))
+        print(line, file=out)
     return 0
 
 
@@ -390,6 +498,8 @@ def main(argv=None, out=None) -> int:
         return 0
     if args.command == "route":
         return _run_route(args, out)
+    if args.command == "cluster":
+        return _run_cluster(args, out)
     if args.command == "bench":
         return _run_bench(args, out)
     if args.artefact == "all":

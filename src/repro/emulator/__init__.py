@@ -25,9 +25,13 @@ from .requests import (
 )
 from .scenario import (
     AutoscalePolicy,
+    FailoverConfig,
+    FailoverResult,
+    FailoverStepRecord,
     ScenarioConfig,
     ScenarioResult,
     StepRecord,
+    run_failover_scenario,
     run_scenario,
 )
 from .stats import LoadStats, MembershipStats, TimingStats
@@ -38,9 +42,13 @@ __all__ = [
     "DispatchUnit",
     "EmulationReport",
     "Emulator",
+    "FailoverConfig",
+    "FailoverResult",
+    "FailoverStepRecord",
     "ScenarioConfig",
     "ScenarioResult",
     "StepRecord",
+    "run_failover_scenario",
     "run_scenario",
     "HashTableModule",
     "HotspotKeys",

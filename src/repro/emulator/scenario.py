@@ -25,12 +25,22 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from ..hashfn import Key
 from ..hashing.base import DynamicHashTable
 from ..service.router import Router
 from .distributions import KeyDistribution, UniformKeys
 
-__all__ = ["AutoscalePolicy", "ScenarioConfig", "StepRecord", "ScenarioResult",
-           "run_scenario"]
+__all__ = [
+    "AutoscalePolicy",
+    "ScenarioConfig",
+    "StepRecord",
+    "ScenarioResult",
+    "run_scenario",
+    "FailoverConfig",
+    "FailoverStepRecord",
+    "FailoverResult",
+    "run_failover_scenario",
+]
 
 
 @dataclass(frozen=True)
@@ -56,8 +66,9 @@ class AutoscalePolicy:
             per_server < self.target_load * self.lower_tolerance
             and n_servers > self.min_servers
         ):
-            wanted = max(int(np.ceil(n_requests / self.target_load)),
-                         self.min_servers)
+            wanted = max(
+                int(np.ceil(n_requests / self.target_load)), self.min_servers
+            )
             return wanted - n_servers
         return 0
 
@@ -178,6 +189,132 @@ def run_scenario(
                 leaves=leaves,
                 remapped=remapped,
                 imbalance=imbalance,
+            )
+        )
+    return result
+
+
+@dataclass(frozen=True)
+class FailoverConfig:
+    """A primary dies mid-step; traffic shifts to its replicas."""
+
+    steps: int = 6
+    servers: int = 12
+    requests_per_step: int = 4_000
+    #: Step during which the primary fails (mid-step: half the step's
+    #: traffic is served before the failure detector flags it).
+    fail_step: int = 2
+    #: Replica-set width used for the shift (2 = primary + 1 fallback).
+    replicas: int = 2
+    distribution: Optional[KeyDistribution] = None
+    seed: int = 0
+
+
+@dataclass
+class FailoverStepRecord:
+    """What one epoch of the failover scenario did."""
+
+    step: int
+    n_requests: int
+    n_servers: int
+    #: Fraction of this step's traffic served by a fallback replica
+    #: (non-zero only while a flagged server is still in the table).
+    failed_over: float
+    #: Remap fraction billed by the reconciliation epoch that removed
+    #: the dead server (0.0 on steps without membership change).
+    remapped: float
+
+
+@dataclass
+class FailoverResult:
+    """All step records plus the identity of the failed primary."""
+
+    records: List[FailoverStepRecord] = field(default_factory=list)
+    dead_server: Optional[Key] = None
+
+    @property
+    def failover_fraction(self) -> float:
+        """Peak fraction of a step's traffic served by replicas."""
+        if not self.records:
+            return 0.0
+        return float(max(record.failed_over for record in self.records))
+
+    @property
+    def remap_bill(self) -> float:
+        """Total remap fraction paid across the scenario."""
+        return float(sum(record.remapped for record in self.records))
+
+
+def run_failover_scenario(
+    table_factory: Callable[[], DynamicHashTable],
+    config: FailoverConfig = FailoverConfig(),
+) -> FailoverResult:
+    """A primary dies mid-step: replicas absorb, then the fleet heals.
+
+    At ``fail_step`` the busiest server of the first half-step's
+    traffic fails.  The rest of the step is routed through the replica
+    protocol -- keys whose primary is the dead server shift to their
+    first healthy replica, with no membership change.  At step end the
+    control plane reconciles (declarative :meth:`Router.sync` without
+    the dead server) and the epoch's probe accounting bills the remap
+    the *permanent* removal causes.  Both costs are recorded: the
+    transient failover fraction and the reconciliation remap bill.
+    """
+    if not 0 <= config.fail_step < config.steps:
+        raise ValueError("fail_step must fall inside the scenario")
+    if config.replicas < 2:
+        raise ValueError("failover needs a replica set of at least 2")
+    if config.replicas > config.servers:
+        raise ValueError(
+            "replica set of {} cannot be distinct over {} servers".format(
+                config.replicas, config.servers
+            )
+        )
+    rng = np.random.default_rng(config.seed)
+    distribution = config.distribution or UniformKeys()
+    router = Router(table_factory())
+    router.sync(range(config.servers))
+    router.track(distribution.sample(4_000, rng))
+
+    result = FailoverResult()
+    for step in range(config.steps):
+        keys = distribution.sample(config.requests_per_step, rng)
+        n_requests = len(keys)
+        words = router.table.words_of_keys(keys)
+        failed_over = 0.0
+        remapped = 0.0
+        if step == config.fail_step:
+            # First half served normally; then the busiest server of
+            # that half dies and the failure detector flags it.
+            half = n_requests // 2
+            served = router.table.lookup_words(words[:half])
+            ids, counts = np.unique(served, return_counts=True)
+            result.dead_server = ids[int(np.argmax(counts))]
+            # Remaining traffic consults the replica set: keys whose
+            # primary is dead shift to their first healthy replica.
+            replicas = router.table.lookup_words_replicas(
+                words[half:], config.replicas
+            )
+            shifted = replicas[:, 0] == result.dead_server
+            failed_over = float(np.sum(shifted)) / max(1, n_requests)
+            # Step end: the control plane reconciles the fleet and the
+            # probe accounting bills the permanent remap.
+            survivors = [
+                server_id
+                for server_id in router.server_ids
+                if server_id != result.dead_server
+            ]
+            record = router.sync(survivors)
+            remapped = record.remapped if record else 0.0
+        else:
+            router.table.lookup_words(words)
+        result.records.append(
+            FailoverStepRecord(
+                step=step,
+                n_requests=n_requests,
+                n_servers=router.server_count,
+                failed_over=failed_over,
+                remapped=remapped,
             )
         )
     return result

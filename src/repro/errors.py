@@ -14,6 +14,7 @@ __all__ = [
     "UnknownServerError",
     "UnknownAlgorithmError",
     "CapacityError",
+    "ReplicaCountError",
     "StateError",
 ]
 
@@ -40,6 +41,13 @@ class CapacityError(ReproError, RuntimeError):
 
 class UnknownAlgorithmError(ReproError, ValueError):
     """An algorithm name was not found in the registry."""
+
+
+class ReplicaCountError(ReproError, ValueError):
+    """A replica lookup asked for an impossible replica count.
+
+    Raised when ``k < 1`` or when ``k`` exceeds the number of servers in
+    the pool (``k`` replicas must be pairwise distinct)."""
 
 
 class StateError(ReproError, ValueError):

@@ -10,11 +10,23 @@ extension baselines -- implements :class:`DynamicHashTable`:
 * ``route_batch(words)``, the vectorized path used by the robustness and
   uniformity campaigns (and, for HD hashing, the batched inference that
   stands in for the paper's GPU);
+* ``lookup_replicas(key, k)`` / ``route_replicas_batch(words, k)``, the
+  replica protocol: ``k`` pairwise-distinct servers per key, ordered by
+  preference, with ``replicas[0]`` always equal to the single-server
+  lookup -- the multi-slot placement production fleets route to;
 * ``memory_regions()``, the routing state exposed to the fault injector.
 
 Routing is split into key hashing (``HashFamily.word``) and word routing
 (``route_word``) so that a pristine replica and a corrupted table can be
 replayed on bit-identical word streams.
+
+The replica protocol has a generic *exclusion-rerank* fallback here in
+the base class: re-route salted rehashes of the key's word, excluding
+already-chosen servers, with a deterministic lowest-slot fill as the
+termination guarantee.  Algorithms whose math ranks the whole pool for
+free override it with native fast paths (HD: the k nearest codebook
+rows; rendezvous: top-k of the score matrix; consistent hashing: k
+distinct ring successors).
 """
 
 from __future__ import annotations
@@ -27,6 +39,7 @@ import numpy as np
 from ..errors import (
     DuplicateServerError,
     EmptyTableError,
+    ReplicaCountError,
     StateError,
     UnknownServerError,
 )
@@ -38,6 +51,13 @@ __all__ = ["DynamicHashTable", "STATE_FORMAT_VERSION"]
 #: Version stamp written into every :meth:`DynamicHashTable.state_dict`.
 STATE_FORMAT_VERSION = 1
 
+#: Salted-rehash attempts per requested replica before the generic
+#: exclusion fallback gives up and fills deterministically.  Each
+#: attempt is ~uniform over the pool, so 16 attempts per replica puts
+#: the fill path far out in the tail (it exists only to guarantee
+#: termination, e.g. on corrupted indirection tables).
+_REHASH_ATTEMPTS_PER_REPLICA = 16
+
 
 class DynamicHashTable(ABC):
     """Abstract dynamic hash table mapping request keys to servers."""
@@ -48,6 +68,9 @@ class DynamicHashTable(ABC):
     def __init__(self, family: HashFamily = None, seed: int = 0):
         self._family = family if family is not None else HashFamily(seed)
         self._server_ids: List[Key] = []
+        # Derived lazily; the sub-family salting the generic replica
+        # fallback's rehash sequence (independent of key hashing).
+        self._replica_family_cache: HashFamily = None
 
     # -- registry ---------------------------------------------------------
 
@@ -171,6 +194,188 @@ class DynamicHashTable(ABC):
             dtype=np.int64,
             count=words.size,
         )
+
+    # -- replica routing ----------------------------------------------------
+
+    def _check_replica_count(self, k: int) -> None:
+        if k < 1:
+            raise ReplicaCountError(
+                "need at least one replica, got k={}".format(k)
+            )
+        if k > self.server_count:
+            raise ReplicaCountError(
+                "cannot choose {} pairwise-distinct replicas from a pool "
+                "of {} servers".format(k, self.server_count)
+            )
+
+    @property
+    def _replica_family(self) -> HashFamily:
+        if self._replica_family_cache is None:
+            self._replica_family_cache = self._family.derive(
+                "replica-exclusion"
+            )
+        return self._replica_family_cache
+
+    def _collect_distinct(self, slots, k: int) -> np.ndarray:
+        """Collect ``k`` pairwise-distinct slots from a slot sequence.
+
+        The shared core of every walk-based replica path (ring
+        successors, Maglev table scan, modular bucket probe): consume
+        ``slots`` in order, skip servers already chosen, stop at ``k``,
+        and fall back to :meth:`_complete_replicas` if the sequence
+        ends short.
+        """
+        chosen: List[int] = []
+        seen = set()
+        for slot in slots:
+            if slot not in seen:
+                seen.add(slot)
+                chosen.append(slot)
+                if len(chosen) == k:
+                    break
+        return self._complete_replicas(chosen, k)
+
+    def _complete_replicas(self, chosen: List[int], k: int) -> np.ndarray:
+        """Deterministic fill to ``k`` distinct slots (lowest-slot first).
+
+        The termination guarantee behind every replica path: native
+        walks and the rehash fallback may fail to surface some slot
+        (e.g. a corrupted indirection table that no longer covers the
+        pool); missing slots are appended in slot order so the result
+        is always ``k`` pairwise-distinct slots.
+        """
+        if len(chosen) < k:
+            seen = set(chosen)
+            for slot in range(self.server_count):
+                if slot not in seen:
+                    chosen.append(slot)
+                    if len(chosen) == k:
+                        break
+        return np.asarray(chosen[:k], dtype=np.int64)
+
+    def _route_word_replicas(self, word: int, k: int) -> np.ndarray:
+        """Generic exclusion-rerank fallback on a validated ``k``.
+
+        ``replicas[0]`` is the plain :meth:`route_word` winner; further
+        replicas re-route salted rehashes of ``word``, excluding servers
+        already chosen, until ``k`` distinct slots are collected.  The
+        sequence is a pure function of (word, table state), so batch and
+        scalar paths and bit-identical table replicas all agree.
+        """
+        chosen = [self.route_word(word)]
+        if k > 1:
+            seen = set(chosen)
+            rehash = self._replica_family.pair
+            for salt in range(_REHASH_ATTEMPTS_PER_REPLICA * k):
+                if len(chosen) == k:
+                    break
+                candidate = self.route_word(rehash(word, salt))
+                if candidate not in seen:
+                    seen.add(candidate)
+                    chosen.append(candidate)
+        return self._complete_replicas(chosen, k)
+
+    def route_word_replicas(self, word: int, k: int) -> np.ndarray:
+        """Route one pre-hashed word to ``k`` distinct server slots.
+
+        Returns an ``int64`` array of length ``k``, ordered by
+        preference: ``route_word_replicas(word, k)[0] ==
+        route_word(word)`` for every algorithm.
+        """
+        self._require_servers()
+        self._check_replica_count(k)
+        return self._route_word_replicas(int(word), k)
+
+    def route_replicas_batch(self, words: np.ndarray, k: int) -> np.ndarray:
+        """Route pre-hashed words to ``k`` distinct slots each (batch).
+
+        Returns an ``(len(words), k)`` ``int64`` matrix whose rows match
+        :meth:`route_word_replicas` bit-exactly; column 0 equals
+        :meth:`route_batch`.
+        """
+        self._require_servers()
+        self._check_replica_count(k)
+        words = np.asarray(words, dtype=np.uint64)
+        if words.size == 0:
+            return np.empty((0, k), dtype=np.int64)
+        return self._route_replicas_batch(words, k)
+
+    def _route_replicas_batch(self, words: np.ndarray, k: int) -> np.ndarray:
+        """Algorithm-specific replica batch on validated inputs.
+
+        The default deduplicates the batch onto its unique words
+        (replica sets are a pure function of the word) and runs the
+        scalar path once per unique word -- always bit-exact with
+        :meth:`route_word_replicas`, whatever the subclass overrode.
+        Algorithms with vectorizable replica math override this: native
+        ranked kernels (HD, rendezvous) or, for algorithms whose scalar
+        path *is* the generic rehash fallback (jump, hierarchical), the
+        vectorized :meth:`_rehash_replicas_batch`.
+        """
+        unique, inverse = np.unique(words, return_inverse=True)
+        out = np.empty((unique.size, k), dtype=np.int64)
+        for row in range(unique.size):
+            out[row] = self._route_word_replicas(int(unique[row]), k)
+        return out[inverse]
+
+    def _rehash_replicas_batch(self, words: np.ndarray, k: int) -> np.ndarray:
+        """The *vectorized* form of the generic exclusion-rerank fallback.
+
+        Deduplicates onto unique words, then each rehash round routes
+        every still-unfilled row through the algorithm's own batched
+        kernel at once.  Per-row salts, acceptance order and the
+        deterministic fill are identical to the scalar fallback, so an
+        algorithm that keeps the default :meth:`_route_word_replicas`
+        can adopt this as its ``_route_replicas_batch`` and stay
+        bit-exact between scalar and batch.
+        """
+        unique, inverse = np.unique(words, return_inverse=True)
+        n = unique.size
+        out = np.empty((n, k), dtype=np.int64)
+        out[:, 0] = self._route_batch(unique)
+        if k > 1:
+            chosen = np.zeros((n, self.server_count), dtype=bool)
+            chosen[np.arange(n), out[:, 0]] = True
+            filled = np.ones(n, dtype=np.int64)
+            pair_vec = self._replica_family.pair_vec
+            active = np.arange(n)
+            for salt in range(_REHASH_ATTEMPTS_PER_REPLICA * k):
+                if active.size == 0:
+                    break
+                candidates = self._route_batch(
+                    pair_vec(unique[active], np.uint64(salt))
+                )
+                fresh = ~chosen[active, candidates]
+                rows = active[fresh]
+                slots = candidates[fresh]
+                out[rows, filled[rows]] = slots
+                chosen[rows, slots] = True
+                filled[rows] += 1
+                active = active[filled[active] < k]
+            for row in np.nonzero(filled < k)[0]:
+                out[row] = self._complete_replicas(
+                    out[row, : filled[row]].tolist(), k
+                )
+        return out[inverse]
+
+    def lookup_replicas(self, key: Key, k: int) -> Tuple[Key, ...]:
+        """Map one request key to ``k`` distinct server identifiers.
+
+        ``lookup_replicas(key, 1)[0] == lookup(key)`` always holds; a
+        ``k`` above the pool size raises
+        :class:`~repro.errors.ReplicaCountError`.
+        """
+        slots = self.route_word_replicas(self._family.word(key), k)
+        return tuple(self._server_ids[int(slot)] for slot in slots)
+
+    def lookup_words_replicas(self, words: np.ndarray, k: int) -> np.ndarray:
+        """Map pre-hashed words to ``(n, k)`` server identifiers."""
+        slots = self.route_replicas_batch(words, k)
+        return np.asarray(self._server_ids, dtype=object)[slots]
+
+    def lookup_replicas_batch(self, keys: Sequence[Key], k: int) -> np.ndarray:
+        """Map a key batch to ``(len(keys), k)`` server identifiers."""
+        return self.lookup_words_replicas(self.words_of_keys(keys), k)
 
     # -- snapshot / restore -------------------------------------------------
 

@@ -13,6 +13,12 @@ meaningless for one key).  Included as an extension comparand for the
 uniformity experiment: it shows the classical way to buy uniformity with
 lookup-time complexity, against HD hashing's way of buying robustness
 with memory.
+
+Replica routing: inherited from
+:class:`~repro.hashing.consistent.ConsistentHashTable` -- ``k`` distinct
+ring successors.  Single-key routing here *is* the plain successor rule
+(capacity bookkeeping is population-level, see :meth:`assign_batch`),
+so the inherited walk keeps ``replicas[0] == lookup`` exactly.
 """
 
 from __future__ import annotations

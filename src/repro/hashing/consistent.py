@@ -188,13 +188,33 @@ class ConsistentHashTable(DynamicHashTable):
     def route_word(self, word: int) -> int:
         """Scalar deployment path: O(log k) binary search (Section 2.1)."""
         self._require_servers()
+        return int(self._ring_slots[self._successor_index(word)])
+
+    def _successor_index(self, word: int) -> int:
+        """Ring index of the clockwise successor of ``word``'s position."""
         key = self._ring_positions.dtype.type(self._to_circle(word))
-        index = int(
-            np.searchsorted(self._ring_positions, key, side="left")
-        )
+        index = int(np.searchsorted(self._ring_positions, key, side="left"))
         if index == self._ring_positions.size:
             index = 0
-        return int(self._ring_slots[index])
+        return index
+
+    def _distinct_successors(self, index: int, k: int) -> np.ndarray:
+        """Walk the ring clockwise from ``index``, collecting ``k``
+        distinct server slots (the classic multi-slot placement of
+        DHash-style replicated rings: a key's replica set is its next
+        ``k`` distinct successors)."""
+        size = self._ring_positions.size
+        return self._collect_distinct(
+            (
+                int(self._ring_slots[(index + step) % size])
+                for step in range(size)
+            ),
+            k,
+        )
+
+    def _route_word_replicas(self, word: int, k: int) -> np.ndarray:
+        """Native replica path: ``k`` distinct ring successors."""
+        return self._distinct_successors(self._successor_index(word), k)
 
     def _route_batch_bisect(self, keys: np.ndarray) -> np.ndarray:
         indices = np.searchsorted(self._ring_positions, keys, side="left")

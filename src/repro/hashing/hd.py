@@ -212,6 +212,37 @@ class HDHashTable(DynamicHashTable):
         )
         return slots[inverse]
 
+    def _route_word_replicas(self, word: int, k: int) -> np.ndarray:
+        """Native replica path: the ``k`` nearest item-memory rows.
+
+        HD inference ranks the whole pool for free -- the similarity
+        scores of Eq. 2 are computed against every stored hypervector
+        anyway -- so the replica set is the top-k of the same sweep the
+        single-server lookup argmins over.  Goes through the same
+        packed-word kernel as the batch path, so scalar and batch agree
+        bit-exactly (including tie-breaks toward the earliest-joined
+        server).
+        """
+        position = int(word % self.codebook_size)
+        indices, __ = self._memory.query_top_k_words(
+            self._codebook_words[position][None, :], k
+        )
+        return indices[0]
+
+    def _route_replicas_batch(self, words: np.ndarray, k: int) -> np.ndarray:
+        """Batched replica inference, deduplicated onto circle positions.
+
+        One packed-word top-k kernel sweep over the batch's unique
+        circle positions -- no per-key Python loop, mirroring
+        :meth:`_route_batch`.
+        """
+        positions = (words % np.uint64(self.codebook_size)).astype(np.int64)
+        unique_positions, inverse = np.unique(positions, return_inverse=True)
+        slots, __ = self._memory.query_top_k_words(
+            self._codebook_words[unique_positions], k
+        )
+        return slots[inverse]
+
     # -- snapshot / restore -------------------------------------------------
 
     def _config_state(self) -> Dict[str, Any]:

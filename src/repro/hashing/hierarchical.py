@@ -18,6 +18,12 @@ Properties this buys, exercised by experiment E13:
 Servers are assigned to groups by their hash word (deterministic and
 replica-reproducible); groups are fixed at construction, mirroring
 physical topology.
+
+Replica routing: the generic exclusion-rerank fallback of
+:class:`~repro.hashing.base.DynamicHashTable` runs each salted rehash
+through the full two-level path, so replica sets naturally spread
+across groups exactly as fresh keys do -- a rack-aware placement falls
+out of the composition for free.
 """
 
 from __future__ import annotations
@@ -189,6 +195,12 @@ class HierarchicalHashTable(DynamicHashTable):
             )
             out[mask] = mapping[inner_slots]
         return out
+
+    def _route_replicas_batch(self, words: np.ndarray, k: int) -> np.ndarray:
+        # Scalar replica routing is the generic rehash fallback; its
+        # vectorized form sends each rehash round through the two-level
+        # batched path (one outer sweep + per-group inner sweeps).
+        return self._rehash_replicas_batch(words, k)
 
     def lookup(self, key: Key) -> Key:
         """Two-level lookup (group, then server within the group)."""

@@ -15,6 +15,12 @@ memory.
 
 Memory model: the bucket indirection array (re-interpreted modulo the
 pool size when corrupted, like :class:`~repro.hashing.modular.ModularHashTable`).
+
+Replica routing: jump hash has no stored ranking to take a top-k from
+(the PRNG walk yields exactly one bucket), so replica sets use the base
+class's generic exclusion-rerank fallback -- salted rehashes of the key
+word re-jumped until ``k`` distinct buckets' servers are collected.
+``replicas[0]`` is always the plain jump winner.
 """
 
 from __future__ import annotations
@@ -119,6 +125,12 @@ class JumpHashTable(DynamicHashTable):
         count = self.server_count
         buckets = jump_hash_batch(words, count)
         return self._bucket_refs[buckets] % np.int64(count)
+
+    def _route_replicas_batch(self, words: np.ndarray, k: int) -> np.ndarray:
+        # Scalar replica routing is the generic rehash fallback, so the
+        # batch path can use its vectorized form: every rehash round is
+        # one masked jump_hash_batch sweep instead of per-key walks.
+        return self._rehash_replicas_batch(words, k)
 
     def _state_payload(self) -> Dict[str, Any]:
         return {"bucket_refs": self._bucket_refs.copy()}

@@ -140,6 +140,25 @@ class MaglevHashTable(DynamicHashTable):
         entries = self._table[(words % np.uint64(self._table_size)).astype(np.int64)]
         return entries % np.int64(self.server_count)
 
+    def _route_word_replicas(self, word: int, k: int) -> np.ndarray:
+        """Native exclusion path: walk the lookup table forward.
+
+        Every server claims many slots of the prime table, so scanning
+        from the key's entry point and skipping already-chosen servers
+        yields ``k`` distinct replicas after a handful of reads --
+        Maglev's own O(1) lookup, repeated with exclusions.
+        """
+        size = self._table_size
+        count = self.server_count
+        start = int(word % size)
+        return self._collect_distinct(
+            (
+                int(self._table[(start + step) % size]) % count
+                for step in range(size)
+            ),
+            k,
+        )
+
     # -- snapshot / restore ----------------------------------------------
 
     def _config_state(self) -> Dict[str, Any]:

@@ -85,12 +85,23 @@ class MultiProbeConsistentHashTable(ConsistentHashTable):
 
     def route_word(self, word: int) -> int:
         self._require_servers()
+        return int(self._ring_slots[self._best_probe_index(word)])
+
+    def _best_probe_index(self, word: int) -> int:
+        """Ring index of the winning probe's clockwise successor."""
         probe_keys = self._keys_of_words(self._probe_words(word))
         indices, distances = self._successor_distance(
             probe_keys.astype(np.uint32)
         )
         best = int(np.argmin(distances))
-        return int(self._ring_slots[indices[best]])
+        return int(indices[best])
+
+    def _route_word_replicas(self, word: int, k: int) -> np.ndarray:
+        """Native replica path: walk distinct successors from the
+        winning probe's ring entry, so ``replicas[0]`` stays the
+        multi-probe winner while further replicas inherit consistent
+        hashing's successor-set placement."""
+        return self._distinct_successors(self._best_probe_index(word), k)
 
     def _route_batch(self, words: np.ndarray) -> np.ndarray:
         seeds = np.arange(self._probes, dtype=np.uint64)[:, None]

@@ -34,6 +34,30 @@ __all__ = ["RendezvousHashTable", "WeightedRendezvousHashTable"]
 _CHUNK_WORDS = 1 << 20  # bound the (k x chunk) weight matrix to ~8 MB rows
 
 
+def _top_k_slots(keys: np.ndarray, k: int) -> np.ndarray:
+    """Top-``k`` slots per column of an ``(m, c)`` ranking-key matrix.
+
+    ``keys`` is ascending-is-better (pass ``~weights`` for HRW, negated
+    scores for the weighted variant).  A vectorized ``argpartition``
+    narrows each column to ``k`` candidates, which are then ordered by
+    (key, slot): candidates are pre-sorted by slot index so the stable
+    key sort breaks ties toward the lowest slot -- exactly the running
+    first-maximum rule of the scalar loop.  Returns a ``(k, c)``
+    ``int64`` matrix, best first.
+    """
+    m = keys.shape[0]
+    if k < m:
+        candidates = np.argpartition(keys, k - 1, axis=0)[:k]
+    else:
+        candidates = np.broadcast_to(
+            np.arange(m, dtype=np.int64)[:, None], keys.shape
+        )
+    candidates = np.sort(candidates, axis=0)
+    candidate_keys = np.take_along_axis(keys, candidates, axis=0)
+    order = np.argsort(candidate_keys, axis=0, kind="stable")
+    return np.take_along_axis(candidates, order, axis=0)
+
+
 @register_table(
     "rendezvous",
     config=TableConfig,
@@ -84,6 +108,31 @@ class RendezvousHashTable(DynamicHashTable):
             stop = min(start + chunk, words.size)
             weights = self._pair_family.pair_vec(columns, words[None, start:stop])
             out[start:stop] = weights.argmax(axis=0)
+        return out
+
+    def _route_word_replicas(self, word: int, k: int) -> np.ndarray:
+        # Single-column dispatch through the batch kernel keeps scalar
+        # and batch replica sets bit-identical, tie-breaks included.
+        return self._route_replicas_batch(
+            np.asarray([word], dtype=np.uint64), k
+        )[0]
+
+    def _route_replicas_batch(self, words: np.ndarray, k: int) -> np.ndarray:
+        """Native replica path: top-``k`` of the pairwise weight matrix.
+
+        HRW's replica set is free -- the weights against every server
+        are computed for the argmax anyway -- so this swaps the argmax
+        for a vectorized ``argpartition`` top-k over the same chunked
+        score matrix (``~weight`` turns highest-weight-wins into an
+        ascending sort key).
+        """
+        out = np.empty((words.size, k), dtype=np.int64)
+        chunk = max(1, _CHUNK_WORDS // max(1, self.server_count))
+        columns = self._server_words[:, None]
+        for start in range(0, words.size, chunk):
+            stop = min(start + chunk, words.size)
+            weights = self._pair_family.pair_vec(columns, words[None, start:stop])
+            out[start:stop] = _top_k_slots(~weights, k).T
         return out
 
     def _state_payload(self) -> Dict[str, Any]:
@@ -159,6 +208,16 @@ class WeightedRendezvousHashTable(RendezvousHashTable):
         for start in range(0, words.size, chunk):
             stop = min(start + chunk, words.size)
             out[start:stop] = self._scores(words[start:stop]).argmax(axis=0)
+        return out
+
+    def _route_replicas_batch(self, words: np.ndarray, k: int) -> np.ndarray:
+        # Same top-k machinery as plain HRW, over the weighted scores
+        # (negated: higher score is better).
+        out = np.empty((words.size, k), dtype=np.int64)
+        chunk = max(1, _CHUNK_WORDS // max(1, self.server_count))
+        for start in range(0, words.size, chunk):
+            stop = min(start + chunk, words.size)
+            out[start:stop] = _top_k_slots(-self._scores(words[start:stop]), k).T
         return out
 
     def _state_payload(self) -> Dict[str, Any]:

@@ -31,6 +31,7 @@ from .packing import (
     nearest_rows_words,
     pack_bits,
     row_bytes,
+    top_k_rows_words,
 )
 
 __all__ = ["ItemMemory"]
@@ -184,6 +185,29 @@ class ItemMemory:
         return nearest_rows_words(
             np.atleast_2d(np.asarray(query_words, dtype=np.uint64)),
             self.memory_words(),
+            self._backend,
+            **kwargs
+        )
+
+    def query_top_k_words(
+        self, query_words: np.ndarray, k: int, chunk_bytes: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched ``k``-nearest-row query over ``uint64`` word rows.
+
+        The replica-routing hot path: one packed-word XOR+popcount
+        sweep with a vectorized top-k selection (see
+        :func:`~repro.hdc.packing.top_k_rows_words`).  Returns
+        ``(indices, distances)`` ``int64`` arrays of shape
+        ``(len(query_words), k)``; column 0 matches
+        :meth:`query_batch_words` bit-exactly.
+        """
+        if not self._labels:
+            raise LookupError("item memory is empty")
+        kwargs = {} if chunk_bytes is None else {"chunk_bytes": chunk_bytes}
+        return top_k_rows_words(
+            np.atleast_2d(np.asarray(query_words, dtype=np.uint64)),
+            self.memory_words(),
+            k,
             self._backend,
             **kwargs
         )

@@ -39,6 +39,7 @@ __all__ = [
     "hamming_words",
     "hamming_packed_matrix",
     "nearest_rows_words",
+    "top_k_rows_words",
 ]
 
 #: Bytes in one packed storage word.
@@ -235,4 +236,61 @@ def nearest_rows_words(
         best = block.argmin(axis=1)
         indices[start:stop] = best
         distances[start:stop] = block[np.arange(block.shape[0]), best]
+    return indices, distances
+
+
+def top_k_rows_words(
+    query_words: np.ndarray,
+    memory_words: np.ndarray,
+    k: int,
+    backend: str = "auto",
+    chunk_bytes: int = 32 * 1024 * 1024,
+) -> "tuple":
+    """The ``k`` nearest memory rows per query, over ``uint64`` words.
+
+    The replica-routing generalisation of :func:`nearest_rows_words`:
+    returns ``(indices, distances)`` ``int64`` arrays of shape
+    ``(len(query_words), k)``, each row ordered by increasing distance
+    with ties broken toward the lowest row index -- so column 0 is
+    bit-identical to :func:`nearest_rows_words` (``argmin`` keeps the
+    first minimum).  Tie-breaking is exact, not stochastic: distances
+    are folded into a collision-free composite key ``distance *
+    n_rows + row`` before the ``argpartition``/sort, so partition
+    boundaries can never split a tie nondeterministically.  As in the
+    top-1 kernel, the only Python-level loop is the chunking that
+    bounds the XOR intermediate.
+    """
+    queries = np.atleast_2d(np.asarray(query_words, dtype=np.uint64))
+    memory = np.atleast_2d(np.asarray(memory_words, dtype=np.uint64))
+    if queries.shape[1] != memory.shape[1]:
+        raise ValueError("query and memory row widths differ")
+    n_rows = memory.shape[0]
+    if not 1 <= k <= n_rows:
+        raise ValueError(
+            "k must be in [1, {}] memory rows, got {}".format(n_rows, k)
+        )
+    n_queries = queries.shape[0]
+    indices = np.empty((n_queries, k), dtype=np.int64)
+    distances = np.empty((n_queries, k), dtype=np.int64)
+    row_ids = np.arange(n_rows, dtype=np.int64)
+    per_query_bytes = max(1, n_rows * memory.shape[1] * _WORD_BYTES)
+    chunk = max(1, chunk_bytes // per_query_bytes)
+    for start in range(0, n_queries, chunk):
+        stop = min(start + chunk, n_queries)
+        block = hamming_words(
+            queries[start:stop, None, :], memory[None, :, :], backend
+        )
+        # Composite key: total order per row, deterministic tie-break
+        # toward the lowest memory-row index.
+        composite = block * np.int64(n_rows) + row_ids
+        if k < n_rows:
+            part = np.argpartition(composite, k - 1, axis=1)[:, :k]
+        else:
+            part = np.broadcast_to(row_ids, composite.shape)
+        order = np.argsort(
+            np.take_along_axis(composite, part, axis=1), axis=1
+        )
+        top = np.take_along_axis(part, order, axis=1)
+        indices[start:stop] = top
+        distances[start:stop] = np.take_along_axis(block, top, axis=1)
     return indices, distances

@@ -32,6 +32,11 @@ class PerfProfile:
     repeats: int
     #: Leave+join cycles timed for churn throughput (2 events/cycle).
     churn_cycles: int
+    #: Replicas per key for the ``route_replicas`` metric.
+    replica_k: int = 3
+    #: Shards of the :class:`~repro.service.cluster.ClusterRouter`
+    #: measured by the ``cluster_route`` metric.
+    cluster_shards: int = 4
     #: Per-algorithm constructor overrides applied through
     #: :func:`repro.hashing.make_table`.
     table_configs: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
@@ -46,8 +51,11 @@ PERF_PROFILES: Dict[str, PerfProfile] = {
         name="fast",
         servers=16,
         batch_words=8_192,
-        repeats=3,
-        churn_cycles=6,
+        # 5 best-of repeats and 16-cycle churn blocks: the CI gate
+        # compares this profile across runs, and smaller blocks put
+        # single-scheduler-hiccup noise past the 30% tolerance.
+        repeats=5,
+        churn_cycles=16,
         table_configs={
             "hd": {"dim": 2_048, "codebook_size": 256},
             "maglev": {"table_size": 509},

@@ -1,11 +1,19 @@
-"""The throughput harness: route / lookup / churn rates per algorithm.
+"""The throughput harness: routing / cluster / churn rates per algorithm.
 
-Three metrics per registered algorithm, all measured on a live table at
+Five metrics per registered algorithm, all measured on live state at
 the profile's pool size:
 
 ``route``
     pre-hashed words through :meth:`route_batch` -- the pure routing
     hot path, the sweep this repo vectorized end to end.
+``route_replicas``
+    the same word batch through :meth:`route_replicas_batch` at the
+    profile's replica count -- the k-distinct-servers placement path.
+``cluster_route``
+    the same word batch through a sharded
+    :class:`~repro.service.cluster.ClusterRouter` (profile's shard
+    count) -- hashing already done, shard fan-out + per-shard batch
+    kernels.
 ``lookup``
     integer keys through :meth:`lookup_batch` -- hashing + routing +
     slot-to-identifier mapping, the full serving path.
@@ -33,6 +41,7 @@ from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Union
 import numpy as np
 
 from ..hashing import make_table, registered_algorithms
+from ..service.cluster import ClusterRouter
 from .baseline import SCHEMA_VERSION
 from .profiles import PerfProfile, perf_profile
 
@@ -105,34 +114,50 @@ def measure_algorithm(
         calibration_gbps = calibrate()
     config = profile.config_for(name)
     table = make_table(name, seed=seed, **config)
-    for index in range(profile.servers):
-        table.join(_SERVER_FMT.format(index))
+    server_ids = [_SERVER_FMT.format(index) for index in range(profile.servers)]
+    for server_id in server_ids:
+        table.join(server_id)
 
     rng = np.random.default_rng(seed + 1)
     words = rng.integers(0, 2**64, profile.batch_words, dtype=np.uint64)
     keys = rng.integers(0, 2**63, profile.batch_words, dtype=np.int64)
 
     route_seconds = _best_seconds(lambda: table.route_batch(words), profile.repeats)
+    replica_k = min(profile.replica_k, profile.servers)
+    replicas_seconds = _best_seconds(
+        lambda: table.route_replicas_batch(words, replica_k), profile.repeats
+    )
+    cluster = ClusterRouter(
+        {"algorithm": name, "config": config},
+        n_shards=profile.cluster_shards,
+        seed=seed,
+    )
+    cluster.sync(server_ids)
+    cluster_seconds = _best_seconds(
+        lambda: cluster.route_words(words), profile.repeats
+    )
     lookup_seconds = _best_seconds(lambda: table.lookup_batch(keys), profile.repeats)
 
     # Churn: retire the oldest server, admit a fresh one, repeatedly.
     # Fresh identifiers per cycle keep placement realistic (no cached
-    # rejoin of an identical member).
+    # rejoin of an identical member).  Like the routing metrics, the
+    # best of ``repeats`` timed blocks is kept -- single-shot churn
+    # timing scattered by >2x run to run, which flaked the CI gate.
     next_id = profile.servers + 1_000_000
 
-    def churn_cycle():
+    def churn_block():
         nonlocal next_id
-        table.leave(table.server_ids[0])
-        table.join(_SERVER_FMT.format(next_id))
-        next_id += 1
+        for __ in range(profile.churn_cycles):
+            table.leave(table.server_ids[0])
+            table.join(_SERVER_FMT.format(next_id))
+            next_id += 1
 
-    churn_started = time.perf_counter()
-    for __ in range(profile.churn_cycles):
-        churn_cycle()
-    churn_seconds = max(time.perf_counter() - churn_started, 1e-9)
+    churn_seconds = _best_seconds(churn_block, profile.repeats)
     churn_events = 2 * profile.churn_cycles
 
     route_rate = profile.batch_words / route_seconds
+    replicas_rate = profile.batch_words / replicas_seconds
+    cluster_rate = profile.batch_words / cluster_seconds
     lookup_rate = profile.batch_words / lookup_seconds
     churn_rate = churn_events / churn_seconds
     return {
@@ -142,6 +167,14 @@ def measure_algorithm(
         "route": {
             "keys_per_s": route_rate,
             "normalized": _normalized(route_rate, calibration_gbps),
+        },
+        "route_replicas": {
+            "keys_per_s": replicas_rate,
+            "normalized": _normalized(replicas_rate, calibration_gbps),
+        },
+        "cluster_route": {
+            "keys_per_s": cluster_rate,
+            "normalized": _normalized(cluster_rate, calibration_gbps),
         },
         "lookup": {
             "keys_per_s": lookup_rate,

@@ -7,24 +7,36 @@ time, replay to rebuild), this package speaks a serving system's:
   membership updates (:class:`MembershipUpdate`), declarative
   :meth:`Router.sync`, a monotonic membership epoch, per-epoch remap
   accounting and :class:`RouterObserver` event hooks;
+* :class:`ClusterRouter` -- the sharded cluster layer: S independent
+  router shards partitioning the key space, fleet-wide declarative
+  sync with cluster-level remap accounting, per-shard epochs and
+  snapshots, and replica-set failover (``route(key, avoid={dead})``);
 * :mod:`repro.service.snapshot` -- bit-exact snapshot serialization so
   replicas restore without replaying the join history.
 
 Quickstart::
 
     from repro.hashing import make_table
-    from repro.service import Router
+    from repro.service import ClusterRouter, Router
 
     router = Router(make_table("hd", dim=4096, codebook_size=512))
     router.sync(["web-a", "web-b", "web-c"])   # epoch 1
     router.route("user:42")
+    router.route_replicas("user:42", 2)        # (primary, fallback)
     router.sync(["web-a", "web-c", "web-d"])   # minimal diff, epoch 2
+
+    cluster = ClusterRouter("consistent", n_shards=4, seed=7)
+    cluster.sync(["web-a", "web-c", "web-d"])  # every shard, one call
+    cluster.route("user:42", avoid={"web-c"})  # failover to a replica
 """
 
+from .cluster import ClusterEpochRecord, ClusterRouter
 from .router import EpochRecord, MembershipUpdate, Router, RouterObserver
 from .snapshot import dumps_state, load_table, loads_state, save_table
 
 __all__ = [
+    "ClusterEpochRecord",
+    "ClusterRouter",
     "EpochRecord",
     "MembershipUpdate",
     "Router",

@@ -1,0 +1,441 @@
+"""The sharded cluster layer: S independent routing shards, one fleet.
+
+One table scales until one machine's routing state (or one control
+plane's churn rate) becomes the bottleneck; production fleets scale past
+that by *sharding* the key space -- S independent tables, each owning
+1/S of the keys, reconciled and snapshotted independently.
+:class:`ClusterRouter` realises that layer over the PR-1 ``Router``
+facade:
+
+* keys are partitioned by a dedicated shard hash over their routing
+  word (derived sub-family, so shard choice is decorrelated from every
+  algorithm's own placement math);
+* batch routing fans out shard by shard, reusing each table's deduped
+  batch kernel on the pre-hashed word stream;
+* membership is declarative fleet-wide (:meth:`sync` reconciles every
+  shard as one cluster epoch) while each shard keeps its own monotonic
+  epoch -- the per-shard epoch vector a cache compares entry-wise;
+* remap accounting is cluster-wide: the tracked probe population is
+  partitioned onto the shards that own it, and every cluster epoch
+  aggregates the per-shard probe movement into one fleet-level bill;
+* snapshots nest one ``Router`` snapshot per shard; a single shard can
+  be restored in place (:meth:`restore_shard`) without touching its
+  peers;
+* :meth:`route` takes an ``avoid`` set -- the failover path: when the
+  primary is in ``avoid`` (a failure detector flagged it dead), the
+  key is served by its first healthy replica instead.
+
+Every shard shares the same key-hashing family (same seed), so the
+cluster hashes each key exactly once and feeds the pre-routed words to
+whichever shard owns them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from ..errors import EmptyTableError, StateError
+from ..hashfn import Key
+from ..hashing.base import DynamicHashTable
+from ..hashing.registry import TableSpec, make_table
+from .router import (
+    EpochRecord,
+    MembershipUpdate,
+    Router,
+    _record_from_state,
+    _unique,
+)
+
+__all__ = ["ClusterEpochRecord", "ClusterRouter"]
+
+#: Version stamp written into every :meth:`ClusterRouter.snapshot`.
+CLUSTER_FORMAT_VERSION = 1
+
+#: Source of shard tables: a registry spec (one table built per shard)
+#: or a zero-argument factory returning a fresh empty table per call.
+TableSource = Union[TableSpec, Callable[[], DynamicHashTable]]
+
+
+@dataclass(frozen=True)
+class ClusterEpochRecord:
+    """What one cluster-wide membership change did, fleet-level.
+
+    ``records`` holds the per-shard :class:`EpochRecord` (``None`` for
+    shards the change was a no-op on); ``epochs`` is the per-shard epoch
+    vector *after* the change.
+    """
+
+    epochs: Tuple[int, ...]
+    records: Tuple[Optional[EpochRecord], ...]
+    server_counts: Tuple[int, ...]
+    #: Fraction of all tracked probe keys (across every shard) whose
+    #: assignment moved in this cluster epoch.
+    remapped: float
+    #: Absolute number of tracked probe keys that moved, fleet-wide.
+    probes_moved: int
+
+
+class ClusterRouter:
+    """S-way sharded routing over independent :class:`Router` shards."""
+
+    def __init__(
+        self,
+        table_source: TableSource,
+        n_shards: int,
+        seed: int = 0,
+        probe_keys: Optional[Sequence[Key]] = None,
+    ):
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        self._shards: List[Router] = [
+            Router(self._build_table(table_source, seed))
+            for __ in range(n_shards)
+        ]
+        families = {router.table.family.seed for router in self._shards}
+        if len(families) != 1:
+            raise ValueError(
+                "shard tables must share one hash-family seed so the "
+                "cluster can hash each key once; factory produced seeds "
+                "{}".format(sorted(families))
+            )
+        self._family = self._shards[0].table.family
+        self._shard_family = self._family.derive("cluster-shard")
+        self._history: List[ClusterEpochRecord] = []
+        self._probe_keys: Optional[np.ndarray] = None
+        if probe_keys is not None:
+            self.track(probe_keys)
+
+    @staticmethod
+    def _build_table(source: TableSource, seed: int) -> DynamicHashTable:
+        if callable(source):
+            return source()
+        return make_table(source, seed=seed)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        """Number of independent routing shards."""
+        return len(self._shards)
+
+    @property
+    def algorithm(self) -> str:
+        """Registry name of the shard tables' algorithm."""
+        return self._shards[0].algorithm
+
+    @property
+    def epochs(self) -> Tuple[int, ...]:
+        """The per-shard membership epoch vector."""
+        return tuple(router.epoch for router in self._shards)
+
+    @property
+    def history(self) -> Tuple[ClusterEpochRecord, ...]:
+        """Every cluster-wide membership change, in order."""
+        return tuple(self._history)
+
+    @property
+    def server_ids(self) -> Tuple[Key, ...]:
+        """Union of every shard's members, in first-seen shard order.
+
+        Under purely declarative fleet management (:meth:`sync`) every
+        shard holds the same set and this is simply the fleet.
+        """
+        return _unique(
+            server_id
+            for router in self._shards
+            for server_id in router.server_ids
+        )
+
+    @property
+    def server_counts(self) -> Tuple[int, ...]:
+        """Per-shard pool sizes."""
+        return tuple(router.server_count for router in self._shards)
+
+    def shard(self, index: int) -> Router:
+        """The ``index``-th shard's :class:`Router`."""
+        return self._shards[index]
+
+    def __len__(self) -> int:
+        return len(self.server_ids)
+
+    def __repr__(self) -> str:
+        return "ClusterRouter({}, shards={}, epochs={})".format(
+            self.algorithm, self.n_shards, list(self.epochs)
+        )
+
+    # -- shard assignment --------------------------------------------------
+
+    def shard_of_word(self, word: int) -> int:
+        """Shard that owns a pre-hashed routing word."""
+        return int(self._shard_family.pair(int(word), 0)) % self.n_shards
+
+    def shard_of(self, key: Key) -> int:
+        """Shard that owns a request key."""
+        return self.shard_of_word(self._family.word(key))
+
+    def shards_of_words(self, words: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`shard_of_word` over a word batch."""
+        words = np.asarray(words, dtype=np.uint64)
+        owners = self._shard_family.pair_vec(words, np.uint64(0))
+        return (owners % np.uint64(self.n_shards)).astype(np.int64)
+
+    def words_of_keys(self, keys: Sequence[Key]) -> np.ndarray:
+        """Hash a key batch once, for the whole cluster."""
+        return self._shards[0].table.words_of_keys(keys)
+
+    # -- routing -----------------------------------------------------------
+
+    def route(self, key: Key, avoid: Optional[Iterable[Key]] = None) -> Key:
+        """Route one key through its owning shard.
+
+        ``avoid`` is the failover path: server identifiers a failure
+        detector has flagged (dead, draining, overloaded).  When the
+        primary is in ``avoid`` the key is served by its first healthy
+        replica -- the next entry of the shard table's replica set --
+        without any membership change (the control plane reconciles,
+        and pays the remap bill, on its own schedule).
+        """
+        word = self._family.word(key)
+        table = self._shards[self.shard_of_word(word)].table
+        primary = table.server_ids[table.route_word(word)]
+        avoided: Set[Key] = set(avoid) if avoid is not None else set()
+        if primary not in avoided:
+            # The common case stays O(1): the replica walk is paid only
+            # for keys whose primary is actually flagged.
+            return primary
+        k = min(table.server_count, len(avoided) + 1)
+        for slot in table.route_word_replicas(word, k):
+            server_id = table.server_ids[int(slot)]
+            if server_id not in avoided:
+                return server_id
+        raise EmptyTableError(
+            "every candidate server for key {!r} is in the avoid set".format(
+                key
+            )
+        )
+
+    def route_words(self, words: np.ndarray) -> np.ndarray:
+        """Route pre-hashed words, fanned out shard by shard.
+
+        Each shard's slice goes through that table's own batched kernel
+        (deduped inference for HD, array sweeps elsewhere); the only
+        Python-level loop is over the (few) shards.
+        """
+        words = np.asarray(words, dtype=np.uint64)
+        out = np.empty(words.size, dtype=object)
+        if words.size == 0:
+            return out
+        owners = self.shards_of_words(words)
+        for shard_index in np.unique(owners):
+            mask = owners == shard_index
+            out[mask] = self._shards[int(shard_index)].table.lookup_words(
+                words[mask]
+            )
+        return out
+
+    def route_batch(self, keys: Sequence[Key]) -> np.ndarray:
+        """Route a key batch: hash once, fan out shard by shard."""
+        return self.route_words(self.words_of_keys(keys))
+
+    def route_replicas(self, key: Key, k: int) -> Tuple[Key, ...]:
+        """The key's ``k``-replica set, from its owning shard."""
+        word = self._family.word(key)
+        table = self._shards[self.shard_of_word(word)].table
+        slots = table.route_word_replicas(word, k)
+        return tuple(table.server_ids[int(slot)] for slot in slots)
+
+    def route_replicas_words(self, words: np.ndarray, k: int) -> np.ndarray:
+        """Batched ``(n, k)`` replica sets over pre-hashed words."""
+        words = np.asarray(words, dtype=np.uint64)
+        out = np.empty((words.size, k), dtype=object)
+        if words.size == 0:
+            return out
+        owners = self.shards_of_words(words)
+        for shard_index in np.unique(owners):
+            mask = owners == shard_index
+            out[mask] = self._shards[int(shard_index)].table.lookup_words_replicas(
+                words[mask], k
+            )
+        return out
+
+    def route_replicas_batch(self, keys: Sequence[Key], k: int) -> np.ndarray:
+        """Batched ``(len(keys), k)`` replica sets for a key batch."""
+        return self.route_replicas_words(self.words_of_keys(keys), k)
+
+    # -- remap accounting --------------------------------------------------
+
+    def track(self, probe_keys: Sequence[Key]) -> None:
+        """Install the cluster-wide probe population.
+
+        Probes are partitioned onto their owning shards, so each shard
+        accounts exactly the keys it serves; cluster epochs aggregate
+        the per-shard movement into the fleet-level remap bill.
+        """
+        self._probe_keys = np.asarray(probe_keys)
+        owners = self.shards_of_words(self.words_of_keys(self._probe_keys))
+        for shard_index, router in enumerate(self._shards):
+            router.track(self._probe_keys[owners == shard_index])
+
+    @property
+    def probe_keys(self) -> Optional[np.ndarray]:
+        """The tracked probe population, or None when accounting is off."""
+        return self._probe_keys
+
+    # -- membership --------------------------------------------------------
+
+    def _close_epoch(
+        self, records: Sequence[Optional[EpochRecord]]
+    ) -> ClusterEpochRecord:
+        moved = sum(
+            record.probes_moved for record in records if record is not None
+        )
+        total = 0 if self._probe_keys is None else int(self._probe_keys.size)
+        record = ClusterEpochRecord(
+            epochs=self.epochs,
+            records=tuple(records),
+            server_counts=self.server_counts,
+            remapped=(moved / total) if total else 0.0,
+            probes_moved=int(moved),
+        )
+        self._history.append(record)
+        return record
+
+    def apply(self, update: MembershipUpdate) -> ClusterEpochRecord:
+        """Apply one membership batch to every shard atomically-per-shard."""
+        return self._close_epoch(
+            [router.apply(update) for router in self._shards]
+        )
+
+    def sync(self, target_server_ids: Iterable[Key]) -> ClusterEpochRecord:
+        """Reconcile every shard to the declared fleet, as one record.
+
+        Each shard applies its own minimal diff (shards that already
+        match are no-ops and keep their epoch); the returned record
+        carries the aggregated fleet-level remap accounting.
+        """
+        target = tuple(target_server_ids)
+        return self._close_epoch(
+            [router.sync(target) for router in self._shards]
+        )
+
+    def join(self, server_id: Key) -> ClusterEpochRecord:
+        """Admit one server fleet-wide."""
+        return self.apply(MembershipUpdate(joins=(server_id,)))
+
+    def leave(self, server_id: Key) -> ClusterEpochRecord:
+        """Retire one server fleet-wide."""
+        return self.apply(MembershipUpdate(leaves=(server_id,)))
+
+    # -- snapshot / restore ------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A restorable snapshot: cluster metadata + one per shard.
+
+        The cluster-level :class:`ClusterEpochRecord` history is
+        persisted alongside each shard's own, so fleet-level remap
+        accounting survives the round-trip just like the per-shard
+        bills do.
+        """
+        return {
+            "cluster": {
+                "format": CLUSTER_FORMAT_VERSION,
+                "n_shards": self.n_shards,
+                "seed": self._family.seed,
+                "history": [asdict(record) for record in self._history],
+            },
+            "shards": [router.snapshot() for router in self._shards],
+        }
+
+    def snapshot_shard(self, index: int) -> Dict[str, Any]:
+        """One shard's snapshot (same shape as ``Router.snapshot``)."""
+        return self._shards[index].snapshot()
+
+    def restore_shard(self, index: int, snapshot: Dict[str, Any]) -> Router:
+        """Swap one shard's router in from a snapshot, peers untouched.
+
+        The restored shard re-tracks its slice of the cluster probe
+        population, so fleet-level accounting keeps working.
+        """
+        router = Router.restore(snapshot)
+        if router.table.family.seed != self._family.seed:
+            raise StateError(
+                "shard snapshot hash-family seed {} does not match the "
+                "cluster's {}".format(
+                    router.table.family.seed, self._family.seed
+                )
+            )
+        self._shards[index] = router
+        if self._probe_keys is not None:
+            owners = self.shards_of_words(
+                self.words_of_keys(self._probe_keys)
+            )
+            router.track(self._probe_keys[owners == index])
+        return router
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: Dict[str, Any],
+        probe_keys: Optional[Sequence[Key]] = None,
+    ) -> "ClusterRouter":
+        """Rebuild a cluster (every shard) from :meth:`snapshot`."""
+        meta = snapshot.get("cluster", {})
+        if meta.get("format") != CLUSTER_FORMAT_VERSION:
+            raise StateError(
+                "unsupported cluster snapshot format {!r}".format(
+                    meta.get("format")
+                )
+            )
+        shards = [Router.restore(state) for state in snapshot["shards"]]
+        if len(shards) != int(meta.get("n_shards", len(shards))):
+            raise StateError(
+                "cluster snapshot declares {} shards but carries {}".format(
+                    meta.get("n_shards"), len(shards)
+                )
+            )
+        if not shards:
+            raise StateError("cluster snapshot has no shards")
+        seeds = {router.table.family.seed for router in shards}
+        if len(seeds) != 1:
+            raise StateError(
+                "cluster snapshot mixes shard hash-family seeds {}; the "
+                "cluster hashes each key once, so every shard must share "
+                "one seed".format(sorted(seeds))
+            )
+        cluster = cls.__new__(cls)
+        cluster._shards = shards
+        cluster._family = shards[0].table.family
+        cluster._shard_family = cluster._family.derive("cluster-shard")
+        cluster._history = [
+            ClusterEpochRecord(
+                epochs=tuple(int(epoch) for epoch in record["epochs"]),
+                records=tuple(
+                    None if state is None else _record_from_state(state)
+                    for state in record["records"]
+                ),
+                server_counts=tuple(
+                    int(count) for count in record["server_counts"]
+                ),
+                remapped=float(record["remapped"]),
+                probes_moved=int(record["probes_moved"]),
+            )
+            for record in meta.get("history", ())
+        ]
+        cluster._probe_keys = None
+        if probe_keys is not None:
+            cluster.track(probe_keys)
+        return cluster

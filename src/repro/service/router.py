@@ -27,7 +27,7 @@ and batched paths.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -71,6 +71,19 @@ class MembershipUpdate:
     @property
     def is_empty(self) -> bool:
         return not self.joins and not self.leaves
+
+
+def _record_from_state(state: Dict[str, Any]) -> "EpochRecord":
+    """Rebuild an :class:`EpochRecord` from its ``asdict`` snapshot."""
+    return EpochRecord(
+        epoch=int(state["epoch"]),
+        joined=tuple(state["joined"]),
+        left=tuple(state["left"]),
+        server_count=int(state["server_count"]),
+        remapped=float(state["remapped"]),
+        probes_moved=int(state["probes_moved"]),
+        mutate_seconds=float(state.get("mutate_seconds", 0.0)),
+    )
 
 
 @dataclass(frozen=True)
@@ -313,12 +326,29 @@ class Router:
         """Batched lookup through the wrapped table."""
         return self._table.lookup_batch(keys)
 
+    def route_replicas(self, key: Key, k: int) -> Tuple[Key, ...]:
+        """The key's ``k``-replica set through the wrapped table."""
+        return self._table.lookup_replicas(key, k)
+
+    def route_replicas_batch(self, keys: Sequence[Key], k: int) -> np.ndarray:
+        """Batched ``(len(keys), k)`` replica sets through the table."""
+        return self._table.lookup_replicas_batch(keys, k)
+
     # -- snapshot / restore ------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:
-        """A restorable snapshot of the table plus router metadata."""
+        """A restorable snapshot of the table plus router metadata.
+
+        The epoch *and* the full :class:`EpochRecord` history are
+        persisted, so remap accounting survives a snapshot round-trip:
+        a restored router reports the same churn bill the original
+        accumulated.
+        """
         return {
-            "router": {"epoch": self._epoch},
+            "router": {
+                "epoch": self._epoch,
+                "history": [asdict(record) for record in self._history],
+            },
             "table": self._table.state_dict(),
         }
 
@@ -332,5 +362,9 @@ class Router:
         """Rebuild a router (and its table) from :meth:`snapshot`."""
         table = DynamicHashTable.from_state(snapshot["table"])
         router = cls(table, probe_keys=probe_keys, observers=observers)
-        router._epoch = int(snapshot.get("router", {}).get("epoch", 0))
+        meta = snapshot.get("router", {})
+        router._epoch = int(meta.get("epoch", 0))
+        router._history = [
+            _record_from_state(record) for record in meta.get("history", ())
+        ]
         return router

@@ -1,9 +1,12 @@
 """Tests for the longitudinal scenario runner."""
 
+import pytest
 
 from repro.emulator.scenario import (
     AutoscalePolicy,
+    FailoverConfig,
     ScenarioConfig,
+    run_failover_scenario,
     run_scenario,
 )
 from repro.hashing import ConsistentHashTable, HDHashTable, ModularHashTable
@@ -84,3 +87,70 @@ class TestScenario:
         )
         assert len(result.records) == 6
         assert result.mean_imbalance >= 1.0
+
+
+class TestFailoverScenario:
+    def _config(self, **overrides):
+        values = dict(
+            steps=6,
+            servers=12,
+            requests_per_step=3_000,
+            fail_step=2,
+            replicas=2,
+            seed=7,
+        )
+        values.update(overrides)
+        return FailoverConfig(**values)
+
+    def test_primary_dies_and_traffic_shifts(self):
+        result = run_failover_scenario(
+            lambda: ConsistentHashTable(seed=2), self._config()
+        )
+        assert len(result.records) == 6
+        assert result.dead_server is not None
+        failure = result.records[2]
+        # Mid-step failure: some of the step's traffic hit the dead
+        # primary and was served by a replica instead.
+        assert 0 < failure.failed_over < 0.5
+        assert failure.n_servers == 11  # reconciled at step end
+        # The permanent removal is billed by the epoch accounting.
+        assert 0 < failure.remapped < 1
+        for step, record in enumerate(result.records):
+            if step != 2:
+                assert record.failed_over == 0.0
+                assert record.remapped == 0.0
+
+    def test_remap_bill_orders_algorithms(self):
+        config = self._config()
+        modular = run_failover_scenario(
+            lambda: ModularHashTable(seed=2), config
+        )
+        consistent = run_failover_scenario(
+            lambda: ConsistentHashTable(seed=2), config
+        )
+        # Removing one of 12 servers rebills ~everything for modular,
+        # only the dead arc for minimal-disruption algorithms.
+        assert modular.remap_bill > 2 * consistent.remap_bill
+
+    def test_deterministic_by_seed(self):
+        config = self._config()
+        a = run_failover_scenario(lambda: HDHashTable(
+            seed=2, dim=1_024, codebook_size=128), config)
+        b = run_failover_scenario(lambda: HDHashTable(
+            seed=2, dim=1_024, codebook_size=128), config)
+        assert a.dead_server == b.dead_server
+        assert [r.failed_over for r in a.records] == [
+            r.failed_over for r in b.records
+        ]
+
+    def test_bad_configs_rejected(self):
+        with pytest.raises(ValueError):
+            run_failover_scenario(
+                lambda: ConsistentHashTable(seed=1),
+                self._config(fail_step=9),
+            )
+        with pytest.raises(ValueError):
+            run_failover_scenario(
+                lambda: ConsistentHashTable(seed=1),
+                self._config(replicas=1),
+            )

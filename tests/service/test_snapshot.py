@@ -13,7 +13,13 @@ from repro.hashing import (
 )
 from repro.hdc.basis import circular_basis
 from repro.memory import FaultInjector, SingleBitFlips
-from repro.service import dumps_state, load_table, loads_state, save_table
+from repro.service import (
+    Router,
+    dumps_state,
+    load_table,
+    loads_state,
+    save_table,
+)
 
 LIGHT_CONFIG = {"hd": {"dim": 1_024, "codebook_size": 128}}
 PROBE = np.arange(10_000, dtype=np.uint64)
@@ -160,6 +166,53 @@ class TestFilePersistence:
         save_table(table, path)
         restored = load_table(path)
         assert restored.server_ids == (b"raw-id", "text-id")
+
+
+class TestRouterSnapshotHistory:
+    """Regression: ``Router.snapshot()`` used to drop the EpochRecord
+    history, so remap accounting silently reset to zero after a
+    snapshot round-trip."""
+
+    def _churned_router(self):
+        router = Router(
+            build("consistent"), probe_keys=PROBE[:2_000].tolist()
+        )
+        router.sync(range(8))
+        router.sync(range(6))
+        router.sync(list(range(6)) + ["late"])
+        return router
+
+    def test_history_survives_round_trip(self):
+        router = self._churned_router()
+        restored = Router.restore(router.snapshot())
+        assert restored.epoch == router.epoch == 3
+        assert restored.history == router.history
+        # the churn bill is preserved, not reset
+        assert sum(r.remapped for r in restored.history) == pytest.approx(
+            sum(r.remapped for r in router.history)
+        )
+        assert restored.history[1].probes_moved > 0
+
+    def test_history_survives_json_codec(self):
+        router = self._churned_router()
+        restored = Router.restore(
+            loads_state(dumps_state(router.snapshot()))
+        )
+        assert restored.history == router.history
+
+    def test_restored_router_appends_to_history(self):
+        router = self._churned_router()
+        restored = Router.restore(router.snapshot())
+        restored.sync(range(6))
+        assert restored.epoch == 4
+        assert len(restored.history) == 4
+        assert restored.history[:3] == router.history
+
+    def test_empty_history_round_trips(self):
+        router = Router(build("modular"))
+        restored = Router.restore(router.snapshot())
+        assert restored.history == ()
+        assert restored.epoch == 0
 
 
 class TestStateErrors:

@@ -19,6 +19,74 @@ class TestList:
         assert {"fig2", "fig4", "fig5", "fig6", "mcu"} <= set(REGISTRY)
 
 
+class TestRoute:
+    def test_route_with_replicas_prints_sets(self):
+        out = io.StringIO()
+        code = main(
+            ["route", "consistent", "--servers", "6", "--requests", "3",
+             "--replicas", "3"],
+            out=out,
+        )
+        assert code == 0
+        lines = [
+            line for line in out.getvalue().splitlines() if "->" in line
+        ]
+        assert len(lines) == 3
+        for line in lines:
+            servers = line.split("->")[1].split(",")
+            assert len(servers) == 3
+            assert len(set(s.strip() for s in servers)) == 3
+
+    def test_route_replicas_above_pool_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["route", "modular", "--servers", "3", "--replicas", "4"],
+                out=io.StringIO(),
+            )
+
+
+class TestCluster:
+    def test_cluster_routes_and_names_shards(self):
+        out = io.StringIO()
+        code = main(
+            ["cluster", "modular", "--shards", "3", "--servers", "6",
+             "--requests", "4"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "x3 shards" in text
+        assert text.count("shard ") >= 4
+
+    def test_cluster_failover_prints_reroute(self):
+        out = io.StringIO()
+        code = main(
+            ["cluster", "consistent", "--shards", "2", "--servers", "4",
+             "--requests", "6", "--avoid", "server-01"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "failover:" in text
+        for line in text.splitlines():
+            if "failover:" in line:
+                assert "failover: server-01" not in line
+
+    def test_cluster_unknown_avoid_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["cluster", "modular", "--servers", "4", "--avoid", "ghost"],
+                out=io.StringIO(),
+            )
+
+    def test_cluster_bad_option_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["cluster", "hd", "-o", "warp=1"],
+                out=io.StringIO(),
+            )
+
+
 class TestRun:
     def test_run_costmodel_fast(self):
         out = io.StringIO()
