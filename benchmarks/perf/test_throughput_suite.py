@@ -40,6 +40,16 @@ class TestSuiteCoverage:
             assert 0 < record["cluster_route"]["keys_per_s"] < float("inf")
             assert 0 < record["lookup"]["keys_per_s"] < float("inf")
             assert 0 < record["churn"]["events_per_s"] < float("inf")
+            assert 0 < record["plan_migration"]["keys_per_s"] < float("inf")
+            assert 0 < record["migrate_execute"]["keys_per_s"] < float("inf")
+
+    def test_migration_metrics_cover_every_algorithm(self, fast_report):
+        # Schema v3: the migration data-plane metrics must be present
+        # for the whole registry, like the v2 replica/cluster ones.
+        for name, record in fast_report["algorithms"].items():
+            for metric in ("plan_migration", "migrate_execute"):
+                assert metric in record, (name, metric)
+                assert record[metric]["normalized"] > 0
 
     def test_replica_and_cluster_metrics_cover_every_algorithm(self, fast_report):
         # The CI gate compares every METRICS section; the new replica

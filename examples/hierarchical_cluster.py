@@ -72,7 +72,9 @@ def main():
         served = router.route_batch(probe_keys)
         ids, counts = np.unique(served, return_counts=True)
         victim = ids[int(np.argmax(counts))]
-        record = router.sync(s for s in router.server_ids if s != victim)
+        record = router.sync(
+            s for s in router.server_ids if s != victim
+        ).record
         router.sync(list(router.server_ids) + [victim])  # rejoin for phase 3
         note = ""
         if name == "hierarchical":

@@ -29,7 +29,7 @@ def main():
     router = Router(table, probe_keys=np.arange(10_000, dtype=np.uint64))
 
     print("== declare the server set ==")
-    record = router.sync(["web-a", "web-b", "web-c", "web-d"])
+    record, plan = router.sync(["web-a", "web-b", "web-c", "web-d"])
     print("  epoch {}: joined {}".format(record.epoch, list(record.joined)))
 
     print("\n== route some requests ==")
@@ -38,13 +38,16 @@ def main():
         print("  {} -> {}".format(request, router.route(request)))
 
     print("\n== scale out: declare one more server ==")
-    record = router.sync(["web-a", "web-b", "web-c", "web-d", "web-e"])
+    record, plan = router.sync(["web-a", "web-b", "web-c", "web-d", "web-e"])
     print("  epoch {}: +{} servers, remapped {:.1%} of tracked keys".format(
         record.epoch, len(record.joined), record.remapped))
+    print("  migration plan: {} key moves in {} batches (see "
+          "examples/live_reshard.py)".format(
+              plan.total_keys, len(plan.batches)))
     print("  (only keys claimed by the newcomer move -- minimal disruption)")
 
     print("\n== scale in: drop web-b from the declaration ==")
-    record = router.sync(["web-a", "web-c", "web-d", "web-e"])
+    record, plan = router.sync(["web-a", "web-c", "web-d", "web-e"])
     print("  epoch {}: -{} servers, remapped {:.1%} of tracked keys".format(
         record.epoch, len(record.left), record.remapped))
 

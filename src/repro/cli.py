@@ -14,6 +14,8 @@ Usage::
     python -m repro cluster consistent --avoid server-01
     python -m repro bench --profile fast
     python -m repro bench --profile fast --check BENCH_throughput.json
+    python -m repro migrate hd --profile fast --plan-only
+    python -m repro migrate modular --servers 16 --target 24 --keys 5000
 
 ``run`` regenerates a paper artefact (the artefact registry maps names
 to experiment runners; ``--profile`` selects the ``fast`` / ``bench`` /
@@ -28,7 +30,11 @@ the failover reroute around dead servers.  ``bench`` runs the
 throughput suite (:mod:`repro.perf`), writes the machine-readable
 ``BENCH_throughput.json`` report, and with ``--check`` gates against a
 committed baseline (exit code 1 on regression) -- the command the CI
-``perf-smoke`` job runs.
+``perf-smoke`` job runs.  ``migrate`` stands up a tracked
+:class:`~repro.store.DataPlane`, resizes the fleet, prints the epoch's
+migration plan (``--plan-only`` stops there; the CI ``migrate-smoke``
+job's mode) and otherwise executes it tick by tick with status lines,
+finishing with the ownership verification pass.
 """
 
 from __future__ import annotations
@@ -42,7 +48,8 @@ from .hashing import algorithm_entry, make_table, registered_algorithms
 from .perf import compare_reports, format_report, load_report, run_suite, save_report
 from .perf.baseline import DEFAULT_TOLERANCE, coverage_drift
 from .perf.profiles import PERF_PROFILES
-from .service import ClusterRouter, Router
+from .service import ClusterRouter, MigrationExecutor, Router
+from .store import DataPlane
 
 from .experiments import (
     AblationConfig,
@@ -212,6 +219,51 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="hash-family seed (default: 0)"
     )
     cluster.add_argument(
+        "-o", "--option", action="append", default=[], metavar="KEY=VALUE",
+        help="algorithm config override (repeatable), e.g. -o dim=4096",
+    )
+    migrate = commands.add_parser(
+        "migrate",
+        help="plan (and execute) a minimal-movement resize migration",
+    )
+    migrate.add_argument(
+        "algorithm",
+        help="registered algorithm name (see `repro algorithms`)",
+    )
+    migrate.add_argument(
+        "--profile",
+        choices=tuple(PERF_PROFILES),
+        default="fast",
+        help="sizing preset for fleet/keys/table config (default: fast)",
+    )
+    migrate.add_argument(
+        "--servers", type=int, default=None,
+        help="starting fleet size (default: the profile's pool size)",
+    )
+    migrate.add_argument(
+        "--target", type=int, default=None,
+        help="fleet size after the resize (default: servers + 50%%)",
+    )
+    migrate.add_argument(
+        "--keys", type=int, default=None,
+        help="keys stored on the data plane (default: the profile's)",
+    )
+    migrate.add_argument(
+        "--max-keys-per-tick", type=int, default=512, metavar="N",
+        help="executor throttle (default: 512 keys per tick)",
+    )
+    migrate.add_argument(
+        "--plan-only", action="store_true",
+        help="print the migration plan and exit without moving data",
+    )
+    migrate.add_argument(
+        "--status-every", type=int, default=8, metavar="TICKS",
+        help="print executor status every TICKS ticks (default: 8)",
+    )
+    migrate.add_argument(
+        "--seed", type=int, default=0, help="hash-family seed (default: 0)"
+    )
+    migrate.add_argument(
         "-o", "--option", action="append", default=[], metavar="KEY=VALUE",
         help="algorithm config override (repeatable), e.g. -o dim=4096",
     )
@@ -401,6 +453,88 @@ def _run_cluster(args, out) -> int:
     return 0
 
 
+def _run_migrate(args, out) -> int:
+    import numpy as np
+
+    profile = PERF_PROFILES[args.profile]
+    servers = args.servers if args.servers is not None else profile.servers
+    target = (
+        args.target
+        if args.target is not None
+        else servers + max(1, servers // 2)
+    )
+    n_keys = args.keys if args.keys is not None else profile.migration_keys
+    if servers < 1 or target < 1:
+        raise SystemExit("error: --servers and --target must be at least 1")
+    if target == servers:
+        raise SystemExit("error: --target equals --servers; nothing to do")
+    if n_keys < 1:
+        raise SystemExit("error: --keys must be at least 1")
+    if args.max_keys_per_tick < 1:
+        raise SystemExit("error: --max-keys-per-tick must be at least 1")
+    if args.status_every < 1:
+        raise SystemExit("error: --status-every must be at least 1")
+    config = profile.config_for(args.algorithm)
+    config.update(_parse_options(args.option))
+    try:
+        table = make_table(args.algorithm, seed=args.seed, **config)
+    except (TypeError, ValueError) as error:
+        raise SystemExit("error: {}".format(error))
+    fleet = ["server-{:03d}".format(i) for i in range(max(servers, target))]
+    router = Router(table)
+    router.sync(fleet[:servers])
+    plane = DataPlane(router)
+    keys = np.arange(n_keys, dtype=np.int64)
+    plane.put_many(keys, ["value-{}".format(key) for key in keys])
+    tracked = plane.track()
+
+    record, plan = router.sync(fleet[:target])
+    grow = target > servers
+    ideal = 1.0 - (
+        servers / target if grow else target / servers
+    )
+    print(
+        "{}: {} -> {} servers (epoch {}), {} keys tracked".format(
+            router.algorithm, servers, target, record.epoch, tracked
+        ),
+        file=out,
+    )
+    print(
+        "plan: {} moves in {} batches  moved fraction {:.4f}  "
+        "(minimal-movement ideal {:.4f})".format(
+            plan.total_keys, len(plan.batches), plan.moved_fraction, ideal
+        ),
+        file=out,
+    )
+    if args.plan_only:
+        print("plan-only: no data moved", file=out)
+        return 0
+    executor = MigrationExecutor(
+        plan, plane, max_keys_per_tick=args.max_keys_per_tick
+    )
+    while not executor.status.done:
+        status = executor.tick()
+        if status.ticks % args.status_every == 0 or status.done:
+            print("  " + status.describe(), file=out)
+    verified = executor.verify()
+    __, found = plane.get_many(keys)
+    missing = int(np.sum(~found))
+    if missing:
+        print(
+            "FAIL: {} keys unreadable after migration".format(missing),
+            file=out,
+        )
+        return 1
+    print(
+        "OK: {} keys migrated, {} ownership-verified, all {} keys "
+        "readable at their routed owner".format(
+            executor.status.committed, verified, tracked
+        ),
+        file=out,
+    )
+    return 0
+
+
 def _run_bench(args, out) -> int:
     algorithms = None
     if args.algorithms:
@@ -500,6 +634,8 @@ def main(argv=None, out=None) -> int:
         return _run_route(args, out)
     if args.command == "cluster":
         return _run_cluster(args, out)
+    if args.command == "migrate":
+        return _run_migrate(args, out)
     if args.command == "bench":
         return _run_bench(args, out)
     if args.artefact == "all":

@@ -28,10 +28,14 @@ from .scenario import (
     FailoverConfig,
     FailoverResult,
     FailoverStepRecord,
+    LiveReshardConfig,
+    LiveReshardResult,
+    ReshardTickRecord,
     ScenarioConfig,
     ScenarioResult,
     StepRecord,
     run_failover_scenario,
+    run_live_reshard_scenario,
     run_scenario,
 )
 from .stats import LoadStats, MembershipStats, TimingStats
@@ -45,10 +49,14 @@ __all__ = [
     "FailoverConfig",
     "FailoverResult",
     "FailoverStepRecord",
+    "LiveReshardConfig",
+    "LiveReshardResult",
+    "ReshardTickRecord",
     "ScenarioConfig",
     "ScenarioResult",
     "StepRecord",
     "run_failover_scenario",
+    "run_live_reshard_scenario",
     "run_scenario",
     "HashTableModule",
     "HotspotKeys",

@@ -139,19 +139,23 @@ class HashTableModule:
         try:
             for unit in self._buffer.dispatch(requests):
                 if isinstance(unit, JoinRequest):
-                    record = self._router.apply(
+                    result = self._router.apply(
                         MembershipUpdate(joins=(unit.server_id,))
                     )
                     # mutate_seconds times only the table's own join, so
                     # the facade's bookkeeping (validation, rollback
                     # capture, probe accounting) does not pollute the
                     # paper's membership-cost statistics.
-                    report.timing.record_membership(record.mutate_seconds)
+                    report.timing.record_membership(
+                        result.record.mutate_seconds
+                    )
                 elif isinstance(unit, LeaveRequest):
-                    record = self._router.apply(
+                    result = self._router.apply(
                         MembershipUpdate(leaves=(unit.server_id,))
                     )
-                    report.timing.record_membership(record.mutate_seconds)
+                    report.timing.record_membership(
+                        result.record.mutate_seconds
+                    )
                 else:
                     self._serve_batch(unit, report)
         finally:

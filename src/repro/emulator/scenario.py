@@ -25,9 +25,12 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from ..errors import MigrationError
 from ..hashfn import Key
 from ..hashing.base import DynamicHashTable
+from ..service.migration import MigrationExecutor
 from ..service.router import Router
+from ..store import DataPlane
 from .distributions import KeyDistribution, UniformKeys
 
 __all__ = [
@@ -40,6 +43,10 @@ __all__ = [
     "FailoverStepRecord",
     "FailoverResult",
     "run_failover_scenario",
+    "LiveReshardConfig",
+    "ReshardTickRecord",
+    "LiveReshardResult",
+    "run_live_reshard_scenario",
 ]
 
 
@@ -170,7 +177,8 @@ def run_scenario(
 
         # Reconcile: one epoch (or none) per step, remap accounted by
         # the router's probe set.
-        record = router.sync(target)
+        outcome = router.sync(target)
+        record = outcome.record if outcome else None
         joins = len(record.joined) if record else 0
         leaves = len(record.left) if record else 0
         remapped = record.remapped if record else 0.0
@@ -304,8 +312,8 @@ def run_failover_scenario(
                 for server_id in router.server_ids
                 if server_id != result.dead_server
             ]
-            record = router.sync(survivors)
-            remapped = record.remapped if record else 0.0
+            outcome = router.sync(survivors)
+            remapped = outcome.record.remapped if outcome else 0.0
         else:
             router.table.lookup_words(words)
         result.records.append(
@@ -315,6 +323,142 @@ def run_failover_scenario(
                 n_servers=router.server_count,
                 failed_over=failed_over,
                 remapped=remapped,
+            )
+        )
+    return result
+
+
+@dataclass(frozen=True)
+class LiveReshardConfig:
+    """A fleet resize executed live: traffic flows while data moves."""
+
+    keys: int = 10_000
+    initial_servers: int = 32
+    target_servers: int = 48
+    #: Routed reads sampled from the stored population after each
+    #: migration tick (the traffic that observes in-flight keys).
+    requests_per_tick: int = 1_000
+    #: Executor throttle: keys committed per migration tick.
+    max_keys_per_tick: int = 400
+    #: SLA: ceiling on the observed miss rate (missed reads / served
+    #: reads) across the whole migration -- the transient
+    #: unavailability budget the operator grants the reshard.  Only
+    #: keys the plan moves can miss, so the worst case is the epoch's
+    #: remap fraction (which is what a full-pause migration would pay).
+    miss_sla: float = 0.25
+    seed: int = 0
+
+
+@dataclass
+class ReshardTickRecord:
+    """What one migration tick (plus its traffic sample) observed."""
+
+    tick: int
+    #: Cumulative keys committed to their new owner after this tick.
+    committed: int
+    #: Planned keys still awaiting migration after this tick.
+    in_flight: int
+    requests: int
+    #: Requests that missed (routed to the new owner before the key
+    #: arrived there).
+    misses: int
+
+
+@dataclass
+class LiveReshardResult:
+    """The whole reshard: plan size, per-tick availability, SLA verdict."""
+
+    records: List["ReshardTickRecord"] = field(default_factory=list)
+    tracked: int = 0
+    planned_moves: int = 0
+    remap_fraction: float = 0.0
+    served: int = 0
+    misses: int = 0
+    miss_sla: float = 0.25
+
+    @property
+    def miss_rate(self) -> float:
+        """Missed reads per served read (the SLA's metric).
+
+        Misses can only hit keys the plan moves, so this is bounded by
+        the epoch's remap fraction and shrinks as the executor drains
+        the plan.
+        """
+        if not self.served:
+            return 0.0
+        return self.misses / self.served
+
+    @property
+    def sla_met(self) -> bool:
+        """Did the reshard stay inside its unavailability budget?"""
+        return self.miss_rate <= self.miss_sla
+
+
+def run_live_reshard_scenario(
+    table_factory: Callable[[], DynamicHashTable],
+    config: LiveReshardConfig = LiveReshardConfig(),
+) -> LiveReshardResult:
+    """Resize a fleet under load, migrating data while traffic flows.
+
+    A :class:`~repro.store.DataPlane` is populated and tracked, the
+    fleet is resized in one declarative epoch, and the epoch's
+    :class:`~repro.service.migration.MigrationPlan` is executed tick by
+    tick.  After every tick a batch of routed reads samples the stored
+    population: keys the epoch rerouted but the executor has not yet
+    committed miss at their new owner -- the transient unavailability a
+    live reshard trades for never pausing traffic.  Misses are measured
+    against the config's moved-keys SLA; completion is verified (every
+    moved key owned by its destination, every stored key readable).
+    """
+    if config.target_servers == config.initial_servers:
+        raise ValueError("a reshard needs the fleet size to change")
+    if config.keys < 1:
+        raise ValueError("need at least one stored key")
+    rng = np.random.default_rng(config.seed)
+    router = Router(table_factory())
+    router.sync(range(config.initial_servers))
+
+    plane = DataPlane(router)
+    keys = np.arange(config.keys, dtype=np.int64)
+    plane.put_many(keys, ["value-{}".format(key) for key in keys])
+    plane.track()
+
+    result_record, plan = router.sync(range(config.target_servers))
+    executor = MigrationExecutor(
+        plan, plane, max_keys_per_tick=config.max_keys_per_tick
+    )
+    result = LiveReshardResult(
+        tracked=plan.tracked,
+        planned_moves=plan.total_keys,
+        remap_fraction=result_record.remapped,
+        miss_sla=config.miss_sla,
+    )
+    tick = 0
+    while True:
+        status = executor.tick()
+        sample = rng.choice(keys, size=config.requests_per_tick, replace=True)
+        __, found = plane.get_many(sample)
+        misses = int(np.sum(~found))
+        result.served += int(sample.size)
+        result.misses += misses
+        result.records.append(
+            ReshardTickRecord(
+                tick=tick,
+                committed=status.committed,
+                in_flight=status.remaining,
+                requests=int(sample.size),
+                misses=misses,
+            )
+        )
+        tick += 1
+        if status.done:
+            break
+    executor.verify()
+    __, found = plane.get_many(keys)
+    if not bool(np.all(found)):
+        raise MigrationError(
+            "{} keys unreadable after the reshard completed".format(
+                int(np.sum(~found))
             )
         )
     return result

@@ -14,6 +14,7 @@ __all__ = [
     "UnknownServerError",
     "UnknownAlgorithmError",
     "CapacityError",
+    "MigrationError",
     "ReplicaCountError",
     "StateError",
 ]
@@ -52,3 +53,11 @@ class ReplicaCountError(ReproError, ValueError):
 
 class StateError(ReproError, ValueError):
     """A snapshot could not be restored (wrong algorithm/format/shape)."""
+
+
+class MigrationError(ReproError, RuntimeError):
+    """A data migration failed a verification phase.
+
+    Raised when a copied value does not read back from its destination
+    store, or when a post-migration ownership pass finds a moved key
+    that the routing layer no longer assigns to its destination."""

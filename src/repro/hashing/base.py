@@ -32,7 +32,7 @@ distinct ring successors).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -65,12 +65,12 @@ class DynamicHashTable(ABC):
     #: Human-readable algorithm name, overridden by each subclass.
     name: str = "abstract"
 
-    def __init__(self, family: HashFamily = None, seed: int = 0):
+    def __init__(self, family: Optional[HashFamily] = None, seed: int = 0):
         self._family = family if family is not None else HashFamily(seed)
         self._server_ids: List[Key] = []
         # Derived lazily; the sub-family salting the generic replica
         # fallback's rehash sequence (independent of key hashing).
-        self._replica_family_cache: HashFamily = None
+        self._replica_family_cache: Optional[HashFamily] = None
 
     # -- registry ---------------------------------------------------------
 

@@ -1,10 +1,11 @@
 """The ``BENCH_throughput.json`` artifact and the CI regression gate.
 
-Schema (version 2; version 2 added the ``route_replicas`` and
-``cluster_route`` metric sections)::
+Schema (version 3; version 2 added the ``route_replicas`` and
+``cluster_route`` metric sections, version 3 added ``plan_migration``
+and ``migrate_execute``)::
 
     {
-      "schema": 2,
+      "schema": 3,
       "kind": "repro-throughput",
       "profile": "fast",                  # measurement scale
       "seed": 0,
@@ -19,7 +20,11 @@ Schema (version 2; version 2 added the ``route_replicas`` and
           "cluster_route":
                     {"keys_per_s": <float>, "normalized": <float>},
           "lookup": {"keys_per_s": <float>, "normalized": <float>},
-          "churn":  {"events_per_s": <float>, "normalized": <float>}
+          "churn":  {"events_per_s": <float>, "normalized": <float>},
+          "plan_migration":
+                    {"keys_per_s": <float>, "normalized": <float>},
+          "migrate_execute":
+                    {"keys_per_s": <float>, "normalized": <float>}
         }, ...
       }
     }
@@ -29,7 +34,10 @@ Schema (version 2; version 2 added the ``route_replicas`` and
 at the profile's replica count); ``cluster_route`` is the same word
 batch fanned through a sharded
 :class:`~repro.service.cluster.ClusterRouter` at the profile's shard
-count.
+count.  ``plan_migration`` is resize epochs closing a full assignment
+diff (tracked keys planned per second) and ``migrate_execute`` is the
+executor's copy/verify/commit loop over a data plane (moved keys per
+second) -- see :mod:`repro.perf.throughput`.
 
 ``normalized`` is the raw rate divided by the host's calibrated bulk
 XOR+popcount bandwidth (GB/s), so a baseline committed from one machine
@@ -58,7 +66,7 @@ __all__ = [
 ]
 
 #: Version stamp of the report layout documented above.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Maximum tolerated fractional drop in normalized throughput.
 DEFAULT_TOLERANCE = 0.30
@@ -67,11 +75,25 @@ DEFAULT_TOLERANCE = 0.30
 #: scatter ~2x run to run even best-of-N (CPU frequency states), far
 #: more than the array-wide routing sweeps -- the gate tolerates a
 #: wider drop before flagging them.  An explicit ``tolerance`` above
-#: this floor applies to churn too.
+#: this floor applies too.
 CHURN_TOLERANCE = 0.50
 
+#: Metrics gated at :data:`CHURN_TOLERANCE`: churn itself, plus the
+#: migration metrics, whose blocks embed the same microsecond-scale
+#: membership mutations (``plan_migration``) or per-key Python loops
+#: with clone setup (``migrate_execute``).
+NOISY_METRICS = frozenset({"churn", "plan_migration", "migrate_execute"})
+
 #: Metric sections every per-algorithm record carries.
-METRICS = ("route", "route_replicas", "cluster_route", "lookup", "churn")
+METRICS = (
+    "route",
+    "route_replicas",
+    "cluster_route",
+    "lookup",
+    "churn",
+    "plan_migration",
+    "migrate_execute",
+)
 
 
 @dataclass(frozen=True)
@@ -136,10 +158,10 @@ def compare_reports(
     """Regressions of ``current`` against ``baseline``.
 
     Compares normalized scores per algorithm and metric; a regression is
-    a score strictly below ``baseline * (1 - tolerance)`` (``churn``
-    uses at least :data:`CHURN_TOLERANCE`, see there).  Profiles must
-    match -- comparing a ``fast`` run against a ``bench`` baseline
-    would compare different workloads.
+    a score strictly below ``baseline * (1 - tolerance)``
+    (:data:`NOISY_METRICS` use at least :data:`CHURN_TOLERANCE`, see
+    there).  Profiles must match -- comparing a ``fast`` run against a
+    ``bench`` baseline would compare different workloads.
     """
     if not 0 <= tolerance < 1:
         raise ValueError("tolerance must be in [0, 1)")
@@ -156,7 +178,7 @@ def compare_reports(
         for metric in METRICS:
             allowed = (
                 max(tolerance, CHURN_TOLERANCE)
-                if metric == "churn"
+                if metric in NOISY_METRICS
                 else tolerance
             )
             before = float(baseline["algorithms"][name][metric]["normalized"])
@@ -181,26 +203,30 @@ def format_report(report: Dict[str, Any]) -> str:
             report.get("profile"),
             report.get("calibration", {}).get("xor_popcount_gbps", 0.0),
         ),
-        "{:<22} {:>14} {:>14} {:>14} {:>14} {:>12}".format(
+        "{:<22} {:>13} {:>13} {:>13} {:>13} {:>11} {:>12} {:>12}".format(
             "algorithm",
-            "route keys/s",
+            "route k/s",
             "replicas k/s",
             "cluster k/s",
-            "lookup keys/s",
+            "lookup k/s",
             "churn ev/s",
+            "plan k/s",
+            "migrate k/s",
         ),
     ]
     for name in sorted(report["algorithms"]):
         record = report["algorithms"][name]
         lines.append(
-            "{:<22} {:>14,.0f} {:>14,.0f} {:>14,.0f} {:>14,.0f} "
-            "{:>12,.0f}".format(
+            "{:<22} {:>13,.0f} {:>13,.0f} {:>13,.0f} {:>13,.0f} "
+            "{:>11,.0f} {:>12,.0f} {:>12,.0f}".format(
                 name,
                 record["route"]["keys_per_s"],
                 record["route_replicas"]["keys_per_s"],
                 record["cluster_route"]["keys_per_s"],
                 record["lookup"]["keys_per_s"],
                 record["churn"]["events_per_s"],
+                record["plan_migration"]["keys_per_s"],
+                record["migrate_execute"]["keys_per_s"],
             )
         )
     return "\n".join(lines)

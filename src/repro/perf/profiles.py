@@ -37,6 +37,9 @@ class PerfProfile:
     #: Shards of the :class:`~repro.service.cluster.ClusterRouter`
     #: measured by the ``cluster_route`` metric.
     cluster_shards: int = 4
+    #: Keys stored on the tracked DataPlane the ``plan_migration`` and
+    #: ``migrate_execute`` metrics are measured over.
+    migration_keys: int = 4_096
     #: Per-algorithm constructor overrides applied through
     #: :func:`repro.hashing.make_table`.
     table_configs: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
@@ -56,6 +59,7 @@ PERF_PROFILES: Dict[str, PerfProfile] = {
         # single-scheduler-hiccup noise past the 30% tolerance.
         repeats=5,
         churn_cycles=16,
+        migration_keys=4_096,
         table_configs={
             "hd": {"dim": 2_048, "codebook_size": 256},
             "maglev": {"table_size": 509},
@@ -67,6 +71,7 @@ PERF_PROFILES: Dict[str, PerfProfile] = {
         batch_words=65_536,
         repeats=5,
         churn_cycles=12,
+        migration_keys=16_384,
         table_configs={
             "hd": {"dim": 10_000, "codebook_size": 1_024},
         },
@@ -77,6 +82,7 @@ PERF_PROFILES: Dict[str, PerfProfile] = {
         batch_words=262_144,
         repeats=7,
         churn_cycles=24,
+        migration_keys=32_768,
         table_configs={},
     ),
 }

@@ -1,6 +1,6 @@
-"""The throughput harness: routing / cluster / churn rates per algorithm.
+"""The throughput harness: routing / cluster / churn / migration rates.
 
-Five metrics per registered algorithm, all measured on live state at
+Seven metrics per registered algorithm, all measured on live state at
 the profile's pool size:
 
 ``route``
@@ -20,6 +20,17 @@ the profile's pool size:
 ``churn``
     alternating leave/join membership events -- the reconciliation cost
     a control plane pays under autoscaling.
+``plan_migration``
+    resize epochs (one join, then one leave, of a spare server) on a
+    router tracking the profile's migration-key population -- each
+    epoch closes a full assignment diff and emits its
+    :class:`~repro.service.migration.MigrationPlan`; the rate is
+    tracked keys planned per second.
+``migrate_execute``
+    executing a +1-server grow plan with a
+    :class:`~repro.service.migration.MigrationExecutor` over a cloned
+    :class:`~repro.store.DataPlane` -- copy, verify and commit of every
+    moved key; the rate is moved keys per second.
 
 Every metric is timed ``repeats`` times and the best run is kept (the
 minimum time is the least-noise estimate of the machine's capability).
@@ -42,6 +53,9 @@ import numpy as np
 
 from ..hashing import make_table, registered_algorithms
 from ..service.cluster import ClusterRouter
+from ..service.migration import MigrationExecutor
+from ..service.router import Router
+from ..store import DataPlane
 from .baseline import SCHEMA_VERSION
 from .profiles import PerfProfile, perf_profile
 
@@ -155,11 +169,43 @@ def measure_algorithm(
     churn_seconds = _best_seconds(churn_block, profile.repeats)
     churn_events = 2 * profile.churn_cycles
 
+    # Migration data plane: a dedicated tracked router (the churn
+    # metric above keeps mutating `table`, so it cannot be reused).
+    fleet = list(server_ids)
+    spare = _SERVER_FMT.format(profile.servers + 2_000_000)
+    migration_router = Router(make_table(name, seed=seed, **config))
+    migration_router.sync(fleet)
+    plane = DataPlane(migration_router)
+    migration_keys = np.arange(profile.migration_keys, dtype=np.int64)
+    plane.put_many(migration_keys, migration_keys)
+    tracked = plane.track()
+
+    def plan_block():
+        # One grow epoch + one shrink epoch; each closes a full delta
+        # over the tracked population and builds its migration plan.
+        migration_router.sync(fleet + [spare])
+        migration_router.sync(fleet)
+
+    plan_seconds = _best_seconds(plan_block, profile.repeats)
+
+    grow = migration_router.sync(fleet + [spare])
+    plan = grow.plan
+
+    def migrate_block():
+        # A fresh clone per run: the executor must find every planned
+        # key still at its source.
+        executor = MigrationExecutor(plan, plane.clone())
+        executor.run()
+
+    migrate_seconds = _best_seconds(migrate_block, profile.repeats)
+
     route_rate = profile.batch_words / route_seconds
     replicas_rate = profile.batch_words / replicas_seconds
     cluster_rate = profile.batch_words / cluster_seconds
     lookup_rate = profile.batch_words / lookup_seconds
     churn_rate = churn_events / churn_seconds
+    plan_rate = 2 * tracked / plan_seconds
+    migrate_rate = max(1, plan.total_keys) / migrate_seconds
     return {
         "servers": profile.servers,
         "batch_words": profile.batch_words,
@@ -183,6 +229,14 @@ def measure_algorithm(
         "churn": {
             "events_per_s": churn_rate,
             "normalized": _normalized(churn_rate, calibration_gbps),
+        },
+        "plan_migration": {
+            "keys_per_s": plan_rate,
+            "normalized": _normalized(plan_rate, calibration_gbps),
+        },
+        "migrate_execute": {
+            "keys_per_s": migrate_rate,
+            "normalized": _normalized(migrate_rate, calibration_gbps),
         },
     }
 

@@ -16,11 +16,16 @@ facade:
   shard as one cluster epoch) while each shard keeps its own monotonic
   epoch -- the per-shard epoch vector a cache compares entry-wise;
 * remap accounting is cluster-wide: the tracked probe population is
-  partitioned onto the shards that own it, and every cluster epoch
-  aggregates the per-shard probe movement into one fleet-level bill;
+  partitioned onto the shards that own it (each shard's
+  :class:`~repro.service.migration.DeltaTracker` covers exactly the
+  keys it serves), and every cluster epoch aggregates the per-shard
+  probe movement into one fleet-level bill *and* merges the per-shard
+  migration plans into one fleet-level
+  :class:`~repro.service.migration.MigrationPlan`;
 * snapshots nest one ``Router`` snapshot per shard; a single shard can
   be restored in place (:meth:`restore_shard`) without touching its
-  peers;
+  peers -- and instead of silently stranding the keys the swap
+  reroutes, the restore emits the migration plan that rescues them;
 * :meth:`route` takes an ``avoid`` set -- the failover path: when the
   primary is in ``avoid`` (a failure detector flagged it dead), the
   key is served by its first healthy replica instead.
@@ -39,6 +44,7 @@ from typing import (
     Dict,
     Iterable,
     List,
+    NamedTuple,
     Optional,
     Sequence,
     Set,
@@ -52,15 +58,17 @@ from ..errors import EmptyTableError, StateError
 from ..hashfn import Key
 from ..hashing.base import DynamicHashTable
 from ..hashing.registry import TableSpec, make_table
+from .migration import MigrationPlan
 from .router import (
     EpochRecord,
+    EpochResult,
     MembershipUpdate,
     Router,
     _record_from_state,
     _unique,
 )
 
-__all__ = ["ClusterEpochRecord", "ClusterRouter"]
+__all__ = ["ClusterEpochRecord", "ClusterEpochResult", "ClusterRouter"]
 
 #: Version stamp written into every :meth:`ClusterRouter.snapshot`.
 CLUSTER_FORMAT_VERSION = 1
@@ -87,6 +95,23 @@ class ClusterEpochRecord:
     remapped: float
     #: Absolute number of tracked probe keys that moved, fleet-wide.
     probes_moved: int
+
+    @property
+    def remap_fraction(self) -> float:
+        """Alias of :attr:`remapped`, the paper's remap-fraction term."""
+        return self.remapped
+
+
+class ClusterEpochResult(NamedTuple):
+    """What one cluster-wide membership change emits.
+
+    ``record`` aggregates the per-shard accounting; ``plan`` merges the
+    per-shard migration plans into the fleet-level data movement the
+    change requires (``plan.total_keys == record.probes_moved``).
+    """
+
+    record: ClusterEpochRecord
+    plan: MigrationPlan
 
 
 class ClusterRouter:
@@ -298,45 +323,54 @@ class ClusterRouter:
     # -- membership --------------------------------------------------------
 
     def _close_epoch(
-        self, records: Sequence[Optional[EpochRecord]]
-    ) -> ClusterEpochRecord:
+        self, results: Sequence[Optional[EpochResult]]
+    ) -> ClusterEpochResult:
+        records = tuple(
+            result.record if result is not None else None
+            for result in results
+        )
         moved = sum(
             record.probes_moved for record in records if record is not None
         )
         total = 0 if self._probe_keys is None else int(self._probe_keys.size)
         record = ClusterEpochRecord(
             epochs=self.epochs,
-            records=tuple(records),
+            records=records,
             server_counts=self.server_counts,
             remapped=(moved / total) if total else 0.0,
             probes_moved=int(moved),
         )
+        plan = MigrationPlan.merge(
+            [result.plan for result in results if result is not None],
+            tracked=total,
+        )
         self._history.append(record)
-        return record
+        return ClusterEpochResult(record=record, plan=plan)
 
-    def apply(self, update: MembershipUpdate) -> ClusterEpochRecord:
+    def apply(self, update: MembershipUpdate) -> ClusterEpochResult:
         """Apply one membership batch to every shard atomically-per-shard."""
         return self._close_epoch(
             [router.apply(update) for router in self._shards]
         )
 
-    def sync(self, target_server_ids: Iterable[Key]) -> ClusterEpochRecord:
-        """Reconcile every shard to the declared fleet, as one record.
+    def sync(self, target_server_ids: Iterable[Key]) -> ClusterEpochResult:
+        """Reconcile every shard to the declared fleet, as one result.
 
         Each shard applies its own minimal diff (shards that already
-        match are no-ops and keep their epoch); the returned record
-        carries the aggregated fleet-level remap accounting.
+        match are no-ops and keep their epoch); the returned result
+        carries the aggregated fleet-level remap accounting and the
+        merged fleet-level migration plan.
         """
         target = tuple(target_server_ids)
         return self._close_epoch(
             [router.sync(target) for router in self._shards]
         )
 
-    def join(self, server_id: Key) -> ClusterEpochRecord:
+    def join(self, server_id: Key) -> ClusterEpochResult:
         """Admit one server fleet-wide."""
         return self.apply(MembershipUpdate(joins=(server_id,)))
 
-    def leave(self, server_id: Key) -> ClusterEpochRecord:
+    def leave(self, server_id: Key) -> ClusterEpochResult:
         """Retire one server fleet-wide."""
         return self.apply(MembershipUpdate(leaves=(server_id,)))
 
@@ -364,11 +398,19 @@ class ClusterRouter:
         """One shard's snapshot (same shape as ``Router.snapshot``)."""
         return self._shards[index].snapshot()
 
-    def restore_shard(self, index: int, snapshot: Dict[str, Any]) -> Router:
+    def restore_shard(
+        self, index: int, snapshot: Dict[str, Any]
+    ) -> Tuple[Router, MigrationPlan]:
         """Swap one shard's router in from a snapshot, peers untouched.
 
-        The restored shard re-tracks its slice of the cluster probe
-        population, so fleet-level accounting keeps working.
+        Returns the restored router *and* the migration plan covering
+        the shard's tracked keys whose owner changed across the swap --
+        the keys a pure in-place restore would silently strand on
+        servers the restored table no longer assigns them to.  The
+        diff reuses the outgoing shard's cached probe words (no
+        re-hashing); the restored shard then re-tracks its slice of
+        the cluster probe population, so fleet-level accounting keeps
+        working.
         """
         router = Router.restore(snapshot)
         if router.table.family.seed != self._family.seed:
@@ -378,13 +420,23 @@ class ClusterRouter:
                     router.table.family.seed, self._family.seed
                 )
             )
+        plan = MigrationPlan(tracked=0, batches=(), epoch=router.epoch)
+        if self._probe_keys is not None:
+            delta = self._shards[index].delta_tracker.diff_against(
+                lambda words: (
+                    router.table.lookup_words(words)
+                    if router.table.server_count
+                    else None
+                )
+            )
+            plan = MigrationPlan.from_delta(delta, epoch=router.epoch)
         self._shards[index] = router
         if self._probe_keys is not None:
             owners = self.shards_of_words(
                 self.words_of_keys(self._probe_keys)
             )
             router.track(self._probe_keys[owners == index])
-        return router
+        return router, plan
 
     @classmethod
     def restore(

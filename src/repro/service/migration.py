@@ -1,0 +1,521 @@
+"""Minimal-movement live migration: delta tracking, planning, execution.
+
+The paper's headline claim -- HD hashing remaps a near-minimal fraction
+of keys when the server set resizes -- was only ever *counted* in this
+repo (the router's per-epoch probe accounting).  This module turns that
+accounting into a data plane contract:
+
+* :class:`DeltaTracker` -- the probe-population cache (keys, their
+  pre-hashed words, the last assignment) that both :class:`~repro.
+  service.router.Router` and :class:`~repro.service.cluster.
+  ClusterRouter` previously duplicated.  Closing an epoch routes the
+  cached words once (no per-key re-hashing) and diffs the assignment
+  vectors array-wide;
+* :class:`MigrationPlan` -- the epoch's delta, grouped into
+  per-``(source, destination)`` :class:`MoveBatch` es.  The plan and
+  the epoch's remap accounting come from the *same* diff, so
+  ``len(plan.moves) == record.probes_moved`` holds bit-exactly;
+* :class:`MigrationExecutor` -- throttled (max keys and optionally max
+  bytes per tick), phased (copy -> verify -> commit) and resumable
+  (stop at any tick boundary; :meth:`MigrationExecutor.remaining_plan`
+  exports the uncommitted tail for a fresh executor), with a final
+  ownership pass asserting every moved key is owned by its new server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import MigrationError
+from ..hashfn import Key
+
+__all__ = [
+    "DeltaTracker",
+    "EpochDelta",
+    "KeyMove",
+    "MoveBatch",
+    "MigrationPlan",
+    "MigrationStatus",
+    "MigrationExecutor",
+]
+
+#: Sentinel distinguishing "stored None" from "absent" in store reads.
+_MISSING = object()
+
+#: An assignment function: pre-hashed words -> server identifiers
+#: (object array), or ``None`` when the pool is empty.
+AssignmentLookup = Callable[[np.ndarray], Optional[np.ndarray]]
+
+
+@dataclass(frozen=True, eq=False)
+class EpochDelta:
+    """The raw assignment diff one epoch produced over a probe set.
+
+    ``keys``/``sources``/``destinations`` are aligned arrays covering
+    exactly the tracked keys whose owner changed; ``tracked`` is the
+    full probe population size the fraction is stated over.
+    """
+
+    tracked: int
+    keys: np.ndarray
+    sources: np.ndarray
+    destinations: np.ndarray
+
+    @property
+    def moved(self) -> int:
+        """Number of tracked keys whose assignment changed."""
+        return int(self.keys.size)
+
+    @property
+    def fraction(self) -> float:
+        """Moved fraction of the tracked population (0.0 if untracked)."""
+        return self.moved / self.tracked if self.tracked else 0.0
+
+    @classmethod
+    def empty(cls, tracked: int = 0) -> "EpochDelta":
+        nothing = np.empty(0, dtype=object)
+        return cls(
+            tracked=tracked, keys=nothing, sources=nothing, destinations=nothing
+        )
+
+
+class DeltaTracker:
+    """Caches a probe population and diffs its assignment per epoch.
+
+    The probe keys are hashed to words exactly once, at :meth:`track`
+    time; every later epoch is one batched routing pass over the cached
+    words plus an array-wide comparison against the previous assignment.
+    This is the shared core behind ``Router``'s remap accounting and
+    (per shard) ``ClusterRouter``'s fleet-level bill -- and, since the
+    diff also names every moved key's old and new owner, behind the
+    :class:`MigrationPlan` emitted alongside each epoch record.
+    """
+
+    def __init__(self, lookup: AssignmentLookup):
+        self._lookup = lookup
+        self._keys: Optional[np.ndarray] = None
+        self._words: Optional[np.ndarray] = None
+        self._assignment: Optional[np.ndarray] = None
+
+    @property
+    def probe_keys(self) -> Optional[np.ndarray]:
+        """The tracked population, or ``None`` when accounting is off."""
+        return self._keys
+
+    @property
+    def tracked(self) -> int:
+        """Size of the tracked population (0 when accounting is off)."""
+        return 0 if self._keys is None else int(self._keys.size)
+
+    def track(self, keys: np.ndarray, words: np.ndarray) -> None:
+        """Install a probe population with its pre-hashed words.
+
+        The baseline assignment is captured immediately (``None`` while
+        the pool is empty), so the first epoch closed after tracking
+        diffs against the state the population was installed under.
+        """
+        self._keys = keys
+        self._words = words
+        self._assignment = self._lookup(words)
+
+    def _delta_against(self, current: Optional[np.ndarray]) -> EpochDelta:
+        if current is None or self._assignment is None:
+            return EpochDelta.empty(self.tracked)
+        mask = current != self._assignment
+        return EpochDelta(
+            tracked=self.tracked,
+            keys=self._keys[mask],
+            sources=self._assignment[mask],
+            destinations=current[mask],
+        )
+
+    def close(self) -> EpochDelta:
+        """Route the cached words, diff, and advance the baseline.
+
+        Called once per applied membership epoch; the returned delta is
+        the single source for both the epoch's remap accounting and its
+        migration plan.
+        """
+        if self._keys is None or self._keys.size == 0:
+            return EpochDelta.empty(self.tracked)
+        current = self._lookup(self._words)
+        delta = self._delta_against(current)
+        self._assignment = current
+        return delta
+
+    def diff_against(self, lookup: AssignmentLookup) -> EpochDelta:
+        """Diff the cached baseline against a *foreign* assignment.
+
+        Does not advance the baseline.  This is the restore path: when a
+        shard is swapped in from a snapshot, the keys it strands are the
+        ones whose owner under the restored table differs from the owner
+        the retired table last assigned.
+        """
+        if self._keys is None or self._keys.size == 0:
+            return EpochDelta.empty(self.tracked)
+        return self._delta_against(lookup(self._words))
+
+
+@dataclass(frozen=True)
+class KeyMove:
+    """One key's relocation: where it was, where it now belongs."""
+
+    key: Key
+    source: Key
+    destination: Key
+
+
+@dataclass(frozen=True)
+class MoveBatch:
+    """Every key moving between one (source, destination) pair."""
+
+    source: Key
+    destination: Key
+    keys: Tuple[Key, ...]
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """An epoch's key movement, grouped per (source, destination).
+
+    Built from the same :class:`EpochDelta` that priced the epoch's
+    remap accounting, so ``plan.total_keys == record.probes_moved`` and
+    ``plan.moved_fraction == record.remap_fraction`` hold bit-exactly.
+    """
+
+    tracked: int
+    batches: Tuple[MoveBatch, ...]
+    #: Membership epoch the plan reconciles toward (``None`` for merged
+    #: fleet-level plans, whose shards close epochs independently).
+    epoch: Optional[int] = None
+
+    @property
+    def moves(self) -> Tuple[KeyMove, ...]:
+        """The plan flattened to individual key moves, batch order."""
+        return tuple(
+            KeyMove(key=key, source=batch.source, destination=batch.destination)
+            for batch in self.batches
+            for key in batch.keys
+        )
+
+    @property
+    def total_keys(self) -> int:
+        """Number of keys the plan moves."""
+        return sum(len(batch) for batch in self.batches)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.batches
+
+    @property
+    def moved_fraction(self) -> float:
+        """Moved fraction of the tracked population (0.0 if untracked)."""
+        return self.total_keys / self.tracked if self.tracked else 0.0
+
+    def pair_counts(self) -> Dict[Tuple[Key, Key], int]:
+        """``(source, destination) -> key count`` for every batch."""
+        return {
+            (batch.source, batch.destination): len(batch)
+            for batch in self.batches
+        }
+
+    @classmethod
+    def from_delta(
+        cls, delta: EpochDelta, epoch: Optional[int] = None
+    ) -> "MigrationPlan":
+        """Group a raw delta into per-(source, destination) batches.
+
+        Server identifiers are factorized to integer codes (they may be
+        arbitrary hashables, so ``np.unique`` on the object arrays is
+        not safe), then the grouping is one stable argsort over the
+        combined codes -- batches are ordered by their servers' first
+        appearance, and keys inside a batch keep probe order.
+        """
+        if delta.moved == 0:
+            return cls(tracked=delta.tracked, batches=(), epoch=epoch)
+        codes: Dict[Key, int] = {}
+
+        def code_of(server_id: Key) -> int:
+            return codes.setdefault(server_id, len(codes))
+
+        moved = delta.moved
+        source_codes = np.fromiter(
+            (code_of(server_id) for server_id in delta.sources),
+            dtype=np.int64,
+            count=moved,
+        )
+        destination_codes = np.fromiter(
+            (code_of(server_id) for server_id in delta.destinations),
+            dtype=np.int64,
+            count=moved,
+        )
+        combined = source_codes * len(codes) + destination_codes
+        order = np.argsort(combined, kind="stable")
+        grouped = combined[order]
+        starts = np.flatnonzero(np.r_[True, grouped[1:] != grouped[:-1]])
+        bounds = np.r_[starts, grouped.size]
+        batches = []
+        for begin, end in zip(bounds[:-1], bounds[1:]):
+            rows = order[begin:end]
+            batches.append(
+                MoveBatch(
+                    source=delta.sources[rows[0]],
+                    destination=delta.destinations[rows[0]],
+                    keys=tuple(delta.keys[rows]),
+                )
+            )
+        return cls(tracked=delta.tracked, batches=tuple(batches), epoch=epoch)
+
+    @classmethod
+    def merge(
+        cls,
+        plans: Sequence["MigrationPlan"],
+        tracked: Optional[int] = None,
+        epoch: Optional[int] = None,
+    ) -> "MigrationPlan":
+        """Concatenate shard-level plans into one fleet-level plan."""
+        if tracked is None:
+            tracked = sum(plan.tracked for plan in plans)
+        return cls(
+            tracked=tracked,
+            batches=tuple(
+                batch for plan in plans for batch in plan.batches
+            ),
+            epoch=epoch,
+        )
+
+
+@dataclass(frozen=True)
+class MigrationStatus:
+    """A point-in-time snapshot of an executor's progress."""
+
+    planned: int
+    copied: int
+    committed: int
+    skipped: int
+    bytes_copied: int
+    ticks: int
+
+    @property
+    def remaining(self) -> int:
+        """Planned keys the cursor has not yet processed."""
+        return self.planned - self.committed - self.skipped
+
+    @property
+    def done(self) -> bool:
+        return self.remaining <= 0
+
+    @property
+    def phase(self) -> str:
+        """``planned`` -> ``migrating`` -> ``done``."""
+        if self.done:
+            return "done"
+        return "planned" if self.ticks == 0 else "migrating"
+
+    def describe(self) -> str:
+        return (
+            "{}: {}/{} keys committed, {} skipped, {:,} bytes, "
+            "{} tick(s)".format(
+                self.phase,
+                self.committed,
+                self.planned,
+                self.skipped,
+                self.bytes_copied,
+                self.ticks,
+            )
+        )
+
+
+class MigrationExecutor:
+    """Executes a :class:`MigrationPlan` over a data plane, throttled.
+
+    Each :meth:`tick` selects a chunk bounded by ``max_keys_per_tick``
+    (and ``max_bytes_per_tick`` when set, always admitting at least one
+    key so progress is guaranteed), then runs it through three phases:
+
+    1. **copy** -- read each key at its source store, write it to its
+       destination store (the key is temporarily present at both);
+    2. **verify** -- read every copied key back from the destination and
+       compare; a mismatch raises :class:`~repro.errors.MigrationError`;
+    3. **commit** -- delete the verified keys at their source.
+
+    Keys absent from their source store (deleted since planning, or
+    committed by a previous executor over the same plan) are skipped and
+    counted.  The cursor lives on the executor, so execution resumes by
+    simply calling :meth:`tick` again; to resume under a *new* executor
+    (e.g. after persisting progress), feed :meth:`remaining_plan` to a
+    fresh instance.  After completion :meth:`verify` re-routes every
+    committed key and asserts its owner is the batch destination.
+    """
+
+    def __init__(
+        self,
+        plan: MigrationPlan,
+        plane,
+        max_keys_per_tick: int = 1_024,
+        max_bytes_per_tick: Optional[int] = None,
+    ):
+        if max_keys_per_tick < 1:
+            raise ValueError("max_keys_per_tick must be at least 1")
+        if max_bytes_per_tick is not None and max_bytes_per_tick < 1:
+            raise ValueError("max_bytes_per_tick must be at least 1")
+        self._plan = plan
+        self._plane = plane
+        self._max_keys = max_keys_per_tick
+        self._max_bytes = max_bytes_per_tick
+        self._planned = plan.total_keys
+        self._batch_index = 0
+        self._offset = 0
+        self._copied = 0
+        self._committed = 0
+        self._skipped = 0
+        self._bytes_copied = 0
+        self._ticks = 0
+
+    @property
+    def plan(self) -> MigrationPlan:
+        """The plan being executed."""
+        return self._plan
+
+    @property
+    def status(self) -> MigrationStatus:
+        """Current progress snapshot."""
+        return MigrationStatus(
+            planned=self._planned,
+            copied=self._copied,
+            committed=self._committed,
+            skipped=self._skipped,
+            bytes_copied=self._bytes_copied,
+            ticks=self._ticks,
+        )
+
+    def _next_chunk(self) -> List[Tuple[MoveBatch, Key]]:
+        """Advance the cursor by up to one tick's key/byte budget."""
+        chunk: List[Tuple[MoveBatch, Key]] = []
+        budget_bytes = self._max_bytes
+        batches = self._plan.batches
+        while len(chunk) < self._max_keys and self._batch_index < len(batches):
+            batch = batches[self._batch_index]
+            if self._offset >= len(batch.keys):
+                self._batch_index += 1
+                self._offset = 0
+                continue
+            key = batch.keys[self._offset]
+            if budget_bytes is not None:
+                cost = self._plane.store(batch.source).item_bytes(key)
+                # The first key is always admitted (progress guarantee,
+                # even when one item alone exceeds the budget) but its
+                # cost is still charged against the tick's budget.
+                if chunk and cost > budget_bytes:
+                    break
+                budget_bytes -= cost
+            chunk.append((batch, key))
+            self._offset += 1
+        return chunk
+
+    def tick(self) -> MigrationStatus:
+        """Move one throttled chunk through copy -> verify -> commit."""
+        chunk = self._next_chunk()
+        staged: List[Tuple[MoveBatch, Key, object]] = []
+        for batch, key in chunk:
+            value = self._plane.store(batch.source).get(key, _MISSING)
+            if value is _MISSING:
+                # Deleted since planning, or already committed by an
+                # earlier executor run over the same plan.
+                self._skipped += 1
+                continue
+            self._bytes_copied += self._plane.store(batch.destination).put(
+                key, value
+            )
+            self._copied += 1
+            staged.append((batch, key, value))
+        for batch, key, value in staged:
+            readback = self._plane.store(batch.destination).get(key, _MISSING)
+            if readback is not value and readback != value:
+                raise MigrationError(
+                    "copied key {!r} did not read back from {!r} "
+                    "(wrote {!r}, read {!r})".format(
+                        key, batch.destination, value, readback
+                    )
+                )
+        for batch, key, __ in staged:
+            self._plane.store(batch.source).delete(key)
+            self._committed += 1
+        self._ticks += 1
+        return self.status
+
+    def run(self, max_ticks: Optional[int] = None) -> MigrationStatus:
+        """Tick until the plan is drained (or ``max_ticks`` is hit)."""
+        ticks = 0
+        while not self.status.done:
+            if max_ticks is not None and ticks >= max_ticks:
+                break
+            self.tick()
+            ticks += 1
+        return self.status
+
+    def remaining_plan(self) -> MigrationPlan:
+        """The uncommitted tail, as a plan a fresh executor can take."""
+        batches: List[MoveBatch] = []
+        for index in range(self._batch_index, len(self._plan.batches)):
+            batch = self._plan.batches[index]
+            keys = (
+                batch.keys[self._offset :]
+                if index == self._batch_index
+                else batch.keys
+            )
+            if keys:
+                batches.append(
+                    MoveBatch(
+                        source=batch.source,
+                        destination=batch.destination,
+                        keys=keys,
+                    )
+                )
+        return MigrationPlan(
+            tracked=self._plan.tracked,
+            batches=tuple(batches),
+            epoch=self._plan.epoch,
+        )
+
+    def verify(self) -> int:
+        """Ownership pass over everything the cursor has processed.
+
+        Re-routes every processed (non-skipped) key through the data
+        plane's router and asserts the owner is the batch's destination
+        and the value is readable there.  Meaningful immediately after
+        execution -- later epochs may legitimately move keys again.
+        Returns the number of keys checked.
+        """
+        router = self._plane.router
+        checked = 0
+        for index in range(self._batch_index + 1):
+            if index >= len(self._plan.batches):
+                break
+            batch = self._plan.batches[index]
+            keys = (
+                batch.keys[: self._offset]
+                if index == self._batch_index
+                else batch.keys
+            )
+            if not keys:
+                continue
+            store = self._plane.store(batch.destination)
+            present = [key for key in keys if key in store]
+            if not present:
+                continue
+            owners = router.route_batch(list(present))
+            for key, owner in zip(present, owners):
+                if owner != batch.destination:
+                    raise MigrationError(
+                        "moved key {!r} sits on {!r} but routes to "
+                        "{!r}".format(key, batch.destination, owner)
+                    )
+            checked += len(present)
+        return checked

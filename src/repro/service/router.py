@@ -16,7 +16,12 @@ surface:
   per applied mutation batch -- the version number a cache or replica
   compares to decide whether its routing view is stale;
 * per-epoch **remap accounting** over an optional probe key set (the
-  operational churn bill of Section 1, measured continuously);
+  operational churn bill of Section 1, measured continuously), backed
+  by a shared :class:`~repro.service.migration.DeltaTracker`;
+* a :class:`~repro.service.migration.MigrationPlan` emitted with every
+  epoch record -- :meth:`apply` returns an :class:`EpochResult`
+  ``(record, plan)`` pair, both derived from the *same* assignment
+  diff, so the accounting and the data movement can never disagree;
 * :class:`RouterObserver` hooks for join/leave/remap events, which the
   emulator's stats collection plugs into.
 
@@ -28,15 +33,31 @@ from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from ..errors import DuplicateServerError, UnknownServerError
 from ..hashfn import Key
 from ..hashing.base import DynamicHashTable
+from .migration import DeltaTracker, MigrationPlan
 
-__all__ = ["MembershipUpdate", "EpochRecord", "RouterObserver", "Router"]
+__all__ = [
+    "MembershipUpdate",
+    "EpochRecord",
+    "EpochResult",
+    "RouterObserver",
+    "Router",
+]
 
 
 def _unique(ids: Iterable[Key]) -> Tuple[Key, ...]:
@@ -104,6 +125,25 @@ class EpochRecord:
     #: capture, probe accounting and observer dispatch.
     mutate_seconds: float = 0.0
 
+    @property
+    def remap_fraction(self) -> float:
+        """Alias of :attr:`remapped`, the paper's remap-fraction term."""
+        return self.remapped
+
+
+class EpochResult(NamedTuple):
+    """What :meth:`Router.apply` emits for one closed epoch.
+
+    ``record`` is the accounting; ``plan`` is the data movement the
+    epoch requires.  Both come from one assignment diff over the
+    tracked probe population, so ``plan.total_keys ==
+    record.probes_moved`` and ``plan.moved_fraction ==
+    record.remap_fraction`` hold bit-exactly.
+    """
+
+    record: EpochRecord
+    plan: MigrationPlan
+
 
 class RouterObserver:
     """Base class for router event hooks; override what you need."""
@@ -131,9 +171,7 @@ class Router:
         self._observers: List[RouterObserver] = list(observers)
         self._epoch = 0
         self._history: List[EpochRecord] = []
-        self._probe_keys: Optional[np.ndarray] = None
-        self._probe_words: Optional[np.ndarray] = None
-        self._probe_assignment: Optional[np.ndarray] = None
+        self._delta = DeltaTracker(self._probe_assignment)
         if probe_keys is not None:
             self.track(probe_keys)
 
@@ -191,48 +229,41 @@ class Router:
 
     # -- remap accounting --------------------------------------------------
 
+    def _probe_assignment(self, words: np.ndarray) -> Optional[np.ndarray]:
+        """Current assignment of pre-hashed words (None on empty pool)."""
+        if not self._table.server_count:
+            return None
+        return self._table.lookup_words(words)
+
     def track(self, probe_keys: Sequence[Key]) -> None:
         """Install the probe key set used for per-epoch remap accounting.
 
         Probes are routed after every mutation batch; the fraction whose
         assignment moved is recorded on that batch's
-        :class:`EpochRecord`.  Probe keys are hashed to words once here,
-        so each epoch's accounting pass is pure batched routing with no
-        per-key re-hashing.
+        :class:`EpochRecord`, and the moved keys themselves become the
+        epoch's :class:`~repro.service.migration.MigrationPlan`.  Probe
+        keys are hashed to words once here (cached on the
+        :class:`~repro.service.migration.DeltaTracker`), so each
+        epoch's accounting pass is pure batched routing with no per-key
+        re-hashing.
         """
-        self._probe_keys = np.asarray(probe_keys)
-        self._probe_words = self._table.words_of_keys(self._probe_keys)
-        self._probe_assignment = (
-            self._table.lookup_words(self._probe_words)
-            if self._table.server_count
-            else None
-        )
+        keys = np.asarray(probe_keys)
+        self._delta.track(keys, self._table.words_of_keys(keys))
 
     @property
     def probe_keys(self) -> Optional[np.ndarray]:
         """The tracked probe set, or None when accounting is off."""
-        return self._probe_keys
+        return self._delta.probe_keys
 
-    def _account(self) -> Tuple[float, int]:
-        if self._probe_keys is None:
-            return 0.0, 0
-        if not self._table.server_count:
-            self._probe_assignment = None
-            return 0.0, 0
-        current = self._table.lookup_words(self._probe_words)
-        if self._probe_assignment is None:
-            moved = 0
-        else:
-            moved = int(np.sum(current != self._probe_assignment))
-        self._probe_assignment = current
-        if self._probe_keys.size == 0:
-            return 0.0, 0
-        return moved / self._probe_keys.size, moved
+    @property
+    def delta_tracker(self) -> DeltaTracker:
+        """The probe cache backing accounting and migration planning."""
+        return self._delta
 
     # -- membership --------------------------------------------------------
 
-    def apply(self, update: MembershipUpdate) -> Optional[EpochRecord]:
-        """Apply one mutation batch atomically; returns its epoch record.
+    def apply(self, update: MembershipUpdate) -> Optional[EpochResult]:
+        """Apply one mutation batch atomically; emits ``(record, plan)``.
 
         The whole batch is validated against current membership before
         any mutation, and the table state is captured first, so a
@@ -240,6 +271,10 @@ class Router:
         errors such as :class:`~repro.errors.CapacityError`) raises with
         the table rolled back bit-exactly and no epoch consumed.  An
         empty update is a no-op and does **not** bump the epoch.
+
+        The returned :class:`EpochResult` carries the epoch's
+        accounting record and the migration plan for the tracked keys
+        the epoch rerouted (an empty plan when nothing is tracked).
         """
         if update.is_empty:
             return None
@@ -268,26 +303,27 @@ class Router:
         for server_id in update.joins:
             for observer in self._observers:
                 observer.on_join(server_id, self._epoch)
-        remapped, moved = self._account()
+        delta = self._delta.close()
         record = EpochRecord(
             epoch=self._epoch,
             joined=update.joins,
             left=update.leaves,
             server_count=self._table.server_count,
-            remapped=remapped,
-            probes_moved=moved,
+            remapped=delta.fraction,
+            probes_moved=delta.moved,
             mutate_seconds=mutate_seconds,
         )
+        plan = MigrationPlan.from_delta(delta, epoch=self._epoch)
         self._history.append(record)
         for observer in self._observers:
             observer.on_remap(record)
-        return record
+        return EpochResult(record=record, plan=plan)
 
-    def join(self, server_id: Key) -> Optional[EpochRecord]:
+    def join(self, server_id: Key) -> Optional[EpochResult]:
         """Single-server convenience for :meth:`apply`."""
         return self.apply(MembershipUpdate(joins=(server_id,)))
 
-    def leave(self, server_id: Key) -> Optional[EpochRecord]:
+    def leave(self, server_id: Key) -> Optional[EpochResult]:
         """Single-server convenience for :meth:`apply`."""
         return self.apply(MembershipUpdate(leaves=(server_id,)))
 
@@ -307,12 +343,13 @@ class Router:
             ),
         )
 
-    def sync(self, target_server_ids: Iterable[Key]) -> Optional[EpochRecord]:
+    def sync(self, target_server_ids: Iterable[Key]) -> Optional[EpochResult]:
         """Reconcile membership to ``target_server_ids`` declaratively.
 
         Computes the minimal join/leave diff and applies it as one
-        batch: one epoch bump for any amount of churn, no epoch bump
-        (and no events) when already in sync.
+        batch: one epoch bump (with its ``(record, plan)`` result) for
+        any amount of churn, no epoch bump (and no events) when already
+        in sync.
         """
         return self.apply(self.diff(target_server_ids))
 

@@ -1,0 +1,34 @@
+"""The key-value data plane: per-server stores addressed by routing.
+
+Where :mod:`repro.service` decides *which* server owns a key, this
+package actually holds the data and makes ownership consequential:
+
+* :class:`ServerStore` -- one server's in-memory KV shard (scalar and
+  bulk put/get/delete, deterministic byte accounting);
+* :class:`DataPlane` -- the store fleet behind a
+  :class:`~repro.service.Router` or :class:`~repro.service.
+  ClusterRouter`: reads and writes always consult the current routing
+  state, ``track()`` registers the stored key set as the router's probe
+  population so each resize epoch's :class:`~repro.service.migration.
+  MigrationPlan` covers exactly the held data.
+
+Quickstart::
+
+    from repro.hashing import make_table
+    from repro.service import MigrationExecutor, Router
+    from repro.store import DataPlane
+
+    router = Router(make_table("hd", dim=2048, codebook_size=256))
+    router.sync(["a", "b", "c"])
+    plane = DataPlane(router)
+    plane.put("user:42", b"profile-bytes")
+    plane.track()                          # probe set := stored keys
+    record, plan = router.sync(["a", "b", "c", "d"])   # resize epoch
+    MigrationExecutor(plan, plane).run()   # move only what must move
+    plane.get("user:42")                   # readable at its new owner
+"""
+
+from .dataplane import DataPlane
+from .store import ServerStore, item_nbytes
+
+__all__ = ["DataPlane", "ServerStore", "item_nbytes"]

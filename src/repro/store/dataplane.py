@@ -1,0 +1,207 @@
+"""The data plane: a fleet of per-server stores behind a routing facade.
+
+A :class:`DataPlane` owns one :class:`~repro.store.store.ServerStore`
+per server and addresses them through any routing facade exposing
+``route`` / ``route_batch`` / ``track`` -- a :class:`~repro.service.
+router.Router` or a :class:`~repro.service.cluster.ClusterRouter`.
+Reads and writes always consult the *current* routing state, which is
+exactly what makes live migration observable: after a resize epoch, a
+key that has been rerouted but not yet copied misses at its new owner
+until the migration executor commits it.
+
+Stores of servers that left the fleet are intentionally retained --
+their keys are stranded until a migration plan drains them -- and can
+be dropped with :meth:`DataPlane.prune` once empty.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..hashfn import Key
+from .store import ServerStore
+
+__all__ = ["DataPlane"]
+
+#: Sentinel distinguishing "stored None" from "absent".
+_MISSING = object()
+
+
+class DataPlane:
+    """Routed key-value storage over a fleet of per-server stores."""
+
+    def __init__(self, router):
+        self._router = router
+        self._stores: Dict[Key, ServerStore] = {}
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def router(self):
+        """The routing facade addressing the store fleet."""
+        return self._router
+
+    @property
+    def stores(self) -> Mapping[Key, ServerStore]:
+        """Read-only view of the live stores, by server id."""
+        return MappingProxyType(self._stores)
+
+    def store(self, server_id: Key) -> ServerStore:
+        """The server's store, created empty on first touch."""
+        store = self._stores.get(server_id)
+        if store is None:
+            store = self._stores[server_id] = ServerStore(server_id)
+        return store
+
+    @property
+    def key_count(self) -> int:
+        """Total keys stored across the fleet."""
+        return sum(len(store) for store in self._stores.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """Total accounted bytes across the fleet."""
+        return sum(store.nbytes for store in self._stores.values())
+
+    def __len__(self) -> int:
+        return self.key_count
+
+    def __contains__(self, key: Key) -> bool:
+        store = self._stores.get(self._router.route(key))
+        return store is not None and key in store
+
+    def __repr__(self) -> str:
+        return "DataPlane(stores={}, keys={}, bytes={})".format(
+            len(self._stores), self.key_count, self.total_bytes
+        )
+
+    def stats(self) -> Dict[Key, Dict[str, int]]:
+        """Per-server occupancy: ``{server_id: {keys, bytes}}``."""
+        return {
+            server_id: {"keys": len(store), "bytes": store.nbytes}
+            for server_id, store in self._stores.items()
+        }
+
+    def keys(self) -> np.ndarray:
+        """Every stored key, store by store.
+
+        Integer key sets come back as an integer array (the vectorized
+        hashing path); anything else stays ``object`` so key identity
+        survives -- ``np.asarray`` on mixed types would coerce to
+        strings and strand every non-string key at migration time.
+        """
+        collected: List[Key] = []
+        for store in self._stores.values():
+            collected.extend(store.keys())
+        array = np.asarray(collected)
+        if array.dtype.kind in ("i", "u"):
+            return array
+        return np.asarray(collected, dtype=object)
+
+    def owner(self, key: Key) -> Key:
+        """The server currently routed for ``key``."""
+        return self._router.route(key)
+
+    # -- scalar operations -------------------------------------------------
+
+    def put(self, key: Key, value: Any) -> Key:
+        """Write through the router; returns the owning server id."""
+        server_id = self._router.route(key)
+        self.store(server_id).put(key, value)
+        return server_id
+
+    def get(self, key: Key, default: Any = _MISSING) -> Any:
+        """Read at the key's *current* owner.
+
+        Raises ``KeyError`` (or returns ``default``) when the routed
+        store does not hold the key -- including mid-migration, when
+        the key is still in flight from its previous owner.
+        """
+        store = self._stores.get(self._router.route(key))
+        value = _MISSING if store is None else store.get(key, _MISSING)
+        if value is _MISSING:
+            if default is _MISSING:
+                raise KeyError(key)
+            return default
+        return value
+
+    def delete(self, key: Key) -> Any:
+        """Delete at the key's current owner; ``KeyError`` when absent.
+
+        Like :meth:`get`, a key still in flight from its previous owner
+        is not visible at the routed store and raises.
+        """
+        store = self._stores.get(self._router.route(key))
+        if store is None or key not in store:
+            raise KeyError(key)
+        return store.delete(key)
+
+    # -- bulk operations ---------------------------------------------------
+
+    def put_many(self, keys: Sequence[Key], values: Sequence[Any]) -> np.ndarray:
+        """Write aligned batches; returns each key's owning server id."""
+        if len(keys) != len(values):
+            raise ValueError(
+                "put_many needs aligned batches, got {} keys and {} "
+                "values".format(len(keys), len(values))
+            )
+        owners = self._router.route_batch(keys)
+        for key, value, server_id in zip(keys, values, owners):
+            self.store(server_id).put(key, value)
+        return owners
+
+    def get_many(self, keys: Sequence[Key]) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched routed reads: ``(values, found)`` aligned to ``keys``.
+
+        ``found`` is a boolean mask; missing keys (including in-flight
+        ones) leave ``None`` in ``values``.
+        """
+        owners = self._router.route_batch(keys)
+        values = np.empty(len(keys), dtype=object)
+        found = np.zeros(len(keys), dtype=bool)
+        for index, (key, server_id) in enumerate(zip(keys, owners)):
+            store = self._stores.get(server_id)
+            if store is None:
+                continue
+            value = store.get(key, _MISSING)
+            if value is not _MISSING:
+                values[index] = value
+                found[index] = True
+        return values, found
+
+    # -- migration / accounting integration --------------------------------
+
+    def track(self) -> int:
+        """Install the stored key set as the router's probe population.
+
+        After this, every membership epoch's remap accounting *and*
+        migration plan cover exactly the data this plane holds; returns
+        the number of keys tracked.
+        """
+        keys = self.keys()
+        self._router.track(keys)
+        return int(keys.size)
+
+    def prune(self) -> Tuple[Key, ...]:
+        """Drop empty stores of servers no longer in the fleet."""
+        fleet = set(self._router.server_ids)
+        dropped = tuple(
+            server_id
+            for server_id, store in self._stores.items()
+            if not store and server_id not in fleet
+        )
+        for server_id in dropped:
+            del self._stores[server_id]
+        return dropped
+
+    def clone(self) -> "DataPlane":
+        """A copy sharing the router but owning independent stores."""
+        twin = DataPlane(self._router)
+        twin._stores = {
+            server_id: store.clone()
+            for server_id, store in self._stores.items()
+        }
+        return twin

@@ -1,0 +1,155 @@
+"""The per-server key-value shard behind the data plane.
+
+A :class:`ServerStore` is one server's in-memory slice of the fleet's
+data: a dict-shaped KV store with scalar and bulk operations and
+deterministic byte accounting.  The migration executor moves keys
+between stores; the accounting is what its byte throttle meters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..hashfn import Key
+
+__all__ = ["ServerStore", "item_nbytes"]
+
+#: Sentinel distinguishing "stored None" from "absent".
+_MISSING = object()
+
+
+def item_nbytes(obj: Any) -> int:
+    """Deterministic byte cost of one stored key or value.
+
+    Exact for bytes-likes, strings and numpy arrays; fixed 8 bytes for
+    machine scalars; the ``repr`` length otherwise.  The point is a
+    *stable* accounting unit for throttles and capacity maths, not a
+    faithful ``sys.getsizeof``.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
+    if isinstance(obj, (bool, int, float, np.integer, np.floating)):
+        return 8
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    return len(repr(obj))
+
+
+class ServerStore:
+    """One server's in-memory KV shard, with byte accounting."""
+
+    def __init__(self, server_id: Key):
+        self._server_id = server_id
+        self._items: Dict[Key, Any] = {}
+        self._nbytes = 0
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def server_id(self) -> Key:
+        """The server this shard belongs to."""
+        return self._server_id
+
+    @property
+    def nbytes(self) -> int:
+        """Accounted bytes of every stored key + value."""
+        return self._nbytes
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._items
+
+    def __repr__(self) -> str:
+        return "ServerStore({!r}, keys={}, bytes={})".format(
+            self._server_id, len(self._items), self._nbytes
+        )
+
+    def keys(self) -> Tuple[Key, ...]:
+        """Stored keys, insertion-ordered."""
+        return tuple(self._items)
+
+    def items(self) -> Iterable[Tuple[Key, Any]]:
+        """Stored ``(key, value)`` pairs, insertion-ordered."""
+        return self._items.items()
+
+    def item_bytes(self, key: Key) -> int:
+        """Accounted byte cost of one stored item (0 when absent)."""
+        if key not in self._items:
+            return 0
+        return item_nbytes(key) + item_nbytes(self._items[key])
+
+    # -- scalar operations -------------------------------------------------
+
+    def put(self, key: Key, value: Any) -> int:
+        """Store ``value`` under ``key``; returns the item's byte cost.
+
+        Overwrites re-account: the old item's bytes are released before
+        the new item's are charged.
+        """
+        if key in self._items:
+            self._nbytes -= item_nbytes(key) + item_nbytes(self._items[key])
+        cost = item_nbytes(key) + item_nbytes(value)
+        self._items[key] = value
+        self._nbytes += cost
+        return cost
+
+    def get(self, key: Key, default: Any = _MISSING) -> Any:
+        """Read ``key``; raises ``KeyError`` unless a default is given."""
+        value = self._items.get(key, _MISSING)
+        if value is _MISSING:
+            if default is _MISSING:
+                raise KeyError(key)
+            return default
+        return value
+
+    def delete(self, key: Key) -> Any:
+        """Remove and return ``key``'s value; ``KeyError`` when absent."""
+        value = self._items.pop(key, _MISSING)
+        if value is _MISSING:
+            raise KeyError(key)
+        self._nbytes -= item_nbytes(key) + item_nbytes(value)
+        return value
+
+    # -- bulk operations ---------------------------------------------------
+
+    def put_many(self, keys: Sequence[Key], values: Sequence[Any]) -> int:
+        """Store aligned key/value batches; returns the bytes charged."""
+        if len(keys) != len(values):
+            raise ValueError(
+                "put_many needs aligned batches, got {} keys and {} "
+                "values".format(len(keys), len(values))
+            )
+        return sum(self.put(key, value) for key, value in zip(keys, values))
+
+    def get_many(self, keys: Sequence[Key], default: Any = None) -> List[Any]:
+        """Read a key batch; absent keys yield ``default``."""
+        return [self._items.get(key, default) for key in keys]
+
+    def delete_many(self, keys: Sequence[Key]) -> int:
+        """Remove a key batch; returns how many were actually present."""
+        removed = 0
+        for key in keys:
+            if key in self._items:
+                self.delete(key)
+                removed += 1
+        return removed
+
+    def clear(self) -> None:
+        """Drop every item (accounting returns to zero)."""
+        self._items.clear()
+        self._nbytes = 0
+
+    def clone(self) -> "ServerStore":
+        """An independent copy (values are shared, mappings are not)."""
+        twin = ServerStore(self._server_id)
+        twin._items = dict(self._items)
+        twin._nbytes = self._nbytes
+        return twin

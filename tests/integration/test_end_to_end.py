@@ -13,6 +13,7 @@ from repro import (
     ConsistentHashTable,
     HDHashTable,
     MismatchCampaign,
+    ModularHashTable,
     RendezvousHashTable,
     SingleBitFlips,
 )
@@ -135,3 +136,60 @@ class TestMiniatureFigure5:
             SingleBitFlips(10), trials=3, rng=np.random.default_rng(41)
         )
         assert outcome.mean_mismatch < 0.005
+
+
+class TestLiveMigrationInvariant:
+    """The PR-4 acceptance invariant: after any ``sync()`` on a tracked
+    DataPlane, executing the emitted MigrationPlan leaves every key
+    readable at ``route(key)``, moves exactly the epoch's remap count,
+    and HD's moved fraction on a +1-server resize stays near the
+    minimal-movement ideal while modular's does not."""
+
+    N_SERVERS = 16
+    N_KEYS = 10_000
+
+    def _resize_once(self, table):
+        from repro.service import MigrationExecutor, Router
+        from repro.store import DataPlane
+
+        router = Router(table)
+        fleet = ["node-{:02d}".format(i) for i in range(self.N_SERVERS)]
+        router.sync(fleet)
+        plane = DataPlane(router)
+        keys = np.arange(self.N_KEYS, dtype=np.int64)
+        plane.put_many(keys, keys)
+        plane.track()
+        record, plan = router.sync(fleet + ["node-new"])
+        status = MigrationExecutor(plan, plane, max_keys_per_tick=777).run()
+        return record, plan, status, plane, keys
+
+    @pytest.mark.parametrize("name", ["hd", "modular", "consistent"])
+    def test_every_key_readable_after_executing_the_plan(self, name):
+        factories = {
+            "hd": lambda: HDHashTable(seed=13, dim=2_048, codebook_size=256),
+            "modular": lambda: ModularHashTable(seed=13),
+            "consistent": lambda: ConsistentHashTable(seed=13),
+        }
+        record, plan, status, plane, keys = self._resize_once(
+            factories[name]()
+        )
+        # keys moved equals the epoch's remap count, bit-exactly
+        assert status.done and status.skipped == 0
+        assert status.committed == plan.total_keys == record.probes_moved
+        assert plan.moved_fraction == record.remap_fraction
+        # every key readable at route(key)
+        values, found = plane.get_many(keys)
+        assert found.all()
+        # and sitting in the store the router currently names
+        owners = plane.router.route_batch(keys)
+        for key, owner in zip(keys[::97], owners[::97]):
+            assert plane.store(owner).get(int(key)) == int(key)
+
+    def test_hd_moves_near_minimal_fraction_and_modular_does_not(self):
+        ideal = 1.0 / (self.N_SERVERS + 1)
+        __, hd_plan, __, __, __ = self._resize_once(
+            HDHashTable(seed=13, dim=2_048, codebook_size=256)
+        )
+        __, mod_plan, __, __, __ = self._resize_once(ModularHashTable(seed=13))
+        assert 0 < hd_plan.moved_fraction <= 2 * ideal
+        assert mod_plan.moved_fraction > 2 * ideal

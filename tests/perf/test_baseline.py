@@ -37,6 +37,14 @@ def _record(scale: float) -> dict:
         },
         "lookup": {"keys_per_s": 8e6 * scale, "normalized": 1.6 * scale},
         "churn": {"events_per_s": 1e5 * scale, "normalized": 0.02 * scale},
+        "plan_migration": {
+            "keys_per_s": 3e6 * scale,
+            "normalized": 0.6 * scale,
+        },
+        "migrate_execute": {
+            "keys_per_s": 2e5 * scale,
+            "normalized": 0.04 * scale,
+        },
     }
 
 

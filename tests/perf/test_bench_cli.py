@@ -43,7 +43,14 @@ class TestBenchCommand:
         report = load_report(path)
         baseline_path = str(tmp_path / "baseline.json")
         save_report(report, baseline_path)
-        code, __, text = _bench(tmp_path, "--check", baseline_path)
+        # This exercises the gate plumbing, not machine stability: the
+        # baseline is a *fresh measurement*, so a loaded host can
+        # legitimately scatter a microsecond-scale metric past the
+        # default 30% between the two runs.  A wide explicit tolerance
+        # keeps the test about the exit code and report wiring.
+        code, __, text = _bench(
+            tmp_path, "--check", baseline_path, "--tolerance", "0.8"
+        )
         assert code == 0
         assert "OK" in text
 

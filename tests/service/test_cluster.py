@@ -102,9 +102,10 @@ class TestFleetMembership:
 
     def test_noop_sync_keeps_epochs(self):
         cluster = build()
-        record = cluster.sync(FLEET)
+        record, plan = cluster.sync(FLEET)
         assert cluster.epochs == (1, 1, 1, 1)
         assert record.records == (None, None, None, None)
+        assert plan.is_empty
 
     def test_join_leave_apply_fleet_wide(self):
         cluster = build()
@@ -117,7 +118,7 @@ class TestFleetMembership:
 
     def test_cluster_remap_accounting_aggregates_shards(self):
         cluster = build(probe=True)
-        record = cluster.sync(FLEET[:11])
+        record, plan = cluster.sync(FLEET[:11])
         per_shard = sum(
             r.probes_moved for r in record.records if r is not None
         )
@@ -125,6 +126,12 @@ class TestFleetMembership:
         assert record.remapped == pytest.approx(per_shard / PROBE.size)
         assert 0 < record.remapped < 1
         assert cluster.history[-1] is record
+        # the fleet-level plan merges the shard plans, one diff each
+        assert plan.total_keys == record.probes_moved
+        assert plan.tracked == PROBE.size
+        assert all(
+            move.source != move.destination for move in plan.moves
+        )
 
     def test_per_shard_divergence_is_allowed(self):
         # Draining one shard is a per-shard operation; its peers (and
@@ -194,8 +201,13 @@ class TestClusterSnapshot:
         saved = cluster.snapshot_shard(1)
         cluster.shard(1).sync(FLEET[:3])  # the shard diverges...
         assert list(cluster.route_batch(PROBE)) != list(reference)
-        cluster.restore_shard(1, saved)  # ...and is swapped back
+        __, plan = cluster.restore_shard(1, saved)  # ...swapped back
         assert list(cluster.route_batch(PROBE)) == list(reference)
+        # the swap emits the rescue plan for the keys it rerouted --
+        # exactly the shard's probes that moved when it diverged and
+        # now move back.
+        assert not plan.is_empty
+        assert {move.key for move in plan.moves} <= set(PROBE.tolist())
 
     def test_restore_shard_rejects_foreign_seed(self):
         cluster = build(seed=3)

@@ -34,7 +34,7 @@ class TestMembershipUpdate:
 class TestApply:
     def test_batch_bumps_epoch_exactly_once(self):
         router = consistent_router()
-        record = router.apply(MembershipUpdate(joins=("a", "b", "c")))
+        record, plan = router.apply(MembershipUpdate(joins=("a", "b", "c")))
         assert router.epoch == 1
         assert record.epoch == 1
         assert record.joined == ("a", "b", "c")
@@ -49,7 +49,7 @@ class TestApply:
     def test_mixed_batch(self):
         router = consistent_router()
         router.apply(MembershipUpdate(joins=("a", "b")))
-        record = router.apply(
+        record, __ = router.apply(
             MembershipUpdate(joins=("c",), leaves=("a",))
         )
         assert router.epoch == 2
@@ -85,12 +85,12 @@ class TestApply:
             router.route_batch(np.arange(500, dtype=np.uint64)), reference
         )
         # and the router still works after the rollback
-        record = router.sync(["a", "b", "c"])
+        record = router.sync(["a", "b", "c"]).record
         assert record.epoch == 2
 
     def test_records_mutation_time(self):
         router = consistent_router()
-        record = router.apply(MembershipUpdate(joins=("a", "b")))
+        record = router.apply(MembershipUpdate(joins=("a", "b"))).record
         assert record.mutate_seconds >= 0.0
 
     def test_single_server_conveniences(self):
@@ -105,15 +105,16 @@ class TestApply:
 class TestSync:
     def test_reaches_target_from_empty(self):
         router = consistent_router()
-        record = router.sync(["a", "b", "c"])
+        record, plan = router.sync(["a", "b", "c"])
         assert router.server_ids == ("a", "b", "c")
         assert record.joined == ("a", "b", "c")
         assert record.left == ()
+        assert plan.is_empty  # nothing tracked, nothing to move
 
     def test_minimal_diff(self):
         router = consistent_router()
         router.sync(["a", "b", "c", "d"])
-        record = router.sync(["b", "c", "e"])
+        record = router.sync(["b", "c", "e"]).record
         # Only the difference moved: one join, two leaves, one epoch.
         assert record.joined == ("e",)
         assert set(record.left) == {"a", "d"}
@@ -130,7 +131,7 @@ class TestSync:
     def test_sync_to_empty_drains_pool(self):
         router = consistent_router()
         router.sync(["a", "b"])
-        record = router.sync([])
+        record = router.sync([]).record
         assert router.server_count == 0
         assert set(record.left) == {"a", "b"}
 
@@ -150,13 +151,14 @@ class TestSync:
                 server_id for server_id in universe if rng.random() < 0.4
             ]
             before = router.epoch
-            record = router.sync(target)
+            result = router.sync(target)
             assert set(router.server_ids) == set(target)
-            if record is None:
+            if result is None:
                 assert router.epoch == before
             else:
                 assert router.epoch == before + 1
                 # minimality: every event was strictly necessary
+                record = result.record
                 assert not (set(record.joined) & set(record.left))
 
 
@@ -205,12 +207,17 @@ class TestRemapAccounting:
     def test_probe_fractions_recorded_per_epoch(self):
         probe = np.arange(4_000, dtype=np.uint64)
         router = consistent_router(probe_keys=probe)
-        first = router.sync(["a", "b", "c", "d"])
+        first, first_plan = router.sync(["a", "b", "c", "d"])
         assert first.remapped == 0.0  # no previous assignment to move from
-        record = router.sync(["a", "b", "c", "d", "e"])
+        assert first_plan.is_empty
+        record, plan = router.sync(["a", "b", "c", "d", "e"])
         # consistent hashing: the newcomer claims ~1/k of the keys
         assert 0.0 < record.remapped < 0.8
         assert record.probes_moved == int(record.remapped * probe.size)
+        # the plan and the accounting come from the same diff
+        assert plan.total_keys == record.probes_moved
+        assert len(plan.moves) / plan.tracked == record.remap_fraction
+        assert all(move.destination == "e" for move in plan.moves)
 
     def test_modular_remaps_more_than_consistent(self):
         probe = np.arange(4_000, dtype=np.uint64)
@@ -218,14 +225,15 @@ class TestRemapAccounting:
         for name in ("modular", "consistent"):
             router = Router(make_table(name, seed=1), probe_keys=probe)
             router.sync(range(8))
-            results[name] = router.sync(range(9)).remapped
+            results[name] = router.sync(range(9)).record.remapped
         assert results["modular"] > 2 * results["consistent"]
 
     def test_no_probes_means_zero_accounting(self):
         router = consistent_router()
-        record = router.sync(["a", "b"])
+        record, plan = router.sync(["a", "b"])
         assert record.remapped == 0.0
         assert record.probes_moved == 0
+        assert plan.is_empty and plan.tracked == 0
 
     def test_routing_passthrough(self):
         router = consistent_router()

@@ -1,0 +1,162 @@
+"""The data plane: per-server stores, routed reads/writes, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.hashing import make_table
+from repro.service import Router
+from repro.store import DataPlane, ServerStore, item_nbytes
+
+
+def plane_with_fleet(n=8, algorithm="consistent"):
+    router = Router(make_table(algorithm, seed=3))
+    router.sync("srv-{}".format(i) for i in range(n))
+    return DataPlane(router)
+
+
+class TestServerStore:
+    def test_put_get_delete_roundtrip(self):
+        store = ServerStore("s0")
+        store.put("k", b"value")
+        assert store.get("k") == b"value"
+        assert "k" in store and len(store) == 1
+        assert store.delete("k") == b"value"
+        assert "k" not in store and len(store) == 0
+
+    def test_get_missing_raises_unless_default(self):
+        store = ServerStore("s0")
+        with pytest.raises(KeyError):
+            store.get("ghost")
+        assert store.get("ghost", 42) == 42
+        with pytest.raises(KeyError):
+            store.delete("ghost")
+
+    def test_stored_none_is_not_missing(self):
+        store = ServerStore("s0")
+        store.put("k", None)
+        assert store.get("k", "default") is None
+
+    def test_byte_accounting_tracks_mutations(self):
+        store = ServerStore("s0")
+        assert store.nbytes == 0
+        store.put("key", b"12345")
+        assert store.nbytes == item_nbytes("key") + 5
+        store.put("key", b"1234567890")  # overwrite re-accounts
+        assert store.nbytes == item_nbytes("key") + 10
+        store.delete("key")
+        assert store.nbytes == 0
+
+    def test_item_nbytes_is_deterministic(self):
+        assert item_nbytes(b"abc") == 3
+        assert item_nbytes("abc") == 3
+        assert item_nbytes(7) == 8
+        assert item_nbytes(1.5) == 8
+        assert item_nbytes(None) == 0
+        assert item_nbytes(np.zeros(4, dtype=np.int64)) == 32
+
+    def test_bulk_operations(self):
+        store = ServerStore("s0")
+        charged = store.put_many([1, 2, 3], ["a", "b", "c"])
+        assert charged == store.nbytes
+        assert store.get_many([1, 9, 3], default="?") == ["a", "?", "c"]
+        assert store.delete_many([1, 9]) == 1
+        assert store.keys() == (2, 3)
+        with pytest.raises(ValueError):
+            store.put_many([1, 2], ["only-one"])
+
+    def test_clone_is_independent(self):
+        store = ServerStore("s0")
+        store.put("k", "v")
+        twin = store.clone()
+        twin.put("k2", "v2")
+        assert "k2" not in store
+        assert twin.nbytes > store.nbytes
+
+
+class TestDataPlane:
+    def test_put_routes_to_current_owner(self):
+        plane = plane_with_fleet()
+        owner = plane.put("user:1", "profile")
+        assert owner == plane.router.route("user:1")
+        assert plane.store(owner).get("user:1") == "profile"
+        assert plane.get("user:1") == "profile"
+        assert "user:1" in plane
+
+    def test_get_missing_raises_unless_default(self):
+        plane = plane_with_fleet()
+        with pytest.raises(KeyError):
+            plane.get("ghost")
+        assert plane.get("ghost", None) is None
+        with pytest.raises(KeyError):
+            plane.delete("ghost")
+
+    def test_put_many_places_every_key_at_its_owner(self):
+        plane = plane_with_fleet()
+        keys = np.arange(500, dtype=np.int64)
+        owners = plane.put_many(keys, keys * 2)
+        assert plane.key_count == 500
+        routed = plane.router.route_batch(keys)
+        assert list(owners) == list(routed)
+        values, found = plane.get_many(keys)
+        assert found.all()
+        assert list(values) == [int(k) * 2 for k in keys]
+
+    def test_reroute_makes_in_flight_keys_miss(self):
+        # The property live migration depends on: reads consult the
+        # *current* routing, so a rerouted-but-not-moved key misses.
+        plane = plane_with_fleet(n=8, algorithm="modular")
+        keys = np.arange(200, dtype=np.int64)
+        plane.put_many(keys, keys)
+        plane.router.sync("srv-{}".format(i) for i in range(9))
+        __, found = plane.get_many(keys)
+        assert 0 < found.sum() < 200  # moved keys miss, others hit
+
+    def test_accounting_and_stats(self):
+        plane = plane_with_fleet()
+        plane.put_many(["a", "b", "c"], [b"1", b"22", b"333"])
+        assert plane.total_bytes == sum(
+            item_nbytes(k) + item_nbytes(v)
+            for k, v in zip(["a", "b", "c"], [b"1", b"22", b"333"])
+        )
+        stats = plane.stats()
+        assert sum(entry["keys"] for entry in stats.values()) == 3
+        assert len(plane) == 3
+
+    def test_keys_preserve_mixed_types(self):
+        # np.asarray on mixed int/str keys would coerce everything to
+        # strings, making migration plans name keys that don't exist.
+        plane = plane_with_fleet()
+        plane.put("user:x", b"a")
+        plane.put(7, b"b")
+        keys = plane.keys()
+        assert keys.dtype == object
+        assert set(keys.tolist()) == {"user:x", 7}
+
+    def test_integer_keys_stay_vectorizable(self):
+        plane = plane_with_fleet()
+        plane.put_many(np.arange(50, dtype=np.int64), range(50))
+        assert plane.keys().dtype.kind == "i"
+
+    def test_track_installs_stored_keys_as_probes(self):
+        plane = plane_with_fleet()
+        keys = np.arange(300, dtype=np.int64)
+        plane.put_many(keys, keys)
+        assert plane.track() == 300
+        assert set(plane.router.probe_keys.tolist()) == set(keys.tolist())
+
+    def test_prune_drops_only_empty_foreign_stores(self):
+        plane = plane_with_fleet(n=4)
+        keys = np.arange(100, dtype=np.int64)
+        plane.put_many(keys, keys)
+        occupied = {s for s, st in plane.stores.items() if len(st)}
+        plane.store("retired")  # empty store of a non-member
+        assert plane.prune() == ("retired",)
+        assert set(plane.stores) == occupied
+
+    def test_clone_shares_router_but_not_stores(self):
+        plane = plane_with_fleet()
+        plane.put("k", "v")
+        twin = plane.clone()
+        twin.delete("k")
+        assert plane.get("k") == "v"
+        assert twin.router is plane.router

@@ -87,6 +87,64 @@ class TestCluster:
             )
 
 
+class TestMigrate:
+    def test_plan_only_moves_no_data(self):
+        out = io.StringIO()
+        code = main(
+            ["migrate", "modular", "--servers", "6", "--target", "8",
+             "--keys", "500", "--plan-only"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "plan:" in text
+        assert "moved fraction" in text
+        assert "plan-only: no data moved" in text
+        assert "OK:" not in text
+
+    def test_execute_migrates_and_verifies(self):
+        out = io.StringIO()
+        code = main(
+            ["migrate", "consistent", "--servers", "6", "--target", "9",
+             "--keys", "400", "--max-keys-per-tick", "100"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "OK:" in text
+        assert "ownership-verified" in text
+        assert "readable at their routed owner" in text
+
+    def test_shrink_is_supported(self):
+        out = io.StringIO()
+        code = main(
+            ["migrate", "consistent", "--servers", "8", "--target", "5",
+             "--keys", "300"],
+            out=out,
+        )
+        assert code == 0
+        assert "OK:" in out.getvalue()
+
+    def test_noop_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["migrate", "modular", "--servers", "4", "--target", "4"],
+                out=io.StringIO(),
+            )
+
+    def test_bad_throttle_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["migrate", "modular", "--max-keys-per-tick", "0"],
+                out=io.StringIO(),
+            )
+        with pytest.raises(SystemExit):
+            main(
+                ["migrate", "modular", "--status-every", "0"],
+                out=io.StringIO(),
+            )
+
+
 class TestRun:
     def test_run_costmodel_fast(self):
         out = io.StringIO()

@@ -18,7 +18,10 @@ MODULES = [
     "repro.hashing.registry",
     "repro.hdc",
     "repro.memory",
+    "repro.perf",
     "repro.service",
+    "repro.service.migration",
+    "repro.store",
 ]
 
 
