@@ -51,6 +51,14 @@ class TestSuiteCoverage:
                 assert metric in record, (name, metric)
                 assert record[metric]["normalized"] > 0
 
+    def test_control_tick_covers_every_algorithm(self, fast_report):
+        # Schema v4: the steady-state control-plane tick rate must be
+        # present (and sane) for the whole registry.
+        for name, record in fast_report["algorithms"].items():
+            assert "control_tick" in record, name
+            assert record["control_tick"]["ticks_per_s"] > 0
+            assert record["control_tick"]["normalized"] > 0
+
     def test_replica_and_cluster_metrics_cover_every_algorithm(self, fast_report):
         # The CI gate compares every METRICS section; the new replica
         # and cluster metrics must be present for the whole registry.

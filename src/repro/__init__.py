@@ -69,11 +69,22 @@ from .hashing import (
     ModularHashTable,
     MultiProbeConsistentHashTable,
     RendezvousHashTable,
+    VirtualWeightTable,
     WeightedRendezvousHashTable,
     make_table,
     register_table,
     registered_algorithms,
     table_class,
+    weighted_table,
+)
+from .control import (
+    Autoscaler,
+    ControlLoop,
+    FleetState,
+    Health,
+    HealthMonitor,
+    ServerSpec,
+    UtilizationPolicy,
 )
 from .service import (
     EpochRecord,
@@ -97,6 +108,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALL_ALGORITHMS",
+    "Autoscaler",
+    "ControlLoop",
+    "FleetState",
+    "Health",
+    "HealthMonitor",
+    "ServerSpec",
+    "UtilizationPolicy",
+    "VirtualWeightTable",
     "PAPER_ALGORITHMS",
     "BasisSet",
     "BitErrorRate",
@@ -159,5 +178,6 @@ __all__ = [
     "summarize_loads",
     "table_class",
     "uniformity_chi2",
+    "weighted_table",
     "__version__",
 ]

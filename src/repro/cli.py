@@ -16,6 +16,9 @@ Usage::
     python -m repro bench --profile fast --check BENCH_throughput.json
     python -m repro migrate hd --profile fast --plan-only
     python -m repro migrate modular --servers 16 --target 24 --keys 5000
+    python -m repro control status hd --weights 1,2,4
+    python -m repro control tick consistent --plan-only
+    python -m repro control drain rendezvous --server server-02
 
 ``run`` regenerates a paper artefact (the artefact registry maps names
 to experiment runners; ``--profile`` selects the ``fast`` / ``bench`` /
@@ -34,7 +37,14 @@ committed baseline (exit code 1 on regression) -- the command the CI
 :class:`~repro.store.DataPlane`, resizes the fleet, prints the epoch's
 migration plan (``--plan-only`` stops there; the CI ``migrate-smoke``
 job's mode) and otherwise executes it tick by tick with status lines,
-finishing with the ownership verification pass.
+finishing with the ownership verification pass and the fleet-imbalance
+summary.  ``control`` stands up a weighted, zoned demo fleet behind
+the full control plane (:mod:`repro.control`): ``status`` prints the
+spec directory with per-server load vs the weight-proportional ideal,
+``tick`` runs one reconciliation pass (``--plan-only`` computes the
+decisions without mutating -- the CI ``control-smoke`` job's mode),
+and ``drain`` gracefully drains a server (copy first, cut over, clean
+up) and verifies every key still reads at its routed owner.
 """
 
 from __future__ import annotations
@@ -44,7 +54,16 @@ import ast
 import sys
 from typing import Callable, Dict, Optional, Tuple
 
+from .control import (
+    Autoscaler,
+    ControlLoop,
+    FleetState,
+    HealthMonitor,
+    ServerSpec,
+    UtilizationPolicy,
+)
 from .hashing import algorithm_entry, make_table, registered_algorithms
+from .hashing.weighted import weighted_table
 from .perf import compare_reports, format_report, load_report, run_suite, save_report
 from .perf.baseline import DEFAULT_TOLERANCE, coverage_drift
 from .perf.profiles import PERF_PROFILES
@@ -264,6 +283,57 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="hash-family seed (default: 0)"
     )
     migrate.add_argument(
+        "-o", "--option", action="append", default=[], metavar="KEY=VALUE",
+        help="algorithm config override (repeatable), e.g. -o dim=4096",
+    )
+    control = commands.add_parser(
+        "control",
+        help="drive the control plane over a weighted demo fleet",
+    )
+    control.add_argument(
+        "action",
+        choices=("status", "tick", "drain"),
+        help="status: fleet + load; tick: one reconciliation pass; "
+        "drain: gracefully drain a server",
+    )
+    control.add_argument(
+        "algorithm",
+        help="registered algorithm name (see `repro algorithms`)",
+    )
+    control.add_argument(
+        "--profile",
+        choices=tuple(PERF_PROFILES),
+        default="fast",
+        help="sizing preset for fleet/keys/table config (default: fast)",
+    )
+    control.add_argument(
+        "--servers", type=int, default=6,
+        help="fleet size (default: 6)",
+    )
+    control.add_argument(
+        "--weights", default="1,2,4", metavar="W1,W2,...",
+        help="capacity weights cycled over the fleet (default: 1,2,4)",
+    )
+    control.add_argument(
+        "--keys", type=int, default=None,
+        help="keys stored on the data plane (default: the profile's)",
+    )
+    control.add_argument(
+        "--server", default=None, metavar="ID",
+        help="server to drain (default: the heaviest; drain only)",
+    )
+    control.add_argument(
+        "--max-keys-per-tick", type=int, default=512, metavar="N",
+        help="migration throttle (default: 512 keys per tick)",
+    )
+    control.add_argument(
+        "--plan-only", action="store_true",
+        help="tick only: compute decisions and plans without mutating",
+    )
+    control.add_argument(
+        "--seed", type=int, default=0, help="hash-family seed (default: 0)"
+    )
+    control.add_argument(
         "-o", "--option", action="append", default=[], metavar="KEY=VALUE",
         help="algorithm config override (repeatable), e.g. -o dim=4096",
     )
@@ -532,6 +602,132 @@ def _run_migrate(args, out) -> int:
         ),
         file=out,
     )
+    print(plane.imbalance().describe(), file=out)
+    return 0
+
+
+def _run_control(args, out) -> int:
+    import numpy as np
+
+    profile = PERF_PROFILES[args.profile]
+    if args.servers < 2:
+        raise SystemExit("error: --servers must be at least 2")
+    try:
+        weights = [float(part) for part in args.weights.split(",") if part]
+    except ValueError:
+        raise SystemExit(
+            "error: --weights expects comma-separated numbers, got "
+            "{!r}".format(args.weights)
+        )
+    if not weights or any(weight <= 0 for weight in weights):
+        raise SystemExit("error: --weights must be positive numbers")
+    n_keys = args.keys if args.keys is not None else profile.migration_keys
+    if n_keys < 1:
+        raise SystemExit("error: --keys must be at least 1")
+    if args.max_keys_per_tick < 1:
+        raise SystemExit("error: --max-keys-per-tick must be at least 1")
+    config = profile.config_for(args.algorithm)
+    config.update(_parse_options(args.option))
+    try:
+        table = weighted_table(args.algorithm, seed=args.seed, **config)
+    except (TypeError, ValueError) as error:
+        raise SystemExit("error: {}".format(error))
+
+    fleet = FleetState(
+        ServerSpec(
+            "server-{:02d}".format(index),
+            weight=weights[index % len(weights)],
+            zone="zone-{}".format(index % 3),
+        )
+        for index in range(args.servers)
+    )
+    router = Router(table)
+    plane = DataPlane(router)
+    loop = ControlLoop(
+        router,
+        plane,
+        fleet,
+        monitor=HealthMonitor(fleet),
+        autoscaler=Autoscaler(
+            # ~24 accounted bytes per demo item; sized so the demo
+            # fleet sits at the policy's target utilization.
+            UtilizationPolicy.sized_for(n_keys * 24, fleet.total_weight)
+        ),
+        max_keys_per_tick=args.max_keys_per_tick,
+    )
+    loop.bootstrap()
+    keys = np.arange(n_keys, dtype=np.int64)
+    plane.put_many(keys, ["value-{}".format(key) for key in keys])
+    plane.track()
+
+    print(
+        "{} control plane: {} server(s), total weight {}, {} keys".format(
+            table.name, len(fleet), fleet.total_weight, n_keys
+        ),
+        file=out,
+    )
+
+    if args.action == "status":
+        stats = plane.stats(fleet.weights())
+        print(
+            "{:<12} {:>7} {:>8} {:>8} {:>10} {:>11} {:>11}".format(
+                "server", "weight", "zone", "health", "keys", "bytes",
+                "keys/ideal",
+            ),
+            file=out,
+        )
+        for spec in fleet.specs:
+            record = stats.get(spec.server_id, {})
+            print(
+                "{:<12} {:>7} {:>8} {:>8} {:>10} {:>11} {:>11.3f}".format(
+                    str(spec.server_id),
+                    spec.weight,
+                    spec.zone,
+                    spec.health.value,
+                    record.get("keys", 0),
+                    record.get("bytes", 0),
+                    record.get("keys_ratio", 0.0),
+                ),
+                file=out,
+            )
+        print(plane.imbalance(fleet.weights()).describe(), file=out)
+        return 0
+
+    if args.action == "tick":
+        report = loop.tick(plan_only=args.plan_only)
+        print(report.describe(), file=out)
+        return 0
+
+    # drain
+    if args.server is not None:
+        if args.server not in fleet:
+            raise SystemExit(
+                "error: --server {!r} is not in the fleet".format(args.server)
+            )
+        victim = args.server
+    else:
+        victim = max(
+            fleet.members(), key=lambda spec: (spec.weight, str(spec.server_id))
+        ).server_id
+    report = loop.drain(victim)
+    print(report.describe(), file=out)
+    __, found = plane.get_many(keys)
+    missing = int(np.sum(~found))
+    if missing or report.record.probes_moved != report.plan.total_keys:
+        print(
+            "FAIL: {} keys unreadable, epoch remapped {} vs plan "
+            "{}".format(
+                missing, report.record.probes_moved, report.plan.total_keys
+            ),
+            file=out,
+        )
+        return 1
+    print(
+        "OK: all {} keys read at their routed owner; epoch remap count "
+        "== plan size ({})".format(n_keys, report.plan.total_keys),
+        file=out,
+    )
+    print(plane.imbalance(fleet.weights()).describe(), file=out)
     return 0
 
 
@@ -620,12 +816,25 @@ def main(argv=None, out=None) -> int:
     if args.command == "algorithms":
         names = registered_algorithms()
         width = max(len(name) for name in names)
+        flag_width = max(
+            (
+                len(",".join(algorithm_entry(name).capabilities))
+                for name in names
+            ),
+            default=0,
+        )
         for name in names:
             entry = algorithm_entry(name)
             tag = "paper" if entry.paper else "ext."
+            flags = ",".join(entry.capabilities) or "-"
             print(
-                "{:<{width}}  [{}]  {}".format(
-                    name, tag, entry.description, width=width
+                "{:<{width}}  [{}]  [{:<{flag_width}}]  {}".format(
+                    name,
+                    tag,
+                    flags,
+                    entry.description,
+                    width=width,
+                    flag_width=flag_width,
                 ),
                 file=out,
             )
@@ -636,6 +845,8 @@ def main(argv=None, out=None) -> int:
         return _run_cluster(args, out)
     if args.command == "migrate":
         return _run_migrate(args, out)
+    if args.command == "control":
+        return _run_control(args, out)
     if args.command == "bench":
         return _run_bench(args, out)
     if args.artefact == "all":

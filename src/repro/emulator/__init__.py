@@ -25,6 +25,9 @@ from .requests import (
 )
 from .scenario import (
     AutoscalePolicy,
+    AutoscaleScenarioConfig,
+    AutoscaleScenarioResult,
+    AutoscaleStepRecord,
     FailoverConfig,
     FailoverResult,
     FailoverStepRecord,
@@ -34,6 +37,7 @@ from .scenario import (
     ScenarioConfig,
     ScenarioResult,
     StepRecord,
+    run_autoscale_scenario,
     run_failover_scenario,
     run_live_reshard_scenario,
     run_scenario,
@@ -43,6 +47,9 @@ from .trace import load_trace, parse_trace_lines, save_trace, trace_lines
 
 __all__ = [
     "AutoscalePolicy",
+    "AutoscaleScenarioConfig",
+    "AutoscaleScenarioResult",
+    "AutoscaleStepRecord",
     "DispatchUnit",
     "EmulationReport",
     "Emulator",
@@ -55,6 +62,7 @@ __all__ = [
     "ScenarioConfig",
     "ScenarioResult",
     "StepRecord",
+    "run_autoscale_scenario",
     "run_failover_scenario",
     "run_live_reshard_scenario",
     "run_scenario",

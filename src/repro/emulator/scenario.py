@@ -21,10 +21,15 @@ from the router's per-epoch probe accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+# AutoscalePolicy grew up and moved to the control plane
+# (repro.control.autoscale); re-exported here for the emulator-era API.
+from ..control.autoscale import Autoscaler, AutoscalePolicy, UtilizationPolicy
+from ..control.loop import ControlLoop, ControlTickReport
+from ..control.spec import FleetState, ServerSpec
 from ..errors import MigrationError
 from ..hashfn import Key
 from ..hashing.base import DynamicHashTable
@@ -47,37 +52,11 @@ __all__ = [
     "ReshardTickRecord",
     "LiveReshardResult",
     "run_live_reshard_scenario",
+    "AutoscaleScenarioConfig",
+    "AutoscaleStepRecord",
+    "AutoscaleScenarioResult",
+    "run_autoscale_scenario",
 ]
-
-
-@dataclass(frozen=True)
-class AutoscalePolicy:
-    """Reactive scaling: keep requests/server inside a target band."""
-
-    target_load: float = 1_000.0
-    upper_tolerance: float = 1.3
-    lower_tolerance: float = 0.6
-    min_servers: int = 2
-    max_servers: int = 1_024
-
-    def decide(self, n_requests: int, n_servers: int) -> int:
-        """Server-count delta for the observed step load."""
-        per_server = n_requests / max(1, n_servers)
-        if (
-            per_server > self.target_load * self.upper_tolerance
-            and n_servers < self.max_servers
-        ):
-            wanted = int(np.ceil(n_requests / self.target_load))
-            return min(wanted, self.max_servers) - n_servers
-        if (
-            per_server < self.target_load * self.lower_tolerance
-            and n_servers > self.min_servers
-        ):
-            wanted = max(
-                int(np.ceil(n_requests / self.target_load)), self.min_servers
-            )
-            return wanted - n_servers
-        return 0
 
 
 @dataclass(frozen=True)
@@ -461,4 +440,247 @@ def run_live_reshard_scenario(
                 int(np.sum(~found))
             )
         )
+    return result
+
+
+@dataclass(frozen=True)
+class AutoscaleScenarioConfig:
+    """A day of diurnal traffic driving the *real* control plane.
+
+    Unlike :func:`run_scenario` (whose request-counting policy only
+    resizes an empty routing table), this scenario carries data: every
+    step writes fresh keys into a tracked
+    :class:`~repro.store.DataPlane`, the
+    :class:`~repro.control.ControlLoop` reconciles (utilization-driven
+    admissions, graceful drains on scale-down, an optional operator
+    drain mid-run), and every migration tick samples routed reads -- so
+    the miss-rate SLA is judged *while* data is in flight, drains
+    included.
+    """
+
+    steps: int = 12
+    #: Initial fleet: ``initial_servers`` specs with weights cycled
+    #: from ``weight_cycle`` (all 1.0 for weight-blind tables).
+    initial_servers: int = 4
+    weight_cycle: Tuple[float, ...] = (1.0, 2.0, 4.0)
+    #: Fresh keys written per step, scaled by the diurnal profile.
+    writes_per_step: int = 600
+    #: Accounted bytes per written value (drives byte utilization).
+    value_bytes: int = 64
+    #: Routed reads sampled per migration tick and at every step end.
+    reads_per_sample: int = 400
+    #: Multiplicative diurnal curve (cycled over the steps).
+    traffic_profile: Tuple[float, ...] = (0.4, 0.7, 1.0, 1.6, 2.2, 1.6, 1.0, 0.5)
+    #: Step at which the operator drains the heaviest member (None =
+    #: no planned drain).
+    drain_step: Optional[int] = 4
+    #: Utilization policy; None derives one sized so the initial fleet
+    #: sits near target at the profile's mean write rate.
+    policy: Optional[UtilizationPolicy] = None
+    #: Executor throttle for every migration the loop runs.
+    max_keys_per_tick: int = 400
+    #: Ceiling on misses per routed read across the whole scenario
+    #: (the budget is spent by *unplanned* reshard traffic; graceful
+    #: drains contribute zero by construction).
+    miss_sla: float = 0.10
+    seed: int = 0
+
+
+@dataclass
+class AutoscaleStepRecord:
+    """What one control-loop step did and observed."""
+
+    step: int
+    n_servers: int
+    total_weight: float
+    utilization: float
+    writes: int
+    reads: int
+    misses: int
+    joins: int
+    leaves: int
+    drained: int
+    moved_keys: int
+
+
+@dataclass
+class AutoscaleScenarioResult:
+    """The whole run: per-step records plus the fleet-wide SLA verdict."""
+
+    records: List[AutoscaleStepRecord] = field(default_factory=list)
+    served: int = 0
+    misses: int = 0
+    miss_sla: float = 0.10
+
+    @property
+    def miss_rate(self) -> float:
+        """Missed reads per routed read, drains and reshards included."""
+        if not self.served:
+            return 0.0
+        return self.misses / self.served
+
+    @property
+    def sla_met(self) -> bool:
+        return self.miss_rate <= self.miss_sla
+
+    @property
+    def scaling_events(self) -> int:
+        """Join + leave membership events across the run."""
+        return int(
+            sum(record.joins + record.leaves for record in self.records)
+        )
+
+    @property
+    def drains(self) -> int:
+        """Graceful drains completed across the run."""
+        return int(sum(record.drained for record in self.records))
+
+    @property
+    def peak_servers(self) -> int:
+        return max((record.n_servers for record in self.records), default=0)
+
+
+def run_autoscale_scenario(
+    table_factory: Callable[[], DynamicHashTable],
+    config: AutoscaleScenarioConfig = AutoscaleScenarioConfig(),
+) -> AutoscaleScenarioResult:
+    """Drive the real control plane through a diurnal load curve.
+
+    Each step: write the step's keys (diurnal volume), run one
+    :meth:`~repro.control.ControlLoop.tick` (health is quiet here;
+    utilization decides admissions and graceful drains; migrations
+    execute throttled, with routed reads sampled between executor
+    ticks), then sample reads again at rest.  At ``drain_step`` the
+    operator additionally drains the heaviest member -- the planned
+    departure whose copy-first sequence must not miss.  The result's
+    ``miss_rate`` is judged against ``miss_sla``.
+    """
+    if config.steps < 1:
+        raise ValueError("need at least one step")
+    if config.initial_servers < 2:
+        raise ValueError("need at least two initial servers")
+    rng = np.random.default_rng(config.seed)
+    table = table_factory()
+    weight_capable = getattr(table, "supports_weights", False)
+    weights = [
+        config.weight_cycle[i % len(config.weight_cycle)]
+        if weight_capable
+        else 1.0
+        for i in range(config.initial_servers)
+    ]
+    fleet = FleetState(
+        ServerSpec(
+            "srv-{:03d}".format(index),
+            weight=weights[index],
+            zone="z{}".format(index % 3),
+        )
+        for index in range(config.initial_servers)
+    )
+    router = Router(table)
+    plane = DataPlane(router)
+
+    mean_factor = float(np.mean(config.traffic_profile))
+    policy = config.policy
+    if policy is None:
+        # Size unit capacity so the initial fleet sits at target
+        # utilization once ~half the steps' mean volume is stored.
+        value_cost = config.value_bytes + 8
+        expected = (
+            config.writes_per_step * mean_factor * config.steps / 2
+        ) * value_cost
+        policy = UtilizationPolicy.sized_for(
+            int(expected), sum(weights), min_servers=2, max_servers=64
+        )
+    spawn_weights = config.weight_cycle if weight_capable else (1.0,)
+
+    def spawner(index: int) -> ServerSpec:
+        return ServerSpec(
+            "auto-{:03d}".format(index),
+            weight=spawn_weights[index % len(spawn_weights)],
+        )
+
+    loop = ControlLoop(
+        router,
+        plane,
+        fleet,
+        autoscaler=Autoscaler(policy, spawner=spawner),
+        max_keys_per_tick=config.max_keys_per_tick,
+    )
+    loop.bootstrap()
+
+    result = AutoscaleScenarioResult(miss_sla=config.miss_sla)
+    next_key = 0
+    value = b"x" * config.value_bytes
+
+    def sample_reads() -> Tuple[int, int]:
+        # Written keys are exactly [0, next_key), so sampling needs no
+        # materialized key list (it would grow quadratic over the run).
+        if next_key == 0:
+            return 0, 0
+        sample = rng.integers(
+            0, next_key, size=config.reads_per_sample, dtype=np.int64
+        )
+        __, found = plane.get_many(sample)
+        return int(sample.size), int(np.sum(~found))
+
+    for step in range(config.steps):
+        factor = config.traffic_profile[step % len(config.traffic_profile)]
+        n_writes = max(1, int(config.writes_per_step * factor))
+        fresh = np.arange(next_key, next_key + n_writes, dtype=np.int64)
+        next_key += n_writes
+        plane.put_many(fresh, [value] * n_writes)
+
+        reads = misses = 0
+
+        def on_migration_tick(status) -> None:
+            nonlocal reads, misses
+            served, missed = sample_reads()
+            reads += served
+            misses += missed
+
+        report: ControlTickReport = loop.tick(
+            on_migration_tick=on_migration_tick
+        )
+        drained = len(report.drains)
+        if config.drain_step is not None and step == config.drain_step:
+            members = sorted(
+                fleet.members(), key=lambda spec: (-spec.weight, str(spec.server_id))
+            )
+            if len(members) > policy.min_servers:
+                drain_report = loop.drain(
+                    members[0].server_id, on_tick=on_migration_tick
+                )
+                drained += 1
+                report_moved = drain_report.plan.total_keys
+            else:
+                report_moved = 0
+        else:
+            report_moved = 0
+
+        served, missed = sample_reads()
+        reads += served
+        misses += missed
+
+        joins = sum(len(record.joined) for record in report.epochs)
+        leaves = sum(len(record.left) for record in report.epochs)
+        result.records.append(
+            AutoscaleStepRecord(
+                step=step,
+                n_servers=router.server_count,
+                total_weight=fleet.total_weight,
+                # The utilization the scaling decision was actually
+                # taken at (serving weight only -- draining capacity
+                # is already leaving and does not count).
+                utilization=report.decision.utilization,
+                writes=n_writes,
+                reads=reads,
+                misses=misses,
+                joins=joins,
+                leaves=leaves,
+                drained=drained,
+                moved_keys=report.moved_keys + report_moved,
+            )
+        )
+        result.served += reads
+        result.misses += misses
     return result

@@ -17,6 +17,7 @@ __all__ = [
     "MigrationError",
     "ReplicaCountError",
     "StateError",
+    "WeightError",
 ]
 
 
@@ -53,6 +54,16 @@ class ReplicaCountError(ReproError, ValueError):
 
 class StateError(ReproError, ValueError):
     """A snapshot could not be restored (wrong algorithm/format/shape)."""
+
+
+class WeightError(ReproError, ValueError):
+    """A weighted membership update hit a weight-blind table.
+
+    Raised when a :class:`~repro.service.router.MembershipUpdate`
+    carries a non-unit capacity weight and the wrapped table does not
+    support weights (``supports_weights`` is False).  Use the
+    weight-native algorithm (``weighted-rendezvous``) or the generic
+    virtual-multiplicity wrapper (``weighted``) instead."""
 
 
 class MigrationError(ReproError, RuntimeError):

@@ -35,6 +35,7 @@ from .maglev import MaglevConfig, MaglevHashTable
 from .modular import ModularHashTable
 from .multiprobe import MultiProbeConfig, MultiProbeConsistentHashTable
 from .rendezvous import RendezvousHashTable, WeightedRendezvousHashTable
+from .weighted import VirtualWeightTable, WeightedTableConfig, weighted_table
 
 #: The three algorithms the paper evaluates against each other, plus the
 #: modular baseline from its introduction.  Derived from the registry;
@@ -77,11 +78,14 @@ __all__ = [
     "MultiProbeConsistentHashTable",
     "RendezvousHashTable",
     "TableConfig",
+    "VirtualWeightTable",
     "WeightedRendezvousHashTable",
+    "WeightedTableConfig",
     "algorithm_entry",
     "jump_hash",
     "make_table",
     "register_table",
     "registered_algorithms",
     "table_class",
+    "weighted_table",
 ]

@@ -65,6 +65,12 @@ class DynamicHashTable(ABC):
     #: Human-readable algorithm name, overridden by each subclass.
     name: str = "abstract"
 
+    #: Whether :meth:`join` accepts a ``weight`` keyword (heterogeneous
+    #: capacity).  Weight-native algorithms (weighted rendezvous) and
+    #: the generic virtual-multiplicity wrapper set this; everything
+    #: else treats every server as unit capacity.
+    supports_weights: bool = False
+
     def __init__(self, family: Optional[HashFamily] = None, seed: int = 0):
         self._family = family if family is not None else HashFamily(seed)
         self._server_ids: List[Key] = []

@@ -70,6 +70,35 @@ class AlgorithmEntry:
         kwargs = {f.name: getattr(config, f.name) for f in fields(config)}
         return self.cls(**kwargs)
 
+    @property
+    def capabilities(self) -> Tuple[str, ...]:
+        """Feature flags a heterogeneous-fleet operator selects by.
+
+        ``weighted``
+            :meth:`~DynamicHashTable.join` accepts per-server capacity
+            weights.
+        ``batch-native``
+            vectorized :meth:`~DynamicHashTable._route_batch` kernel
+            (not the scalar-loop default).
+        ``replica-native``
+            algorithm-specific replica path (ranked kernel or
+            vectorized walk) instead of the scalar exclusion-rerank
+            default.
+        """
+        flags = []
+        if getattr(self.cls, "supports_weights", False):
+            flags.append("weighted")
+        if self.cls._route_batch is not DynamicHashTable._route_batch:
+            flags.append("batch-native")
+        if (
+            self.cls._route_replicas_batch
+            is not DynamicHashTable._route_replicas_batch
+            or self.cls._route_word_replicas
+            is not DynamicHashTable._route_word_replicas
+        ):
+            flags.append("replica-native")
+        return tuple(flags)
+
 
 _REGISTRY: Dict[str, AlgorithmEntry] = {}
 

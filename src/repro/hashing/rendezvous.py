@@ -156,6 +156,7 @@ class WeightedRendezvousHashTable(RendezvousHashTable):
     """HRW with per-server capacity weights (logarithm method)."""
 
     name = "weighted-rendezvous"
+    supports_weights = True
 
     def __init__(self, family: HashFamily = None, seed: int = 0):
         super().__init__(family=family, seed=seed)

@@ -1,0 +1,258 @@
+"""Weight-by-virtual-multiplicity: heterogeneous capacity for any table.
+
+Only weighted rendezvous carries per-server capacity weights natively
+(the ``-w / ln U`` logarithm method); the other algorithms treat every
+server as one slot.  Production fleets are heterogeneous, so this module
+provides the generic fallback: :class:`VirtualWeightTable` wraps any
+registered algorithm and realises a server of weight ``w`` as
+``round(w * virtual_base)`` *virtual members* of the inner table, all
+mapped back to the one real server.  Ownership then tracks the weight
+vector in expectation for every inner algorithm whose placement is
+uniform over members (all of them), at ``O(virtual_base)`` membership
+cost per unit weight.
+
+Routing stays batch-native: the inner table's vectorized kernel routes
+the word batch to virtual slots, and one ``int64`` gather maps virtual
+slots to real slots.  Replica sets use the base class's exclusion-rerank
+machinery *over the mapped slots*, so the ``k`` replicas are distinct
+real servers (two virtual members of one server never count twice) and
+batch stays bit-exact with scalar.
+
+The wrapper registers as ``"weighted"``::
+
+    table = make_table("weighted", algorithm="consistent",
+                       virtual_base=8, config={"replicas": 4})
+    table.join("big-box", weight=4.0)
+
+:func:`weighted_table` picks the cheapest capable construction for a
+spec: the algorithm itself when it is weight-native, the wrapper
+otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..hashfn import HashFamily, Key
+from ..memory import MemoryRegion
+from .base import DynamicHashTable
+from .registry import algorithm_entry, make_table, register_table
+
+__all__ = ["VirtualWeightTable", "WeightedTableConfig", "weighted_table"]
+
+#: Default virtual members per unit of weight.  Higher values track the
+#: weight vector more tightly (ownership error shrinks ~1/sqrt(base))
+#: at linearly higher membership cost.
+DEFAULT_VIRTUAL_BASE = 8
+
+
+@dataclass(frozen=True)
+class WeightedTableConfig:
+    """Constructor config for :class:`VirtualWeightTable`."""
+
+    seed: int = 0
+    #: Registry name of the wrapped algorithm.
+    algorithm: str = "rendezvous"
+    #: Virtual members per unit of server weight.
+    virtual_base: int = DEFAULT_VIRTUAL_BASE
+    #: Constructor config forwarded to the wrapped algorithm.
+    config: Mapping[str, Any] = field(default_factory=dict)
+
+
+@register_table(
+    "weighted",
+    config=WeightedTableConfig,
+    description="weight-by-virtual-multiplicity over any registered table",
+)
+class VirtualWeightTable(DynamicHashTable):
+    """Capacity weights for any algorithm, via virtual members."""
+
+    name = "weighted"
+    supports_weights = True
+
+    def __init__(
+        self,
+        family: Optional[HashFamily] = None,
+        seed: int = 0,
+        algorithm: str = "rendezvous",
+        virtual_base: int = DEFAULT_VIRTUAL_BASE,
+        config: Optional[Mapping[str, Any]] = None,
+    ):
+        super().__init__(family=family, seed=seed)
+        if algorithm == self.name:
+            raise ValueError("cannot nest the weighted wrapper in itself")
+        if virtual_base < 1:
+            raise ValueError("virtual_base must be at least 1")
+        self._algorithm = algorithm
+        self._virtual_base = int(virtual_base)
+        self._inner_config: Dict[str, Any] = dict(config or {})
+        # Same seed as the outer family: the inner table must hash the
+        # same key stream to the same words, so pre-routed words flow
+        # straight through to the inner kernels.
+        self._inner = make_table(
+            algorithm, seed=self.family.seed, **self._inner_config
+        )
+        self._weights: Dict[Key, float] = {}
+        self._owner_slot: Optional[np.ndarray] = None
+        self._pending_weight = 1.0
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def inner(self) -> DynamicHashTable:
+        """The wrapped algorithm holding the virtual members."""
+        return self._inner
+
+    @property
+    def virtual_base(self) -> int:
+        """Virtual members per unit of server weight."""
+        return self._virtual_base
+
+    @property
+    def weights(self) -> Dict[Key, float]:
+        """Current per-server weights (copy)."""
+        return dict(self._weights)
+
+    def weight_of(self, server_id: Key) -> float:
+        """One server's weight (raises ``KeyError`` when absent)."""
+        return self._weights[server_id]
+
+    def multiplicity(self, weight: float) -> int:
+        """Virtual members realising ``weight`` (at least one)."""
+        return max(1, int(round(float(weight) * self._virtual_base)))
+
+    # -- membership -------------------------------------------------------
+
+    @staticmethod
+    def _virtual_id(server_id: Key, index: int) -> str:
+        """Deterministic, injective virtual-member identifier."""
+        return "vnode:{}:{}:{!r}".format(
+            index, type(server_id).__name__, server_id
+        )
+
+    def join(self, server_id: Key, weight: float = 1.0) -> None:
+        """Add a server realised as ``multiplicity(weight)`` members."""
+        if weight <= 0:
+            raise ValueError("server weight must be positive")
+        self._pending_weight = float(weight)
+        super().join(server_id)
+
+    def _join(self, server_id: Key, server_word: int) -> None:
+        weight = self._pending_weight
+        admitted = 0
+        try:
+            for index in range(self.multiplicity(weight)):
+                self._inner.join(self._virtual_id(server_id, index))
+                admitted += 1
+        except Exception:
+            for index in range(admitted):
+                self._inner.leave(self._virtual_id(server_id, index))
+            raise
+        self._weights[server_id] = weight
+        self._owner_slot = None
+
+    def _leave(self, server_id: Key, slot: int) -> None:
+        weight = self._weights.pop(server_id)
+        for index in range(self.multiplicity(weight)):
+            self._inner.leave(self._virtual_id(server_id, index))
+        self._owner_slot = None
+
+    # -- routing ----------------------------------------------------------
+
+    def _slot_map(self) -> np.ndarray:
+        """Inner-slot -> outer-slot gather map, rebuilt after mutation.
+
+        Built lazily so it always sees the settled registries (the base
+        class appends/removes ``server_ids`` *after* ``_join``/
+        ``_leave`` runs).
+        """
+        if self._owner_slot is None:
+            outer = {
+                self._virtual_id(server_id, index): slot
+                for slot, server_id in enumerate(self._server_ids)
+                for index in range(self.multiplicity(self._weights[server_id]))
+            }
+            self._owner_slot = np.fromiter(
+                (outer[virtual_id] for virtual_id in self._inner.server_ids),
+                dtype=np.int64,
+                count=self._inner.server_count,
+            )
+        return self._owner_slot
+
+    def route_word(self, word: int) -> int:
+        self._require_servers()
+        return int(self._slot_map()[self._inner.route_word(int(word))])
+
+    def _route_batch(self, words: np.ndarray) -> np.ndarray:
+        return self._slot_map()[self._inner.route_batch(words)]
+
+    # Replica sets must be distinct *real* servers; the vectorized
+    # exclusion-rerank fallback dedups on the mapped outer slots, so two
+    # virtual members of one server never count as two replicas.
+    _route_replicas_batch = DynamicHashTable._rehash_replicas_batch
+
+    # -- snapshot / restore ------------------------------------------------
+
+    def _config_state(self) -> Dict[str, Any]:
+        return {
+            "seed": self._family.seed,
+            "algorithm": self._algorithm,
+            "virtual_base": self._virtual_base,
+            "config": dict(self._inner_config),
+        }
+
+    def _state_payload(self) -> Dict[str, Any]:
+        return {
+            "inner": self._inner.state_dict(),
+            "weights": [
+                (server_id, float(self._weights[server_id]))
+                for server_id in self._server_ids
+            ],
+        }
+
+    def _load_payload(
+        self, payload: Dict[str, Any], server_ids: List[Key]
+    ) -> None:
+        self._inner = DynamicHashTable.from_state(payload["inner"])
+        self._weights = {
+            server_id: float(weight)
+            for server_id, weight in payload["weights"]
+        }
+        self._owner_slot = None
+
+    # -- fault-injection surface -------------------------------------------
+
+    def memory_regions(self) -> List[MemoryRegion]:
+        """The wrapped algorithm's routing state (the corruptible part)."""
+        return self._inner.memory_regions()
+
+    def __repr__(self) -> str:
+        return "VirtualWeightTable({}, servers={}, virtual={})".format(
+            self._algorithm, self.server_count, self._inner.server_count
+        )
+
+
+def weighted_table(
+    algorithm: str,
+    seed: int = 0,
+    virtual_base: int = DEFAULT_VIRTUAL_BASE,
+    **config: Any,
+) -> DynamicHashTable:
+    """A weight-capable table for ``algorithm``, cheapest capable form.
+
+    Weight-native algorithms are constructed directly; everything else
+    is wrapped in a :class:`VirtualWeightTable`.
+    """
+    entry = algorithm_entry(algorithm)
+    if getattr(entry.cls, "supports_weights", False):
+        return make_table(algorithm, seed=seed, **config)
+    return make_table(
+        "weighted",
+        seed=seed,
+        algorithm=algorithm,
+        virtual_base=virtual_base,
+        config=config,
+    )

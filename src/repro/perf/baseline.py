@@ -1,11 +1,11 @@
 """The ``BENCH_throughput.json`` artifact and the CI regression gate.
 
-Schema (version 3; version 2 added the ``route_replicas`` and
+Schema (version 4; version 2 added the ``route_replicas`` and
 ``cluster_route`` metric sections, version 3 added ``plan_migration``
-and ``migrate_execute``)::
+and ``migrate_execute``, version 4 added ``control_tick``)::
 
     {
-      "schema": 3,
+      "schema": 4,
       "kind": "repro-throughput",
       "profile": "fast",                  # measurement scale
       "seed": 0,
@@ -24,7 +24,9 @@ and ``migrate_execute``)::
           "plan_migration":
                     {"keys_per_s": <float>, "normalized": <float>},
           "migrate_execute":
-                    {"keys_per_s": <float>, "normalized": <float>}
+                    {"keys_per_s": <float>, "normalized": <float>},
+          "control_tick":
+                    {"ticks_per_s": <float>, "normalized": <float>}
         }, ...
       }
     }
@@ -37,7 +39,10 @@ batch fanned through a sharded
 count.  ``plan_migration`` is resize epochs closing a full assignment
 diff (tracked keys planned per second) and ``migrate_execute`` is the
 executor's copy/verify/commit loop over a data plane (moved keys per
-second) -- see :mod:`repro.perf.throughput`.
+second) -- see :mod:`repro.perf.throughput`.  ``control_tick`` is
+steady-state reconciliation ticks of the control plane (health poll +
+utilization decision + no-op fleet diff) per second -- the idle
+overhead a always-on control loop adds.
 
 ``normalized`` is the raw rate divided by the host's calibrated bulk
 XOR+popcount bandwidth (GB/s), so a baseline committed from one machine
@@ -66,7 +71,7 @@ __all__ = [
 ]
 
 #: Version stamp of the report layout documented above.
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Maximum tolerated fractional drop in normalized throughput.
 DEFAULT_TOLERANCE = 0.30
@@ -81,8 +86,11 @@ CHURN_TOLERANCE = 0.50
 #: Metrics gated at :data:`CHURN_TOLERANCE`: churn itself, plus the
 #: migration metrics, whose blocks embed the same microsecond-scale
 #: membership mutations (``plan_migration``) or per-key Python loops
-#: with clone setup (``migrate_execute``).
-NOISY_METRICS = frozenset({"churn", "plan_migration", "migrate_execute"})
+#: with clone setup (``migrate_execute``), plus ``control_tick``
+#: (microsecond-scale pure-Python reconciliation passes).
+NOISY_METRICS = frozenset(
+    {"churn", "plan_migration", "migrate_execute", "control_tick"}
+)
 
 #: Metric sections every per-algorithm record carries.
 METRICS = (
@@ -93,6 +101,7 @@ METRICS = (
     "churn",
     "plan_migration",
     "migrate_execute",
+    "control_tick",
 )
 
 
@@ -203,7 +212,8 @@ def format_report(report: Dict[str, Any]) -> str:
             report.get("profile"),
             report.get("calibration", {}).get("xor_popcount_gbps", 0.0),
         ),
-        "{:<22} {:>13} {:>13} {:>13} {:>13} {:>11} {:>12} {:>12}".format(
+        "{:<22} {:>13} {:>13} {:>13} {:>13} {:>11} {:>12} {:>12} "
+        "{:>10}".format(
             "algorithm",
             "route k/s",
             "replicas k/s",
@@ -212,13 +222,14 @@ def format_report(report: Dict[str, Any]) -> str:
             "churn ev/s",
             "plan k/s",
             "migrate k/s",
+            "ctl t/s",
         ),
     ]
     for name in sorted(report["algorithms"]):
         record = report["algorithms"][name]
         lines.append(
             "{:<22} {:>13,.0f} {:>13,.0f} {:>13,.0f} {:>13,.0f} "
-            "{:>11,.0f} {:>12,.0f} {:>12,.0f}".format(
+            "{:>11,.0f} {:>12,.0f} {:>12,.0f} {:>10,.0f}".format(
                 name,
                 record["route"]["keys_per_s"],
                 record["route_replicas"]["keys_per_s"],
@@ -227,6 +238,7 @@ def format_report(report: Dict[str, Any]) -> str:
                 record["churn"]["events_per_s"],
                 record["plan_migration"]["keys_per_s"],
                 record["migrate_execute"]["keys_per_s"],
+                record["control_tick"]["ticks_per_s"],
             )
         )
     return "\n".join(lines)

@@ -40,6 +40,9 @@ class PerfProfile:
     #: Keys stored on the tracked DataPlane the ``plan_migration`` and
     #: ``migrate_execute`` metrics are measured over.
     migration_keys: int = 4_096
+    #: Steady-state reconciliation ticks per timed block of the
+    #: ``control_tick`` metric (single ticks are microsecond-scale).
+    control_ticks: int = 8
     #: Per-algorithm constructor overrides applied through
     #: :func:`repro.hashing.make_table`.
     table_configs: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)

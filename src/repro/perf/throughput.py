@@ -1,6 +1,6 @@
 """The throughput harness: routing / cluster / churn / migration rates.
 
-Seven metrics per registered algorithm, all measured on live state at
+Eight metrics per registered algorithm, all measured on live state at
 the profile's pool size:
 
 ``route``
@@ -31,6 +31,12 @@ the profile's pool size:
     :class:`~repro.service.migration.MigrationExecutor` over a cloned
     :class:`~repro.store.DataPlane` -- copy, verify and commit of every
     moved key; the rate is moved keys per second.
+``control_tick``
+    steady-state :meth:`~repro.control.ControlLoop.tick` passes over a
+    healthy, in-band fleet -- heartbeat-deadline poll, utilization
+    decision off real byte accounting, no-op fleet diff; the rate is
+    reconciliation ticks per second (the idle cost of running the
+    control plane continuously).
 
 Every metric is timed ``repeats`` times and the best run is kept (the
 minimum time is the least-noise estimate of the machine's capability).
@@ -51,6 +57,14 @@ from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from ..control import (
+    Autoscaler,
+    ControlLoop,
+    FleetState,
+    HealthMonitor,
+    ServerSpec,
+    UtilizationPolicy,
+)
 from ..hashing import make_table, registered_algorithms
 from ..service.cluster import ClusterRouter
 from ..service.migration import MigrationExecutor
@@ -199,6 +213,36 @@ def measure_algorithm(
 
     migrate_seconds = _best_seconds(migrate_block, profile.repeats)
 
+    # Control plane: a healthy fleet sitting inside its utilization
+    # band -- each tick pays the full reconciliation pass (heartbeat
+    # deadlines, byte-utilization decision, no-op fleet diff) but makes
+    # no change, which is the loop's steady-state cost.
+    fleet = FleetState(ServerSpec(server_id) for server_id in server_ids)
+    control_router = Router(make_table(name, seed=seed, **config))
+    control_router.sync(fleet.members())
+    control_plane = DataPlane(control_router)
+    control_plane.put_many(migration_keys, migration_keys)
+    control_plane.track()
+    monitor = HealthMonitor(fleet, clock=lambda: 0.0)
+    control_loop = ControlLoop(
+        control_router,
+        control_plane,
+        fleet,
+        monitor=monitor,
+        autoscaler=Autoscaler(
+            UtilizationPolicy.sized_for(
+                control_plane.total_bytes, len(server_ids)
+            )
+        ),
+    )
+    control_loop.tick()
+
+    def control_block():
+        for __ in range(profile.control_ticks):
+            control_loop.tick()
+
+    control_seconds = _best_seconds(control_block, profile.repeats)
+
     route_rate = profile.batch_words / route_seconds
     replicas_rate = profile.batch_words / replicas_seconds
     cluster_rate = profile.batch_words / cluster_seconds
@@ -206,6 +250,7 @@ def measure_algorithm(
     churn_rate = churn_events / churn_seconds
     plan_rate = 2 * tracked / plan_seconds
     migrate_rate = max(1, plan.total_keys) / migrate_seconds
+    control_rate = profile.control_ticks / control_seconds
     return {
         "servers": profile.servers,
         "batch_words": profile.batch_words,
@@ -237,6 +282,10 @@ def measure_algorithm(
         "migrate_execute": {
             "keys_per_s": migrate_rate,
             "normalized": _normalized(migrate_rate, calibration_gbps),
+        },
+        "control_tick": {
+            "ticks_per_s": control_rate,
+            "normalized": _normalized(control_rate, calibration_gbps),
         },
     }
 

@@ -224,6 +224,17 @@ class ClusterRouter:
 
     # -- routing -----------------------------------------------------------
 
+    def assign(self, key: Key) -> Key:
+        """The key's assigned owner, from its shard (the write path).
+
+        ClusterRouter keeps no persistent avoid set (``avoid`` is
+        per-call on :meth:`route`), so assignment *is* plain routing;
+        the dedicated name keeps the storage-path contract explicit --
+        if routing ever grows a persistent failover set, assignment
+        must stay blind to it.
+        """
+        return self.route(key)
+
     def route(self, key: Key, avoid: Optional[Iterable[Key]] = None) -> Key:
         """Route one key through its owning shard.
 
@@ -275,6 +286,10 @@ class ClusterRouter:
     def route_batch(self, keys: Sequence[Key]) -> np.ndarray:
         """Route a key batch: hash once, fan out shard by shard."""
         return self.route_words(self.words_of_keys(keys))
+
+    #: Batched assignment (the write path) -- see :meth:`assign`: with
+    #: no persistent avoid set, assignment is plain batch routing.
+    assign_batch = route_batch
 
     def route_replicas(self, key: Key, k: int) -> Tuple[Key, ...]:
         """The key's ``k``-replica set, from its owning shard."""
@@ -356,19 +371,27 @@ class ClusterRouter:
     def sync(self, target_server_ids: Iterable[Key]) -> ClusterEpochResult:
         """Reconcile every shard to the declared fleet, as one result.
 
-        Each shard applies its own minimal diff (shards that already
-        match are no-ops and keep their epoch); the returned result
-        carries the aggregated fleet-level remap accounting and the
-        merged fleet-level migration plan.
+        The declaration may mix bare server ids and spec-like objects
+        (:class:`~repro.control.ServerSpec`); joining specs carry their
+        capacity weight into every shard's update.  Each shard applies
+        its own minimal diff (shards that already match are no-ops and
+        keep their epoch); the returned result carries the aggregated
+        fleet-level remap accounting and the merged fleet-level
+        migration plan.
         """
         target = tuple(target_server_ids)
         return self._close_epoch(
             [router.sync(target) for router in self._shards]
         )
 
-    def join(self, server_id: Key) -> ClusterEpochResult:
-        """Admit one server fleet-wide."""
-        return self.apply(MembershipUpdate(joins=(server_id,)))
+    def join(
+        self, server_id: Key, weight: Optional[float] = None
+    ) -> ClusterEpochResult:
+        """Admit one server fleet-wide (optionally at a capacity weight)."""
+        weights = () if weight is None else ((server_id, weight),)
+        return self.apply(
+            MembershipUpdate(joins=(server_id,), weights=weights)
+        )
 
     def leave(self, server_id: Key) -> ClusterEpochResult:
         """Retire one server fleet-wide."""

@@ -343,7 +343,10 @@ class MigrationExecutor:
        destination store (the key is temporarily present at both);
     2. **verify** -- read every copied key back from the destination and
        compare; a mismatch raises :class:`~repro.errors.MigrationError`;
-    3. **commit** -- delete the verified keys at their source.
+    3. **commit** -- delete the verified keys at their source (unless
+       ``delete_source=False``: the graceful-drain pre-copy keeps the
+       source serving until the membership epoch lands; the caller
+       then reconciles the double copies over :meth:`processed_moves`).
 
     Keys absent from their source store (deleted since planning, or
     committed by a previous executor over the same plan) are skipped and
@@ -360,6 +363,7 @@ class MigrationExecutor:
         plane,
         max_keys_per_tick: int = 1_024,
         max_bytes_per_tick: Optional[int] = None,
+        delete_source: bool = True,
     ):
         if max_keys_per_tick < 1:
             raise ValueError("max_keys_per_tick must be at least 1")
@@ -369,10 +373,12 @@ class MigrationExecutor:
         self._plane = plane
         self._max_keys = max_keys_per_tick
         self._max_bytes = max_bytes_per_tick
+        self._delete_source = delete_source
         self._planned = plan.total_keys
         self._batch_index = 0
         self._offset = 0
         self._copied = 0
+        self._copied_keys: set = set()
         self._committed = 0
         self._skipped = 0
         self._bytes_copied = 0
@@ -382,6 +388,18 @@ class MigrationExecutor:
     def plan(self) -> MigrationPlan:
         """The plan being executed."""
         return self._plan
+
+    @property
+    def copied_keys(self) -> frozenset:
+        """Keys this executor actually copied (skipped ones excluded).
+
+        The reconciliation surface for retained-source runs needs the
+        distinction: a processed-but-never-copied key was either
+        deleted before the cursor reached it or was never at its
+        planned source at all (in-flight backlog from an earlier
+        migration) -- in both cases the reconcile must not touch it.
+        """
+        return frozenset(self._copied_keys)
 
     @property
     def status(self) -> MigrationStatus:
@@ -434,6 +452,7 @@ class MigrationExecutor:
                 key, value
             )
             self._copied += 1
+            self._copied_keys.add(key)
             staged.append((batch, key, value))
         for batch, key, value in staged:
             readback = self._plane.store(batch.destination).get(key, _MISSING)
@@ -445,7 +464,8 @@ class MigrationExecutor:
                     )
                 )
         for batch, key, __ in staged:
-            self._plane.store(batch.source).delete(key)
+            if self._delete_source:
+                self._plane.store(batch.source).delete(key)
             self._committed += 1
         self._ticks += 1
         return self.status
@@ -483,6 +503,30 @@ class MigrationExecutor:
             batches=tuple(batches),
             epoch=self._plan.epoch,
         )
+
+    def processed_moves(self):
+        """Yield ``(source, destination, key)`` for every processed move.
+
+        Covers exactly the cursor's range -- the moves :meth:`tick` has
+        taken through the copy/verify/commit phases so far (skipped
+        keys included).  This is the reconciliation surface for
+        retained-source runs: after the cutover epoch, the caller
+        resolves each processed key *once across every executor that
+        touched the plan* (the drain's catch-up pass re-runs an
+        overlapping plan) -- see
+        :meth:`~repro.control.loop.ControlLoop.drain`.
+        """
+        for index in range(self._batch_index + 1):
+            if index >= len(self._plan.batches):
+                break
+            batch = self._plan.batches[index]
+            keys = (
+                batch.keys[: self._offset]
+                if index == self._batch_index
+                else batch.keys
+            )
+            for key in keys:
+                yield batch.source, batch.destination, key
 
     def verify(self) -> int:
         """Ownership pass over everything the cursor has processed.

@@ -41,12 +41,18 @@ from typing import (
     NamedTuple,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
 
 import numpy as np
 
-from ..errors import DuplicateServerError, UnknownServerError
+from ..errors import (
+    DuplicateServerError,
+    EmptyTableError,
+    UnknownServerError,
+    WeightError,
+)
 from ..hashfn import Key
 from ..hashing.base import DynamicHashTable
 from .migration import DeltaTracker, MigrationPlan
@@ -57,6 +63,7 @@ __all__ = [
     "EpochResult",
     "RouterObserver",
     "Router",
+    "normalize_fleet",
 ]
 
 
@@ -71,16 +78,88 @@ def _unique(ids: Iterable[Key]) -> Tuple[Key, ...]:
     return tuple(out)
 
 
+def _spec_entry(item: Any) -> Tuple[Key, Optional[float]]:
+    """``(server_id, weight-or-None)`` from a bare id or spec-like object.
+
+    Anything exposing ``server_id`` and ``weight`` attributes (a
+    :class:`~repro.control.ServerSpec`, or any duck-typed equivalent)
+    contributes its weight; bare identifiers contribute ``None``.
+    """
+    server_id = getattr(item, "server_id", None)
+    if server_id is not None and hasattr(item, "weight"):
+        return server_id, float(item.weight)
+    return item, None
+
+
+def normalize_fleet(
+    target: Iterable[Any],
+) -> Tuple[Tuple[Key, ...], Dict[Key, float]]:
+    """Split a fleet declaration into ``(ids, explicit weights)``.
+
+    The declaration may mix bare server ids and spec-like objects; ids
+    are deduplicated order-preserving, and only explicitly declared
+    weights appear in the mapping (absent means "table default").
+    """
+    ids: List[Key] = []
+    weights: Dict[Key, float] = {}
+    seen = set()
+    for item in target:
+        server_id, weight = _spec_entry(item)
+        if server_id not in seen:
+            seen.add(server_id)
+            ids.append(server_id)
+            if weight is not None:
+                weights[server_id] = weight
+    return tuple(ids), weights
+
+
 @dataclass(frozen=True)
 class MembershipUpdate:
-    """One atomic batch of membership mutations."""
+    """One atomic batch of membership mutations.
+
+    ``joins`` and ``leaves`` accept bare server ids or spec-like
+    objects (``.server_id`` / ``.weight``); joining specs carry their
+    capacity weight into ``weights``, the per-join ``(server_id,
+    weight)`` pairs an explicit ``weights`` argument can also supply.
+    """
 
     joins: Tuple[Key, ...] = ()
     leaves: Tuple[Key, ...] = ()
+    weights: Tuple[Tuple[Key, float], ...] = ()
 
     def __post_init__(self):
-        object.__setattr__(self, "joins", _unique(self.joins))
-        object.__setattr__(self, "leaves", _unique(self.leaves))
+        joins, join_weights = normalize_fleet(self.joins)
+        leaves, __ = normalize_fleet(self.leaves)
+        # Accepts a mapping or an iterable of pairs; dict() handles both.
+        join_weights.update(
+            (server_id, float(weight))
+            for server_id, weight in dict(self.weights).items()
+        )
+        unknown = set(join_weights) - set(joins)
+        if unknown:
+            raise ValueError(
+                "weights name servers not being joined: {!r}".format(
+                    sorted(unknown, key=repr)
+                )
+            )
+        for server_id, weight in join_weights.items():
+            if weight <= 0:
+                raise ValueError(
+                    "weight for {!r} must be positive, got {}".format(
+                        server_id, weight
+                    )
+                )
+        object.__setattr__(self, "joins", joins)
+        object.__setattr__(self, "leaves", leaves)
+        object.__setattr__(
+            self,
+            "weights",
+            tuple(
+                (server_id, join_weights[server_id])
+                for server_id in joins
+                if server_id in join_weights
+            ),
+        )
         overlap = set(self.joins) & set(self.leaves)
         if overlap:
             raise ValueError(
@@ -92,6 +171,15 @@ class MembershipUpdate:
     @property
     def is_empty(self) -> bool:
         return not self.joins and not self.leaves
+
+    @property
+    def join_weights(self) -> Dict[Key, float]:
+        """Explicit per-join weights as a mapping."""
+        return dict(self.weights)
+
+    def weight_of(self, server_id: Key) -> Optional[float]:
+        """The declared join weight for ``server_id`` (None = default)."""
+        return self.join_weights.get(server_id)
 
 
 def _record_from_state(state: Dict[str, Any]) -> "EpochRecord":
@@ -171,6 +259,7 @@ class Router:
         self._observers: List[RouterObserver] = list(observers)
         self._epoch = 0
         self._history: List[EpochRecord] = []
+        self._avoided: Set[Key] = set()
         self._delta = DeltaTracker(self._probe_assignment)
         if probe_keys is not None:
             self.track(probe_keys)
@@ -226,6 +315,47 @@ class Router:
     def unsubscribe(self, observer: RouterObserver) -> None:
         """Detach a previously subscribed observer."""
         self._observers.remove(observer)
+
+    # -- failure / drain flagging ------------------------------------------
+
+    @property
+    def avoided(self) -> frozenset:
+        """Servers currently excluded from serving (failover targets)."""
+        return frozenset(self._avoided)
+
+    def avoid(self, server_id: Key) -> None:
+        """Exclude a member from serving without a membership change.
+
+        The server stays in the table (no epoch, no remap bill); keys it
+        owns are served by their first non-avoided replica until the
+        control plane either readmits it or reconciles it out.  This is
+        the failure detector's *suspect* path and the drain path's
+        new-ownership exclusion.
+        """
+        if server_id not in self._table:
+            raise UnknownServerError(server_id)
+        self._avoided.add(server_id)
+
+    def readmit(self, server_id: Key) -> None:
+        """Lift a previous :meth:`avoid` flag (no-op when not flagged)."""
+        self._avoided.discard(server_id)
+
+    def _failover_word(self, word: int, avoided: Set[Key]) -> Key:
+        """Serve one pre-hashed word around the avoided servers."""
+        table = self._table
+        primary = table.server_ids[table.route_word(word)]
+        if primary not in avoided:
+            return primary
+        k = min(table.server_count, len(avoided) + 1)
+        for slot in table.route_word_replicas(word, k):
+            server_id = table.server_ids[int(slot)]
+            if server_id not in avoided:
+                return server_id
+        raise EmptyTableError(
+            "every candidate server for word {} is in the avoid set".format(
+                word
+            )
+        )
 
     # -- remap accounting --------------------------------------------------
 
@@ -285,17 +415,34 @@ class Router:
         for server_id in update.joins:
             if server_id in current:
                 raise DuplicateServerError(server_id)
+        weights = update.join_weights
+        weight_capable = getattr(self._table, "supports_weights", False)
+        if not weight_capable:
+            for server_id, weight in weights.items():
+                if weight != 1.0:
+                    raise WeightError(
+                        "table {!r} does not support weights; cannot join "
+                        "{!r} at weight {} (use 'weighted-rendezvous' or "
+                        "the 'weighted' wrapper)".format(
+                            self._table.name, server_id, weight
+                        )
+                    )
         rollback = self._table.state_dict()
         started = time.perf_counter()
         try:
             for server_id in update.leaves:
                 self._table.leave(server_id)
             for server_id in update.joins:
-                self._table.join(server_id)
+                weight = weights.get(server_id)
+                if weight is not None and weight_capable:
+                    self._table.join(server_id, weight=weight)
+                else:
+                    self._table.join(server_id)
         except Exception:
             self._table._restore(rollback)
             raise
         mutate_seconds = time.perf_counter() - started
+        self._avoided -= set(update.leaves)
         self._epoch += 1
         for server_id in update.leaves:
             for observer in self._observers:
@@ -319,9 +466,14 @@ class Router:
             observer.on_remap(record)
         return EpochResult(record=record, plan=plan)
 
-    def join(self, server_id: Key) -> Optional[EpochResult]:
+    def join(
+        self, server_id: Key, weight: Optional[float] = None
+    ) -> Optional[EpochResult]:
         """Single-server convenience for :meth:`apply`."""
-        return self.apply(MembershipUpdate(joins=(server_id,)))
+        weights = () if weight is None else ((server_id, weight),)
+        return self.apply(
+            MembershipUpdate(joins=(server_id,), weights=weights)
+        )
 
     def leave(self, server_id: Key) -> Optional[EpochResult]:
         """Single-server convenience for :meth:`apply`."""
@@ -330,16 +482,24 @@ class Router:
     def diff(self, target_server_ids: Iterable[Key]) -> MembershipUpdate:
         """The minimal update taking current membership to ``target``.
 
-        Joins preserve the target's iteration order; leaves preserve the
-        table's slot order.  Servers present in both sides are untouched.
+        ``target`` may mix bare ids and spec-like objects; weights of
+        *joining* specs ride along on the update (weight changes on
+        servers already in the pool are not diffable -- reconcile those
+        as a leave followed by a re-join).  Joins preserve the target's
+        iteration order; leaves preserve the table's slot order.
+        Servers present in both sides are untouched.
         """
-        target = _unique(target_server_ids)
+        target, weights = normalize_fleet(target_server_ids)
         target_set = set(target)
         current = set(self._table.server_ids)
+        joins = tuple(s for s in target if s not in current)
         return MembershipUpdate(
-            joins=tuple(s for s in target if s not in current),
+            joins=joins,
             leaves=tuple(
                 s for s in self._table.server_ids if s not in target_set
+            ),
+            weights=tuple(
+                (s, weights[s]) for s in joins if s in weights
             ),
         )
 
@@ -355,13 +515,67 @@ class Router:
 
     # -- routing -----------------------------------------------------------
 
-    def route(self, key: Key) -> Key:
-        """Scalar lookup through the wrapped table."""
+    def assign(self, key: Key) -> Key:
+        """The key's *assigned* owner: the raw table lookup, avoid-blind.
+
+        This is the write/storage path: data always lives at its
+        assigned owner (a suspect server still owns its keys -- it is
+        served *around*, not written around), so a transient avoid flag
+        can never strand a write on a failover replica.  Reads take
+        :meth:`route`, which fails over.
+        """
         return self._table.lookup(key)
 
-    def route_batch(self, keys: Sequence[Key]) -> np.ndarray:
-        """Batched lookup through the wrapped table."""
+    def assign_batch(self, keys: Sequence[Key]) -> np.ndarray:
+        """Batched :meth:`assign` through the table's kernel."""
         return self._table.lookup_batch(keys)
+
+    def route(self, key: Key, avoid: Optional[Iterable[Key]] = None) -> Key:
+        """Scalar lookup through the wrapped table.
+
+        Servers in the router's persistent :meth:`avoid` set (plus any
+        per-call ``avoid``) are excluded: a key whose primary is flagged
+        is served by its first non-flagged replica, with no membership
+        change.  The common (nothing-flagged) case stays a straight
+        table lookup.
+        """
+        avoided = (
+            self._avoided
+            if avoid is None
+            else self._avoided | set(avoid)
+        )
+        if not avoided:
+            return self._table.lookup(key)
+        self._table._require_servers()
+        return self._failover_word(self._table.family.word(key), avoided)
+
+    def route_batch(
+        self, keys: Sequence[Key], avoid: Optional[Iterable[Key]] = None
+    ) -> np.ndarray:
+        """Batched lookup through the wrapped table (avoid-aware).
+
+        The batch takes the table's vectorized kernel; only keys whose
+        primary is flagged pay the per-key replica walk.
+        """
+        avoided = (
+            self._avoided
+            if avoid is None
+            else self._avoided | set(avoid)
+        )
+        if not avoided:
+            return self._table.lookup_batch(keys)
+        words = self._table.words_of_keys(keys)
+        assigned = self._table.lookup_words(words)
+        flagged = np.fromiter(
+            (server_id in avoided for server_id in assigned),
+            dtype=bool,
+            count=assigned.size,
+        )
+        for index in np.nonzero(flagged)[0]:
+            assigned[index] = self._failover_word(
+                int(words[index]), avoided
+            )
+        return assigned
 
     def route_replicas(self, key: Key, k: int) -> Tuple[Key, ...]:
         """The key's ``k``-replica set through the wrapped table."""

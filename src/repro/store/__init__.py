@@ -28,7 +28,7 @@ Quickstart::
     plane.get("user:42")                   # readable at its new owner
 """
 
-from .dataplane import DataPlane
+from .dataplane import DataPlane, FleetImbalance
 from .store import ServerStore, item_nbytes
 
-__all__ = ["DataPlane", "ServerStore", "item_nbytes"]
+__all__ = ["DataPlane", "FleetImbalance", "ServerStore", "item_nbytes"]

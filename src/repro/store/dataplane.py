@@ -16,18 +16,66 @@ be dropped with :meth:`DataPlane.prune` once empty.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from types import MappingProxyType
-from typing import Any, Dict, List, Mapping, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..hashfn import Key
 from .store import ServerStore
 
-__all__ = ["DataPlane"]
+__all__ = ["DataPlane", "FleetImbalance"]
 
 #: Sentinel distinguishing "stored None" from "absent".
 _MISSING = object()
+
+
+def _load_ratio(actual: float, ideal: float) -> float:
+    """``actual / ideal`` with the empty-fleet corner pinned to 0/1."""
+    if ideal <= 0:
+        return 0.0 if actual == 0 else float("inf")
+    return float(actual) / float(ideal)
+
+
+def _ratio_vector(actual: np.ndarray, ideal: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_load_ratio` (0 where both sides are empty)."""
+    out = np.zeros(actual.shape, dtype=np.float64)
+    loaded = ideal > 0
+    out[loaded] = actual[loaded] / ideal[loaded]
+    out[(~loaded) & (actual > 0)] = float("inf")
+    return out
+
+
+@dataclass(frozen=True)
+class FleetImbalance:
+    """Fleet-level load vs the weight-proportional ideal.
+
+    Server ``i``'s ideal share of keys (and bytes) is ``w_i / W`` of
+    the fleet total; each ratio below is ``actual / ideal``, so 1.0 is
+    a perfectly weight-proportional placement, and ``keys_max_ratio``
+    is the classic max-to-(weighted-)mean hot-spot factor.
+    """
+
+    servers: int
+    total_keys: int
+    total_bytes: int
+    keys_max_ratio: float
+    keys_mean_ratio: float
+    bytes_max_ratio: float
+    bytes_mean_ratio: float
+
+    def describe(self) -> str:
+        return (
+            "fleet imbalance over {} server(s): keys max/ideal {:.3f} "
+            "(mean {:.3f}), bytes max/ideal {:.3f} (mean {:.3f})".format(
+                self.servers,
+                self.keys_max_ratio,
+                self.keys_mean_ratio,
+                self.bytes_max_ratio,
+                self.bytes_mean_ratio,
+            )
+        )
 
 
 class DataPlane:
@@ -36,6 +84,7 @@ class DataPlane:
     def __init__(self, router):
         self._router = router
         self._stores: Dict[Key, ServerStore] = {}
+        self._mutations = 0
 
     # -- introspection ----------------------------------------------------
 
@@ -55,6 +104,18 @@ class DataPlane:
         if store is None:
             store = self._stores[server_id] = ServerStore(server_id)
         return store
+
+    @property
+    def mutation_count(self) -> int:
+        """Monotonic count of writes/deletes through this plane.
+
+        Migration executors mutate the stores directly (their copies
+        are not application writes), so this counts exactly the
+        *traffic* mutations -- the drain's catch-up pass compares it
+        across the copy phase to decide whether a second sweep is
+        needed at all.
+        """
+        return self._mutations
 
     @property
     def key_count(self) -> int:
@@ -78,24 +139,105 @@ class DataPlane:
             len(self._stores), self.key_count, self.total_bytes
         )
 
-    def stats(self) -> Dict[Key, Dict[str, int]]:
-        """Per-server occupancy: ``{server_id: {keys, bytes}}``."""
-        return {
+    def stats(
+        self, weights: Optional[Mapping[Key, float]] = None
+    ) -> Dict[Key, Dict[str, Any]]:
+        """Per-server occupancy: ``{server_id: {keys, bytes}}``.
+
+        With a ``weights`` mapping (a heterogeneous fleet's capacity
+        vector) each record additionally carries ``weight`` and the
+        load factors ``keys_ratio`` / ``bytes_ratio`` -- actual load
+        over the server's weight-proportional ideal share (1.0 =
+        perfectly proportional; see :meth:`imbalance` for the fleet
+        summary).
+        """
+        stats = {
             server_id: {"keys": len(store), "bytes": store.nbytes}
             for server_id, store in self._stores.items()
         }
+        if weights is not None:
+            total_weight = float(sum(weights.values()))
+            total_keys = self.key_count
+            total_bytes = self.total_bytes
+            for server_id, record in stats.items():
+                weight = float(weights.get(server_id, 0.0))
+                share = weight / total_weight if total_weight else 0.0
+                record["weight"] = weight
+                record["keys_ratio"] = _load_ratio(
+                    record["keys"], share * total_keys
+                )
+                record["bytes_ratio"] = _load_ratio(
+                    record["bytes"], share * total_bytes
+                )
+        return stats
+
+    def imbalance(
+        self, weights: Optional[Mapping[Key, float]] = None
+    ) -> FleetImbalance:
+        """Fleet-level imbalance vs the weight-proportional ideal.
+
+        Measured over the servers currently in the routing fleet
+        (departed servers' stranded stores are excluded -- they are a
+        migration backlog, not load).  ``weights`` defaults to the
+        homogeneous fleet (all 1.0), making the ratios plain
+        max-to-mean / mean-to-mean load factors.
+        """
+        fleet = list(self._router.server_ids)
+        if not fleet:
+            return FleetImbalance(0, 0, 0, 0.0, 0.0, 0.0, 0.0)
+        if weights is None:
+            weights = {server_id: 1.0 for server_id in fleet}
+        total_weight = float(
+            sum(weights.get(server_id, 1.0) for server_id in fleet)
+        )
+        keys = np.asarray(
+            [
+                len(self._stores[s]) if s in self._stores else 0
+                for s in fleet
+            ],
+            dtype=np.float64,
+        )
+        nbytes = np.asarray(
+            [
+                self._stores[s].nbytes if s in self._stores else 0
+                for s in fleet
+            ],
+            dtype=np.float64,
+        )
+        shares = np.asarray(
+            [weights.get(s, 1.0) / total_weight for s in fleet],
+            dtype=np.float64,
+        )
+        keys_ratios = _ratio_vector(keys, shares * keys.sum())
+        bytes_ratios = _ratio_vector(nbytes, shares * nbytes.sum())
+        return FleetImbalance(
+            servers=len(fleet),
+            total_keys=int(keys.sum()),
+            total_bytes=int(nbytes.sum()),
+            keys_max_ratio=float(keys_ratios.max()),
+            keys_mean_ratio=float(keys_ratios.mean()),
+            bytes_max_ratio=float(bytes_ratios.max()),
+            bytes_mean_ratio=float(bytes_ratios.mean()),
+        )
 
     def keys(self) -> np.ndarray:
-        """Every stored key, store by store.
+        """Every stored key, store by store, first occurrence kept.
 
-        Integer key sets come back as an integer array (the vectorized
-        hashing path); anything else stays ``object`` so key identity
-        survives -- ``np.asarray`` on mixed types would coerce to
-        strings and strand every non-string key at migration time.
+        Deduplicated: during a retained-source migration (the graceful
+        drain's pre-copy) a key legitimately sits in two stores at
+        once, and the tracked probe population must still count it
+        once.  Integer key sets come back as an integer array (the
+        vectorized hashing path); anything else stays ``object`` so key
+        identity survives -- ``np.asarray`` on mixed types would coerce
+        to strings and strand every non-string key at migration time.
         """
-        collected: List[Key] = []
-        for store in self._stores.values():
-            collected.extend(store.keys())
+        collected: List[Key] = list(
+            dict.fromkeys(
+                key
+                for store in self._stores.values()
+                for key in store.keys()
+            )
+        )
         array = np.asarray(collected)
         if array.dtype.kind in ("i", "u"):
             return array
@@ -108,9 +250,17 @@ class DataPlane:
     # -- scalar operations -------------------------------------------------
 
     def put(self, key: Key, value: Any) -> Key:
-        """Write through the router; returns the owning server id."""
-        server_id = self._router.route(key)
+        """Write at the key's *assigned* owner; returns its server id.
+
+        Writes are avoid-blind: a suspect server is served around on
+        the read path (:meth:`get` fails over through the router's
+        avoid set) but still *owns* its keys, so writes keep landing at
+        the assignment -- otherwise a transient health blip would
+        strand data on a failover replica the moment the flag lifts.
+        """
+        server_id = self._router.assign(key)
         self.store(server_id).put(key, value)
+        self._mutations += 1
         return server_id
 
     def get(self, key: Key, default: Any = _MISSING) -> Any:
@@ -129,14 +279,16 @@ class DataPlane:
         return value
 
     def delete(self, key: Key) -> Any:
-        """Delete at the key's current owner; ``KeyError`` when absent.
+        """Delete at the key's *assigned* owner; ``KeyError`` when absent.
 
-        Like :meth:`get`, a key still in flight from its previous owner
-        is not visible at the routed store and raises.
+        A storage mutation like :meth:`put`, so it is avoid-blind.  A
+        key still in flight from its previous owner is not visible at
+        the assigned store and raises.
         """
-        store = self._stores.get(self._router.route(key))
+        store = self._stores.get(self._router.assign(key))
         if store is None or key not in store:
             raise KeyError(key)
+        self._mutations += 1
         return store.delete(key)
 
     # -- bulk operations ---------------------------------------------------
@@ -148,9 +300,10 @@ class DataPlane:
                 "put_many needs aligned batches, got {} keys and {} "
                 "values".format(len(keys), len(values))
             )
-        owners = self._router.route_batch(keys)
+        owners = self._router.assign_batch(keys)
         for key, value, server_id in zip(keys, values, owners):
             self.store(server_id).put(key, value)
+        self._mutations += len(keys)
         return owners
 
     def get_many(self, keys: Sequence[Key]) -> Tuple[np.ndarray, np.ndarray]:

@@ -1,0 +1,115 @@
+"""HealthMonitor: heartbeat deadlines, transitions, observer hooks."""
+
+import pytest
+
+from repro.control import (
+    FleetState,
+    Health,
+    HealthMonitor,
+    HealthObserver,
+    ServerSpec,
+)
+from repro.errors import StateError
+
+
+def _fleet():
+    return FleetState([ServerSpec("a"), ServerSpec("b"), ServerSpec("c")])
+
+
+def _monitor(fleet, **kwargs):
+    kwargs.setdefault("suspect_after", 3.0)
+    kwargs.setdefault("dead_after", 10.0)
+    kwargs.setdefault("clock", lambda: 0.0)
+    return HealthMonitor(fleet, **kwargs)
+
+
+class TestDeadlines:
+    def test_bad_deadlines_rejected(self):
+        with pytest.raises(ValueError):
+            HealthMonitor(_fleet(), suspect_after=5.0, dead_after=5.0)
+        with pytest.raises(ValueError):
+            HealthMonitor(_fleet(), suspect_after=0.0, dead_after=5.0)
+
+    def test_first_poll_starts_grace_period(self):
+        fleet = _fleet()
+        monitor = _monitor(fleet)
+        # Never beaten: first poll registers, no transition.
+        assert monitor.poll(now=100.0) == ()
+        assert fleet.get("a").health is Health.HEALTHY
+        # Within the suspect deadline: still quiet.
+        assert monitor.poll(now=102.9) == ()
+
+    def test_missed_heartbeats_suspect_then_dead(self):
+        fleet = _fleet()
+        monitor = _monitor(fleet)
+        for server_id in ("a", "b", "c"):
+            monitor.heartbeat(server_id, now=0.0)
+        monitor.heartbeat("b", now=5.0)
+        transitions = monitor.poll(now=5.0)
+        assert {t.server_id for t in transitions} == {"a", "c"}
+        assert all(t.current is Health.SUSPECT for t in transitions)
+        # a and c stay silent past the dead deadline; b keeps beating.
+        monitor.heartbeat("b", now=11.0)
+        transitions = monitor.poll(now=11.0)
+        assert {t.server_id for t in transitions} == {"a", "c"}
+        assert all(t.current is Health.DEAD for t in transitions)
+        assert fleet.get("b").health is Health.HEALTHY
+
+    def test_heartbeat_recovers_suspect(self):
+        fleet = _fleet()
+        monitor = _monitor(fleet)
+        monitor.heartbeat("a", now=0.0)
+        monitor.poll(now=4.0)
+        assert fleet.get("a").health is Health.SUSPECT
+        recovery = monitor.heartbeat("a", now=4.5)
+        assert recovery is not None
+        assert recovery.previous is Health.SUSPECT
+        assert recovery.current is Health.HEALTHY
+        assert fleet.get("a").health is Health.HEALTHY
+
+    def test_draining_exempt_from_deadlines(self):
+        fleet = _fleet()
+        monitor = _monitor(fleet)
+        monitor.heartbeat("a", now=0.0)
+        fleet.mark_draining("a")
+        assert monitor.poll(now=50.0) == ()
+        assert fleet.get("a").health is Health.DRAINING
+
+    def test_dead_heartbeat_rejected(self):
+        fleet = _fleet()
+        monitor = _monitor(fleet)
+        monitor.heartbeat("a", now=0.0)
+        monitor.poll(now=20.0)
+        assert fleet.get("a").health is Health.DEAD
+        with pytest.raises(StateError):
+            monitor.heartbeat("a", now=21.0)
+
+
+class TestObservers:
+    def test_observer_sees_every_transition(self):
+        fleet = _fleet()
+        monitor = _monitor(fleet)
+        seen = []
+
+        class Recorder(HealthObserver):
+            def on_transition(self, transition):
+                seen.append(
+                    (transition.server_id, transition.current)
+                )
+
+        monitor.subscribe(Recorder())
+        monitor.heartbeat("a", now=0.0)
+        monitor.poll(now=4.0)
+        monitor.heartbeat("a", now=4.5)
+        assert seen == [
+            ("a", Health.SUSPECT),
+            ("a", Health.HEALTHY),
+        ]
+
+    def test_unsubscribe(self):
+        monitor = _monitor(_fleet())
+        observer = HealthObserver()
+        monitor.subscribe(observer)
+        monitor.unsubscribe(observer)
+        with pytest.raises(ValueError):
+            monitor.unsubscribe(observer)

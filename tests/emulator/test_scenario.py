@@ -236,3 +236,84 @@ class TestLiveReshardScenario:
         ]
         assert results[0].misses == results[1].misses
         assert results[0].planned_moves == results[1].planned_moves
+
+
+class TestAutoscaleScenario:
+    def _config(self, **overrides):
+        from repro.emulator.scenario import AutoscaleScenarioConfig
+
+        values = dict(
+            steps=8,
+            initial_servers=4,
+            writes_per_step=300,
+            reads_per_sample=200,
+            drain_step=3,
+            max_keys_per_tick=300,
+            seed=9,
+        )
+        values.update(overrides)
+        return AutoscaleScenarioConfig(**values)
+
+    def test_weighted_fleet_scales_and_drains_inside_sla(self):
+        from repro.emulator.scenario import run_autoscale_scenario
+        from repro.hashing import weighted_table
+
+        result = run_autoscale_scenario(
+            lambda: weighted_table("rendezvous", seed=3), self._config()
+        )
+        assert len(result.records) == 8
+        assert result.served > 0
+        # The diurnal curve forces at least one scaling action, and
+        # the operator drain at step 3 completes gracefully.
+        assert result.scaling_events > 0
+        assert result.drains >= 1
+        assert result.sla_met, (
+            "miss rate {:.3f} above SLA {:.3f}".format(
+                result.miss_rate, result.miss_sla
+            )
+        )
+        # Utilization stays inside (or converges back into) the band.
+        assert result.records[-1].utilization < 1.0
+
+    def test_weight_blind_table_runs_on_unit_weights(self):
+        from repro.emulator.scenario import run_autoscale_scenario
+        from repro.hashing import make_table
+
+        result = run_autoscale_scenario(
+            lambda: make_table("modular", seed=5),
+            self._config(steps=5, drain_step=None),
+        )
+        assert len(result.records) == 5
+        assert all(
+            record.total_weight == record.n_servers
+            for record in result.records
+        )
+
+    def test_determinism(self):
+        from repro.emulator.scenario import run_autoscale_scenario
+        from repro.hashing import weighted_table
+
+        a = run_autoscale_scenario(
+            lambda: weighted_table("consistent", seed=1), self._config()
+        )
+        b = run_autoscale_scenario(
+            lambda: weighted_table("consistent", seed=1), self._config()
+        )
+        assert a.records == b.records
+        assert a.misses == b.misses
+
+    def test_validation(self):
+        import pytest as _pytest
+
+        from repro.emulator.scenario import run_autoscale_scenario
+        from repro.hashing import make_table
+
+        with _pytest.raises(ValueError):
+            run_autoscale_scenario(
+                lambda: make_table("modular"), self._config(steps=0)
+            )
+        with _pytest.raises(ValueError):
+            run_autoscale_scenario(
+                lambda: make_table("modular"),
+                self._config(initial_servers=1),
+            )

@@ -27,7 +27,7 @@ def build(name, seed=0):
 
 
 class TestRegistryContents:
-    def test_all_ten_algorithms_registered(self):
+    def test_all_algorithms_registered(self):
         assert set(registered_algorithms()) == {
             "modular",
             "consistent",
@@ -39,6 +39,7 @@ class TestRegistryContents:
             "weighted-rendezvous",
             "multiprobe-consistent",
             "hierarchical",
+            "weighted",
         }
 
     def test_paper_flags(self):

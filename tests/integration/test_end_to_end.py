@@ -18,6 +18,7 @@ from repro import (
     SingleBitFlips,
 )
 from repro.analysis import uniformity_chi2
+from repro.hashing import registered_algorithms
 from repro.emulator import Emulator, HashTableModule, RequestGenerator, ZipfKeys
 
 from ..conftest import populate
@@ -193,3 +194,124 @@ class TestLiveMigrationInvariant:
         __, mod_plan, __, __, __ = self._resize_once(ModularHashTable(seed=13))
         assert 0 < hd_plan.moved_fraction <= 2 * ideal
         assert mod_plan.moved_fraction > 2 * ideal
+
+
+class TestWeightedDrainInvariant:
+    """The PR-5 acceptance invariant, on a heterogeneous fleet.
+
+    For every registered algorithm (weight-native weighted-rendezvous,
+    the other nine through the virtual-multiplicity wrapper): on a
+    fleet with weights {1, 2, 4}, gracefully draining the heaviest
+    server through the ControlLoop
+
+    * moves exactly the keys the leave epoch remaps (plan size ==
+      epoch remap count, bit-exact),
+    * never misses a read mid-drain and leaves every key readable at
+      ``route(key)`` afterwards,
+    * leaves zero keys on the drained server,
+    * and leaves post-drain ownership tracking the remaining weights
+      within chi-squared tolerance.
+    """
+
+    N_KEYS = 1_500
+    WEIGHTS = {"w1": 1.0, "w2": 2.0, "w4": 4.0}
+
+    #: 99.9% chi-squared critical value at dof=1 (two survivors),
+    #: slackened for vnode-granular placements.
+    CHI2_LIMIT = 10.83 * 8
+
+    #: Virtual members per unit weight for the wrapper path: ring
+    #: algorithms need fine granularity for ownership to track weights.
+    VIRTUAL_BASE = 32
+
+    #: Sized for 7 weight-units x 32 = 224 virtual members.
+    _CONFIGS = {
+        "hd": {"dim": 1_024, "codebook_size": 512},
+        "maglev": {"table_size": 1_021},
+    }
+
+    @pytest.mark.parametrize(
+        "name", sorted(set(registered_algorithms()) - {"weighted"})
+    )
+    def test_drain_heaviest_moves_exactly_its_keys(self, name):
+        from repro.analysis import chi_squared_statistic
+        from repro.control import ControlLoop, FleetState, ServerSpec
+        from repro.hashing import weighted_table
+        from repro.service import Router
+        from repro.store import DataPlane
+
+        table = weighted_table(
+            name,
+            seed=13,
+            virtual_base=self.VIRTUAL_BASE,
+            **self._CONFIGS.get(name, {})
+        )
+        fleet = FleetState(
+            ServerSpec(server_id, weight=weight)
+            for server_id, weight in self.WEIGHTS.items()
+        )
+        router = Router(table)
+        plane = DataPlane(router)
+        loop = ControlLoop(router, plane, fleet, max_keys_per_tick=400)
+        loop.bootstrap()
+        keys = np.arange(self.N_KEYS, dtype=np.int64)
+        plane.put_many(keys, ["value-{}".format(key) for key in keys])
+
+        drained_keys = len(plane.store("w4"))
+        misses = []
+
+        def on_tick(status):
+            sample = np.random.default_rng(7).choice(keys, 250)
+            __, found = plane.get_many(sample)
+            misses.append(int(np.sum(~found)))
+
+        report = loop.drain("w4", on_tick=on_tick)
+
+        # Plan size == epoch remap count, bit-exact.
+        assert report.record.probes_moved == report.plan.total_keys
+        # The drained server's keys all had to move; minimally
+        # disruptive algorithms move nothing else (the wrapper keeps
+        # their property), so the plan is at least the drained load.
+        assert report.plan.total_keys >= drained_keys
+        # Zero read misses at every sampled point mid-drain.
+        assert sum(misses) == 0 and misses
+        # Zero keys remain on the drained server, which is gone.
+        assert "w4" not in router.table
+        assert "w4" not in plane.stores
+        # Every key reads back at its routed owner.
+        __, found = plane.get_many(keys)
+        assert bool(np.all(found))
+        owners = router.route_batch(keys)
+        for key, owner in zip(keys[:200].tolist(), owners[:200]):
+            assert plane.store(owner).get(key) == "value-{}".format(key)
+        # Post-drain ownership tracks the surviving weights {1, 2}.
+        counts = {"w1": 0, "w2": 0}
+        for owner in owners:
+            counts[owner] += 1
+        expected = np.asarray([self.N_KEYS / 3.0, 2.0 * self.N_KEYS / 3.0])
+        statistic = chi_squared_statistic(
+            np.asarray([counts["w1"], counts["w2"]]), expected
+        )
+        assert statistic < self.CHI2_LIMIT, (name, counts)
+
+    def test_minimally_disruptive_drain_is_minimal(self):
+        """For rendezvous (wrapped), the drain plan is ~exactly the
+        drained server's keys -- no collateral movement."""
+        from repro.control import ControlLoop, FleetState, ServerSpec
+        from repro.hashing import weighted_table
+        from repro.service import Router
+        from repro.store import DataPlane
+
+        fleet = FleetState(
+            ServerSpec(server_id, weight=weight)
+            for server_id, weight in self.WEIGHTS.items()
+        )
+        router = Router(weighted_table("rendezvous", seed=13))
+        plane = DataPlane(router)
+        loop = ControlLoop(router, plane, fleet)
+        loop.bootstrap()
+        keys = np.arange(self.N_KEYS, dtype=np.int64)
+        plane.put_many(keys, keys)
+        drained_keys = len(plane.store("w4"))
+        report = loop.drain("w4")
+        assert report.plan.total_keys == drained_keys

@@ -45,6 +45,10 @@ def _record(scale: float) -> dict:
             "keys_per_s": 2e5 * scale,
             "normalized": 0.04 * scale,
         },
+        "control_tick": {
+            "ticks_per_s": 5e3 * scale,
+            "normalized": 0.001 * scale,
+        },
     }
 
 

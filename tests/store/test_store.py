@@ -160,3 +160,81 @@ class TestDataPlane:
         twin.delete("k")
         assert plane.get("k") == "v"
         assert twin.router is plane.router
+
+
+class TestFleetImbalance:
+    def _plane(self, weights):
+        from repro.hashing import weighted_table
+        from repro.service import Router
+        from repro.store import DataPlane
+
+        router = Router(weighted_table("rendezvous", seed=6))
+        for server_id, weight in weights.items():
+            router.join(server_id, weight=weight)
+        plane = DataPlane(router)
+        keys = np.arange(4_000, dtype=np.int64)
+        plane.put_many(keys, [b"x" * 32] * keys.size)
+        return plane
+
+    def test_weighted_stats_carry_load_factors(self):
+        weights = {"a": 1.0, "b": 2.0, "c": 4.0}
+        plane = self._plane(weights)
+        stats = plane.stats(weights)
+        for server_id, record in stats.items():
+            assert record["weight"] == weights[server_id]
+            assert 0.5 < record["keys_ratio"] < 1.5
+            assert 0.5 < record["bytes_ratio"] < 1.5
+        # Raw counts still proportional to weights (ratio near 1.0
+        # means the heavy server holds ~4x the light one).
+        assert stats["c"]["keys"] > 2.5 * stats["a"]["keys"]
+
+    def test_unweighted_stats_shape_unchanged(self):
+        plane = self._plane({"a": 1.0, "b": 1.0})
+        stats = plane.stats()
+        assert set(stats["a"]) == {"keys", "bytes"}
+
+    def test_imbalance_vs_weight_proportional_ideal(self):
+        weights = {"a": 1.0, "b": 2.0, "c": 4.0}
+        plane = self._plane(weights)
+        summary = plane.imbalance(weights)
+        assert summary.servers == 3
+        assert summary.total_keys == 4_000
+        # Placement tracks the weights: max/ideal close to 1.
+        assert 1.0 <= summary.keys_max_ratio < 1.3
+        assert 0.7 < summary.keys_mean_ratio < 1.3
+        assert 1.0 <= summary.bytes_max_ratio < 1.3
+        # Judged against *uniform* ideal instead, the weight-4 server
+        # (4/7 of the data on 1/3 of the servers) is a ~1.7x hot spot
+        # -- the weights are what keep it honest.
+        uniform = plane.imbalance()
+        assert uniform.keys_max_ratio > 1.5
+        assert "fleet imbalance" in summary.describe()
+
+    def test_imbalance_excludes_departed_stores(self):
+        weights = {"a": 1.0, "b": 1.0, "c": 1.0}
+        plane = self._plane(weights)
+        plane.router.leave("c")
+        summary = plane.imbalance()
+        assert summary.servers == 2
+        # c's stranded keys are a migration backlog, not fleet load.
+        assert summary.total_keys < 4_000
+
+    def test_empty_fleet_imbalance(self):
+        from repro.hashing import make_table
+        from repro.service import Router
+        from repro.store import DataPlane
+
+        plane = DataPlane(Router(make_table("modular")))
+        summary = plane.imbalance()
+        assert summary.servers == 0
+        assert summary.keys_max_ratio == 0.0
+
+    def test_keys_deduplicated_across_stores(self):
+        """Mid-drain a key legitimately lives in two stores; the probe
+        population must count it once."""
+        plane = self._plane({"a": 1.0, "b": 1.0})
+        key = int(plane.store("a").keys()[0])
+        plane.store("b").put(key, b"copy")
+        keys = plane.keys()
+        assert keys.size == 4_000
+        assert plane.key_count == 4_001  # raw store total still sees both

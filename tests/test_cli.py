@@ -181,3 +181,105 @@ class TestRun:
                 ["run", "all", "--profile", "fast", "--csv", "x.csv"],
                 out=io.StringIO(),
             )
+
+
+class TestAlgorithmsListing:
+    def test_capability_flags_printed(self):
+        out = io.StringIO()
+        assert main(["algorithms"], out=out) == 0
+        text = out.getvalue()
+        lines = {
+            line.split()[0]: line for line in text.splitlines() if line
+        }
+        # Weight-capable tables are flagged; weight-blind ones are not.
+        assert "weighted" in lines["weighted-rendezvous"]
+        assert "weighted," in lines["weighted"]
+        assert "weighted" not in lines["modular"].split("]")[1].split("]")[0]
+        # Every registered algorithm advertises its batch/replica paths.
+        for name, line in lines.items():
+            assert "batch-native" in line
+            assert "replica-native" in line
+
+
+class TestControl:
+    def test_status_prints_weighted_fleet(self):
+        out = io.StringIO()
+        code = main(
+            ["control", "status", "modular", "--keys", "600",
+             "--servers", "4", "--weights", "1,2"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "total weight 6.0" in text
+        assert "fleet imbalance" in text
+        assert "healthy" in text
+
+    def test_tick_plan_only_moves_nothing(self):
+        out = io.StringIO()
+        code = main(
+            ["control", "tick", "consistent", "--plan-only",
+             "--keys", "500"],
+            out=out,
+        )
+        assert code == 0
+
+    def test_tick_live(self):
+        out = io.StringIO()
+        code = main(
+            ["control", "tick", "modular", "--keys", "400"], out=out
+        )
+        assert code == 0
+
+    def test_drain_verifies_invariant(self):
+        out = io.StringIO()
+        code = main(
+            ["control", "drain", "rendezvous", "--keys", "800",
+             "--servers", "4"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "drained" in text
+        assert "epoch remap count == plan size" in text
+
+    def test_drain_named_server(self):
+        out = io.StringIO()
+        code = main(
+            ["control", "drain", "modular", "--keys", "400",
+             "--server", "server-01"],
+            out=out,
+        )
+        assert code == 0
+        assert "'server-01'" in out.getvalue()
+
+    def test_unknown_drain_server_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["control", "drain", "modular", "--server", "nope"],
+                out=io.StringIO(),
+            )
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["control", "status", "modular", "--weights", "1,zero"],
+                out=io.StringIO(),
+            )
+        with pytest.raises(SystemExit):
+            main(
+                ["control", "status", "modular", "--weights", "-1,2"],
+                out=io.StringIO(),
+            )
+
+
+class TestMigrateImbalance:
+    def test_migrate_reports_fleet_imbalance(self):
+        out = io.StringIO()
+        code = main(
+            ["migrate", "modular", "--servers", "4", "--target", "6",
+             "--keys", "500"],
+            out=out,
+        )
+        assert code == 0
+        assert "fleet imbalance" in out.getvalue()

@@ -9,6 +9,7 @@ import repro
 MODULES = [
     "repro",
     "repro.analysis",
+    "repro.control",
     "repro.costmodel",
     "repro.emulator",
     "repro.errors",
