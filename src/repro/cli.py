@@ -19,6 +19,8 @@ Usage::
     python -m repro control status hd --weights 1,2,4
     python -m repro control tick consistent --plan-only
     python -m repro control drain rendezvous --server server-02
+    python -m repro serve rendezvous --profile fast --max-p99-ms 50
+    python -m repro serve hd --no-churn --max-batch 512
 
 ``run`` regenerates a paper artefact (the artefact registry maps names
 to experiment runners; ``--profile`` selects the ``fast`` / ``bench`` /
@@ -44,7 +46,14 @@ spec directory with per-server load vs the weight-proportional ideal,
 ``tick`` runs one reconciliation pass (``--plan-only`` computes the
 decisions without mutating -- the CI ``control-smoke`` job's mode),
 and ``drain`` gracefully drains a server (copy first, cut over, clean
-up) and verifies every key still reads at its routed owner.
+up) and verifies every key still reads at its routed owner.  ``serve``
+runs the micro-batched serving scenario
+(:func:`repro.emulator.run_serving_scenario`): Zipfian arrivals through
+the serving tier (batcher + epoch-invalidated hot-key cache) and the
+same stream scalar, with a membership change mid-run; it prints both
+passes and exits 1 on stale reads, inexact invalidation, an unrecovered
+hit rate, or a violated ``--max-p99-ms`` / ``--min-speedup`` bound --
+the CI ``serve-smoke`` job's command.
 """
 
 from __future__ import annotations
@@ -374,6 +383,66 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=DEFAULT_TOLERANCE,
         help="max tolerated fractional throughput drop (default: 0.30)",
+    )
+    serve = commands.add_parser(
+        "serve",
+        help="run the micro-batched serving scenario with churn",
+    )
+    serve.add_argument(
+        "algorithm",
+        nargs="?",
+        default="rendezvous",
+        help="registered algorithm name (default: rendezvous)",
+    )
+    serve.add_argument(
+        "--profile",
+        choices=("fast", "bench", "full"),
+        default="fast",
+        help="scenario scale preset (default: fast)",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=None,
+        help="total requests (default: the profile's)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=200_000.0, metavar="RPS",
+        help="offered load in requests per emulated second "
+        "(default: 200000)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=256,
+        help="micro-batch flush-on-size threshold (default: 256)",
+    )
+    serve.add_argument(
+        "--max-delay-ms", type=float, default=1.0, metavar="MS",
+        help="micro-batch flush deadline (default: 1.0 ms)",
+    )
+    serve.add_argument(
+        "--cache", type=int, default=4_096,
+        help="hot-key cache capacity (default: 4096)",
+    )
+    serve.add_argument(
+        "--servers", type=int, default=8,
+        help="initial fleet size (default: 8)",
+    )
+    serve.add_argument(
+        "--no-churn", action="store_true",
+        help="skip the mid-run membership change",
+    )
+    serve.add_argument(
+        "--max-p99-ms", type=float, default=None, metavar="MS",
+        help="fail (exit 1) when batched p99 latency exceeds this bound",
+    )
+    serve.add_argument(
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="fail (exit 1) when batched/scalar speedup falls below X",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0, help="hash-family seed (default: 0)"
+    )
+    serve.add_argument(
+        "-o", "--option", action="append", default=[], metavar="KEY=VALUE",
+        help="algorithm config override (repeatable), e.g. -o dim=4096",
     )
     run = commands.add_parser("run", help="regenerate an artefact")
     run.add_argument(
@@ -802,6 +871,71 @@ def _run_bench(args, out) -> int:
     return 0
 
 
+#: Scenario scale presets for ``repro serve`` (requests, preloaded keys).
+_SERVE_SCALES = {
+    "fast": {"requests": 4_000, "preload": 2_000},
+    "bench": {"requests": 16_000, "preload": 8_000},
+    "full": {"requests": 64_000, "preload": 16_000},
+}
+
+
+def _run_serve(args, out) -> int:
+    from .emulator import ServingScenarioConfig, run_serving_scenario
+
+    scale = _SERVE_SCALES[args.profile]
+    options = _parse_options(args.option)
+    config = ServingScenarioConfig(
+        requests=(
+            args.requests if args.requests is not None else scale["requests"]
+        ),
+        request_rate=args.rate,
+        preload=scale["preload"],
+        initial_servers=args.servers,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay_ms / 1e3,
+        cache_capacity=args.cache,
+        churn_at=None if args.no_churn else 0.5,
+        seed=args.seed,
+    )
+    try:
+        result = run_serving_scenario(
+            lambda: make_table(args.algorithm, seed=args.seed, **options),
+            config,
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise SystemExit("error: {}".format(error))
+    print(result.describe(), file=out)
+    failures = []
+    if not result.zero_stale:
+        failures.append(
+            "{} stale batched read(s)".format(result.stale_reads)
+        )
+    if not result.invalidation_exact:
+        failures.append("epoch invalidation was not exact")
+    if not result.hit_rate_recovered:
+        failures.append("cache hit rate did not recover after churn")
+    if (
+        args.max_p99_ms is not None
+        and result.snapshot.p99_ms > args.max_p99_ms
+    ):
+        failures.append(
+            "batched p99 {:.3f} ms exceeds the {:.3f} ms bound".format(
+                result.snapshot.p99_ms, args.max_p99_ms
+            )
+        )
+    if args.min_speedup is not None and result.speedup < args.min_speedup:
+        failures.append(
+            "speedup {:.1f}x below the {:.1f}x floor".format(
+                result.speedup, args.min_speedup
+            )
+        )
+    if failures:
+        print("\nFAIL: " + "; ".join(failures), file=out)
+        return 1
+    print("\nOK: serving SLAs met", file=out)
+    return 0
+
+
 def main(argv=None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -849,6 +983,8 @@ def main(argv=None, out=None) -> int:
         return _run_control(args, out)
     if args.command == "bench":
         return _run_bench(args, out)
+    if args.command == "serve":
+        return _run_serve(args, out)
     if args.artefact == "all":
         for name in sorted(REGISTRY):
             if args.csv is not None:

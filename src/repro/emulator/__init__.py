@@ -36,11 +36,15 @@ from .scenario import (
     ReshardTickRecord,
     ScenarioConfig,
     ScenarioResult,
+    ServingChurnRecord,
+    ServingScenarioConfig,
+    ServingScenarioResult,
     StepRecord,
     run_autoscale_scenario,
     run_failover_scenario,
     run_live_reshard_scenario,
     run_scenario,
+    run_serving_scenario,
 )
 from .stats import LoadStats, MembershipStats, TimingStats
 from .trace import load_trace, parse_trace_lines, save_trace, trace_lines
@@ -61,11 +65,15 @@ __all__ = [
     "ReshardTickRecord",
     "ScenarioConfig",
     "ScenarioResult",
+    "ServingChurnRecord",
+    "ServingScenarioConfig",
+    "ServingScenarioResult",
     "StepRecord",
     "run_autoscale_scenario",
     "run_failover_scenario",
     "run_live_reshard_scenario",
     "run_scenario",
+    "run_serving_scenario",
     "HashTableModule",
     "HotspotKeys",
     "JoinRequest",

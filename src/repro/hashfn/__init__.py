@@ -19,6 +19,7 @@ from .mixers import (
     GOLDEN_GAMMA,
     MASK64,
     fmix64,
+    fmix64_inplace,
     fmix64_vec,
     mix_pair,
     mix_pair_vec,
@@ -39,6 +40,7 @@ __all__ = [
     "fnv1a_32",
     "fnv1a_64",
     "fmix64",
+    "fmix64_inplace",
     "fmix64_vec",
     "key_to_word",
     "keys_to_words",

@@ -13,7 +13,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from .keys import Key, key_to_word, keys_to_words
-from .mixers import MASK64, fmix64, mix_pair, mix_pair_vec, splitmix64
+from .mixers import (
+    MASK64,
+    fmix64,
+    mix_pair,
+    mix_pair_vec,
+    rotl64_vec,
+    splitmix64,
+    splitmix64_vec,
+)
 
 __all__ = ["HashFamily"]
 
@@ -60,3 +68,24 @@ class HashFamily:
         """Vectorized :meth:`pair`; ``a`` and ``b`` broadcast."""
         a = np.asarray(a, dtype=np.uint64) ^ np.uint64(splitmix64(self.seed))
         return mix_pair_vec(a, b)
+
+    def pair_terms(self, a, b):
+        """The two one-sided mixes of :meth:`pair_vec`, precomputed.
+
+        ``pair_vec(a, b)`` is ``fmix64(lhs ^ rhs)`` with ``lhs``
+        depending only on ``a`` (plus the family seed) and ``rhs`` only
+        on ``b``.  Splitting them lets a rendezvous-style kernel mix
+        each server word and each request word exactly once, then fuse
+        the O(servers x requests) cross product as XOR + in-place
+        fmix64 over a preallocated chunk buffer (see
+        :func:`~repro.hashfn.mixers.fmix64_inplace`) -- bit-identical
+        to broadcasting :meth:`pair_vec`, without its per-chunk
+        temporaries.  Returns ``(lhs, rhs)`` as ``uint64`` arrays.
+        """
+        lhs = splitmix64_vec(
+            np.asarray(a, dtype=np.uint64)
+            ^ np.uint64(splitmix64(self.seed))
+        )
+        b = np.asarray(b, dtype=np.uint64)
+        rhs = rotl64_vec(b, 32) ^ b
+        return lhs, rhs

@@ -36,6 +36,7 @@ __all__ = [
     "splitmix64_vec",
     "fmix64",
     "fmix64_vec",
+    "fmix64_inplace",
     "xorshift_star",
     "xorshift_star_vec",
     "mix_pair",
@@ -109,6 +110,23 @@ def fmix64(value: int) -> int:
 def fmix64_vec(values: np.ndarray) -> np.ndarray:
     """Vectorized :func:`fmix64` over a ``uint64`` array."""
     k = np.asarray(values, dtype=np.uint64).copy()
+    k ^= k >> np.uint64(33)
+    k *= np.uint64(_FMIX_MUL_1)
+    k ^= k >> np.uint64(33)
+    k *= np.uint64(_FMIX_MUL_2)
+    k ^= k >> np.uint64(33)
+    return k
+
+
+def fmix64_inplace(values: np.ndarray) -> np.ndarray:
+    """:func:`fmix64_vec` mutating ``values`` in place (no copy).
+
+    The fused routing kernels stream the pairwise weight matrix through
+    a preallocated chunk buffer; mixing in place keeps every fmix64 step
+    inside that cache-resident block instead of allocating five
+    temporaries per chunk.  ``values`` must already be ``uint64``.
+    """
+    k = values
     k ^= k >> np.uint64(33)
     k *= np.uint64(_FMIX_MUL_1)
     k ^= k >> np.uint64(33)

@@ -24,7 +24,7 @@ from typing import Any, Dict, List
 
 import numpy as np
 
-from ..hashfn import HashFamily, Key
+from ..hashfn import HashFamily, Key, fmix64_inplace
 from ..memory import MemoryRegion
 from .base import DynamicHashTable
 from .registry import TableConfig, register_table
@@ -32,6 +32,11 @@ from .registry import TableConfig, register_table
 __all__ = ["RendezvousHashTable", "WeightedRendezvousHashTable"]
 
 _CHUNK_WORDS = 1 << 20  # bound the (k x chunk) weight matrix to ~8 MB rows
+
+#: Chunk budget of the fused HRW kernel: the (k x chunk) uint64 weight
+#: block is sized to stay L2-resident, so the XOR + in-place fmix64 +
+#: argmax passes all hit cache instead of streaming DRAM.
+_FUSED_CHUNK_BYTES = 1 << 19
 
 
 def _top_k_slots(keys: np.ndarray, k: int) -> np.ndarray:
@@ -100,14 +105,40 @@ class RendezvousHashTable(DynamicHashTable):
                 best_slot = slot
         return best_slot
 
-    def _route_batch(self, words: np.ndarray) -> np.ndarray:
-        out = np.empty(words.size, dtype=np.int64)
-        chunk = max(1, _CHUNK_WORDS // max(1, self.server_count))
-        columns = self._server_words[:, None]
+    def _weight_chunks(self, words: np.ndarray):
+        """Yield ``(start, stop, block)`` fused pairwise-weight chunks.
+
+        The pairwise hash splits into one-sided mixes (see
+        :meth:`~repro.hashfn.HashFamily.pair_terms`): each server word
+        and each request word is mixed exactly once per call, and the
+        O(servers x requests) cross product is a single XOR plus an
+        in-place fmix64 over one preallocated, cache-sized buffer --
+        bit-identical weights to ``pair_vec`` broadcasting, at a
+        fraction of the temporaries.  Server words are re-mixed on
+        every call on purpose: the fault-injection campaigns corrupt
+        ``self._server_words`` in place and must see the corruption
+        reflected in routing.  ``block`` is reused between iterations;
+        consumers must not hold a reference across steps.
+        """
+        lhs, rhs = self._pair_family.pair_terms(self._server_words, words)
+        lhs = lhs[:, None]
+        rows = max(1, self.server_count)
+        chunk = max(1, _FUSED_CHUNK_BYTES // (8 * rows))
+        buf = np.empty(
+            (self.server_count, min(chunk, max(1, words.size))),
+            dtype=np.uint64,
+        )
         for start in range(0, words.size, chunk):
             stop = min(start + chunk, words.size)
-            weights = self._pair_family.pair_vec(columns, words[None, start:stop])
-            out[start:stop] = weights.argmax(axis=0)
+            block = buf[:, : stop - start]
+            np.bitwise_xor(lhs, rhs[None, start:stop], out=block)
+            fmix64_inplace(block)
+            yield start, stop, block
+
+    def _route_batch(self, words: np.ndarray) -> np.ndarray:
+        out = np.empty(words.size, dtype=np.int64)
+        for start, stop, block in self._weight_chunks(words):
+            out[start:stop] = block.argmax(axis=0)
         return out
 
     def _route_word_replicas(self, word: int, k: int) -> np.ndarray:
@@ -122,17 +153,15 @@ class RendezvousHashTable(DynamicHashTable):
 
         HRW's replica set is free -- the weights against every server
         are computed for the argmax anyway -- so this swaps the argmax
-        for a vectorized ``argpartition`` top-k over the same chunked
-        score matrix (``~weight`` turns highest-weight-wins into an
-        ascending sort key).
+        for a vectorized ``argpartition`` top-k over the same fused
+        chunked weight matrix (``~weight`` turns highest-weight-wins
+        into an ascending sort key; inverted in place, the block is
+        scratch anyway).
         """
         out = np.empty((words.size, k), dtype=np.int64)
-        chunk = max(1, _CHUNK_WORDS // max(1, self.server_count))
-        columns = self._server_words[:, None]
-        for start in range(0, words.size, chunk):
-            stop = min(start + chunk, words.size)
-            weights = self._pair_family.pair_vec(columns, words[None, start:stop])
-            out[start:stop] = _top_k_slots(~weights, k).T
+        for start, stop, block in self._weight_chunks(words):
+            np.invert(block, out=block)
+            out[start:stop] = _top_k_slots(block, k).T
         return out
 
     def _state_payload(self) -> Dict[str, Any]:

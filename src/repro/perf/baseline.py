@@ -1,11 +1,12 @@
 """The ``BENCH_throughput.json`` artifact and the CI regression gate.
 
-Schema (version 4; version 2 added the ``route_replicas`` and
+Schema (version 5; version 2 added the ``route_replicas`` and
 ``cluster_route`` metric sections, version 3 added ``plan_migration``
-and ``migrate_execute``, version 4 added ``control_tick``)::
+and ``migrate_execute``, version 4 added ``control_tick``, version 5
+added ``serve``)::
 
     {
-      "schema": 4,
+      "schema": 5,
       "kind": "repro-throughput",
       "profile": "fast",                  # measurement scale
       "seed": 0,
@@ -26,7 +27,8 @@ and ``migrate_execute``, version 4 added ``control_tick``)::
           "migrate_execute":
                     {"keys_per_s": <float>, "normalized": <float>},
           "control_tick":
-                    {"ticks_per_s": <float>, "normalized": <float>}
+                    {"ticks_per_s": <float>, "normalized": <float>},
+          "serve":  {"requests_per_s": <float>, "normalized": <float>}
         }, ...
       }
     }
@@ -42,7 +44,11 @@ executor's copy/verify/commit loop over a data plane (moved keys per
 second) -- see :mod:`repro.perf.throughput`.  ``control_tick`` is
 steady-state reconciliation ticks of the control plane (health poll +
 utilization decision + no-op fleet diff) per second -- the idle
-overhead a always-on control loop adds.
+overhead a always-on control loop adds.  ``serve`` is Zipf-popular
+reads through the serving tier's synchronous dispatch core
+(:class:`~repro.serve.MicroBatcher` batches through a
+:class:`~repro.serve.HotKeyCache` in front of a stocked data plane) --
+the end-to-end request-serving rate of the micro-batched front-end.
 
 ``normalized`` is the raw rate divided by the host's calibrated bulk
 XOR+popcount bandwidth (GB/s), so a baseline committed from one machine
@@ -71,7 +77,7 @@ __all__ = [
 ]
 
 #: Version stamp of the report layout documented above.
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: Maximum tolerated fractional drop in normalized throughput.
 DEFAULT_TOLERANCE = 0.30
@@ -87,9 +93,11 @@ CHURN_TOLERANCE = 0.50
 #: migration metrics, whose blocks embed the same microsecond-scale
 #: membership mutations (``plan_migration``) or per-key Python loops
 #: with clone setup (``migrate_execute``), plus ``control_tick``
-#: (microsecond-scale pure-Python reconciliation passes).
+#: (microsecond-scale pure-Python reconciliation passes), plus
+#: ``serve``, whose per-request Python dispatch (cache probes, store
+#: dict hits) scatters like the other interpreter-bound loops.
 NOISY_METRICS = frozenset(
-    {"churn", "plan_migration", "migrate_execute", "control_tick"}
+    {"churn", "plan_migration", "migrate_execute", "control_tick", "serve"}
 )
 
 #: Metric sections every per-algorithm record carries.
@@ -102,6 +110,7 @@ METRICS = (
     "plan_migration",
     "migrate_execute",
     "control_tick",
+    "serve",
 )
 
 
@@ -213,7 +222,7 @@ def format_report(report: Dict[str, Any]) -> str:
             report.get("calibration", {}).get("xor_popcount_gbps", 0.0),
         ),
         "{:<22} {:>13} {:>13} {:>13} {:>13} {:>11} {:>12} {:>12} "
-        "{:>10}".format(
+        "{:>10} {:>12}".format(
             "algorithm",
             "route k/s",
             "replicas k/s",
@@ -223,13 +232,14 @@ def format_report(report: Dict[str, Any]) -> str:
             "plan k/s",
             "migrate k/s",
             "ctl t/s",
+            "serve r/s",
         ),
     ]
     for name in sorted(report["algorithms"]):
         record = report["algorithms"][name]
         lines.append(
             "{:<22} {:>13,.0f} {:>13,.0f} {:>13,.0f} {:>13,.0f} "
-            "{:>11,.0f} {:>12,.0f} {:>12,.0f} {:>10,.0f}".format(
+            "{:>11,.0f} {:>12,.0f} {:>12,.0f} {:>10,.0f} {:>12,.0f}".format(
                 name,
                 record["route"]["keys_per_s"],
                 record["route_replicas"]["keys_per_s"],
@@ -239,6 +249,7 @@ def format_report(report: Dict[str, Any]) -> str:
                 record["plan_migration"]["keys_per_s"],
                 record["migrate_execute"]["keys_per_s"],
                 record["control_tick"]["ticks_per_s"],
+                record["serve"]["requests_per_s"],
             )
         )
     return "\n".join(lines)

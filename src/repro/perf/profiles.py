@@ -43,6 +43,12 @@ class PerfProfile:
     #: Steady-state reconciliation ticks per timed block of the
     #: ``control_tick`` metric (single ticks are microsecond-scale).
     control_ticks: int = 8
+    #: Zipf-popular read requests per timed block of the ``serve``
+    #: metric, dispatched in ``serve_batch``-sized micro-batches
+    #: through a ``serve_cache``-entry hot-key cache.
+    serve_requests: int = 4_096
+    serve_batch: int = 256
+    serve_cache: int = 4_096
     #: Per-algorithm constructor overrides applied through
     #: :func:`repro.hashing.make_table`.
     table_configs: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
@@ -75,6 +81,7 @@ PERF_PROFILES: Dict[str, PerfProfile] = {
         repeats=5,
         churn_cycles=12,
         migration_keys=16_384,
+        serve_requests=16_384,
         table_configs={
             "hd": {"dim": 10_000, "codebook_size": 1_024},
         },
@@ -86,6 +93,7 @@ PERF_PROFILES: Dict[str, PerfProfile] = {
         repeats=7,
         churn_cycles=24,
         migration_keys=32_768,
+        serve_requests=32_768,
         table_configs={},
     ),
 }

@@ -1,6 +1,6 @@
 """The throughput harness: routing / cluster / churn / migration rates.
 
-Eight metrics per registered algorithm, all measured on live state at
+Nine metrics per registered algorithm, all measured on live state at
 the profile's pool size:
 
 ``route``
@@ -37,6 +37,12 @@ the profile's pool size:
     decision off real byte accounting, no-op fleet diff; the rate is
     reconciliation ticks per second (the idle cost of running the
     control plane continuously).
+``serve``
+    Zipf-popular single-key reads through the serving tier's
+    synchronous dispatch core -- micro-batches of the profile's
+    ``serve_batch`` through a :class:`~repro.serve.HotKeyCache` in
+    front of a stocked :class:`~repro.store.DataPlane`; the rate is
+    requests served per second, cache steady-state included.
 
 Every metric is timed ``repeats`` times and the best run is kept (the
 minimum time is the least-noise estimate of the machine's capability).
@@ -65,7 +71,9 @@ from ..control import (
     ServerSpec,
     UtilizationPolicy,
 )
+from ..emulator.distributions import ZipfKeys
 from ..hashing import make_table, registered_algorithms
+from ..serve import HotKeyCache, MicroBatcher
 from ..service.cluster import ClusterRouter
 from ..service.migration import MigrationExecutor
 from ..service.router import Router
@@ -243,6 +251,33 @@ def measure_algorithm(
 
     control_seconds = _best_seconds(control_block, profile.repeats)
 
+    # Serving tier: Zipf-popular reads dispatched in micro-batches
+    # through the hot-key cache over the stocked control plane (its
+    # ticks above were no-ops, so membership is unchanged).  The cache
+    # stays warm across repeats -- best-of-N measures the front-end's
+    # steady state, which is where a serving tier lives.
+    serve_keys = [
+        int(key)
+        for key in ZipfKeys(universe=profile.migration_keys).sample(
+            profile.serve_requests, rng
+        )
+    ]
+    serve_chunks = [
+        serve_keys[start : start + profile.serve_batch]
+        for start in range(0, len(serve_keys), profile.serve_batch)
+    ]
+    serve_batcher = MicroBatcher(
+        control_plane,
+        cache=HotKeyCache(profile.serve_cache),
+        max_batch=profile.serve_batch,
+    )
+
+    def serve_block():
+        for chunk in serve_chunks:
+            serve_batcher.serve_gets(chunk)
+
+    serve_seconds = _best_seconds(serve_block, profile.repeats)
+
     route_rate = profile.batch_words / route_seconds
     replicas_rate = profile.batch_words / replicas_seconds
     cluster_rate = profile.batch_words / cluster_seconds
@@ -251,6 +286,7 @@ def measure_algorithm(
     plan_rate = 2 * tracked / plan_seconds
     migrate_rate = max(1, plan.total_keys) / migrate_seconds
     control_rate = profile.control_ticks / control_seconds
+    serve_rate = profile.serve_requests / serve_seconds
     return {
         "servers": profile.servers,
         "batch_words": profile.batch_words,
@@ -286,6 +322,10 @@ def measure_algorithm(
         "control_tick": {
             "ticks_per_s": control_rate,
             "normalized": _normalized(control_rate, calibration_gbps),
+        },
+        "serve": {
+            "requests_per_s": serve_rate,
+            "normalized": _normalized(serve_rate, calibration_gbps),
         },
     }
 

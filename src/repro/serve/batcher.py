@@ -1,0 +1,325 @@
+"""Request coalescing: single-key futures in, kernel-sized batches out.
+
+The bench shows batched routing is 10-100x the scalar path, but clients
+issue single-key operations.  The :class:`MicroBatcher` converts one
+into the other: concurrent get/put/delete requests enqueue onto a
+:class:`RequestQueue` and are flushed as one micro-batch when either the
+batch fills (``max_batch``, default 256 keys) or the oldest request's
+deadline passes (``max_delay``, default 1 ms) -- the classic
+size-or-deadline coalescing loop.  A flushed batch is dispatched through
+the data plane's vectorized paths (``route_batch`` / ``lookup_words``
+under :meth:`~repro.store.DataPlane.get_many` and
+:meth:`~repro.store.DataPlane.put_many`), with the
+:class:`~repro.serve.cache.HotKeyCache` absorbing hot reads first.
+
+Batch visibility semantics (what a mixed batch observes) are fixed and
+documented: **reads observe the pre-batch state**; then deletes apply;
+then puts apply (write-through into the cache).  A write becomes
+visible to reads from the *next* batch onward.  Requests never reorder
+across batches -- the queue is FIFO and a flush takes a prefix.
+
+The dispatch core (:meth:`MicroBatcher.serve_gets` and friends) is
+synchronous and loop-free to drive -- the emulator's open-loop scenario
+and the perf harness call it directly; the asyncio layer
+(:meth:`MicroBatcher.submit` + :meth:`MicroBatcher.run`) wraps the same
+core with futures and the flush timer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hashfn import Key
+from .cache import HotKeyCache
+from .metrics import ServingMetrics
+
+__all__ = ["Request", "RequestQueue", "MicroBatcher"]
+
+#: Sentinel distinguishing "stored None" from "absent".
+_MISSING = object()
+
+#: Default flush-on-size threshold (keys per micro-batch).
+DEFAULT_MAX_BATCH = 256
+
+#: Default flush-on-deadline threshold (seconds the oldest request may
+#: wait before the batch is dispatched regardless of fill).
+DEFAULT_MAX_DELAY = 0.001
+
+_OPS = ("get", "put", "delete")
+
+
+@dataclass
+class Request:
+    """One enqueued single-key operation awaiting its micro-batch."""
+
+    op: str
+    key: Key
+    value: Any = None
+    future: Optional["asyncio.Future"] = None
+    enqueued_at: float = 0.0
+
+    def __post_init__(self):
+        if self.op not in _OPS:
+            raise ValueError(
+                "unknown op {!r}; expected one of {}".format(self.op, _OPS)
+            )
+
+
+@dataclass
+class RequestQueue:
+    """FIFO of pending requests; the batcher flushes prefixes of it."""
+
+    _items: deque = field(default_factory=deque)
+
+    def append(self, request: Request) -> None:
+        self._items.append(request)
+
+    def head(self) -> Request:
+        """The oldest pending request (whose deadline drives the flush)."""
+        return self._items[0]
+
+    def take(self, count: int) -> List[Request]:
+        """Dequeue up to ``count`` requests, FIFO."""
+        taken = []
+        while self._items and len(taken) < count:
+            taken.append(self._items.popleft())
+        return taken
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+
+class MicroBatcher:
+    """Size-or-deadline coalescing over a routed data plane."""
+
+    def __init__(
+        self,
+        plane,
+        cache: Optional[HotKeyCache] = None,
+        metrics: Optional[ServingMetrics] = None,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_delay: float = DEFAULT_MAX_DELAY,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_delay < 0:
+            raise ValueError("max_delay cannot be negative")
+        self._plane = plane
+        self._cache = cache
+        self._metrics = metrics if metrics is not None else ServingMetrics()
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay)
+        self._clock = clock
+        self._queue = RequestQueue()
+        self._running = False
+        self._stop_requested = False
+        self._arrival: Optional[asyncio.Event] = None
+        self._burst: Optional[asyncio.Event] = None
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def plane(self):
+        return self._plane
+
+    @property
+    def cache(self) -> Optional[HotKeyCache]:
+        return self._cache
+
+    @property
+    def metrics(self) -> ServingMetrics:
+        return self._metrics
+
+    @property
+    def pending(self) -> int:
+        """Requests enqueued but not yet flushed."""
+        return len(self._queue)
+
+    # -- synchronous dispatch core -----------------------------------------
+
+    def serve_gets(self, keys: Sequence[Key]) -> Tuple[np.ndarray, np.ndarray]:
+        """Serve a read batch: cache first, one batched routed read after.
+
+        Returns ``(values, found)`` aligned to ``keys`` (the
+        :meth:`~repro.store.DataPlane.get_many` shape).  Cache hits are
+        served without routing; the misses take one vectorized
+        ``get_many`` and every found value is installed in the cache.
+        """
+        values = np.empty(len(keys), dtype=object)
+        found = np.zeros(len(keys), dtype=bool)
+        if self._cache is None:
+            miss_positions = list(range(len(keys)))
+        else:
+            miss_positions = []
+            for position, key in enumerate(keys):
+                value = self._cache.get(key, _MISSING)
+                if value is _MISSING:
+                    miss_positions.append(position)
+                else:
+                    values[position] = value
+                    found[position] = True
+        self._metrics.observe_cache(
+            hits=len(keys) - len(miss_positions),
+            misses=len(miss_positions),
+        )
+        if miss_positions:
+            missed_keys = [keys[position] for position in miss_positions]
+            fetched, present = self._plane.get_many(missed_keys)
+            for offset, position in enumerate(miss_positions):
+                if present[offset]:
+                    values[position] = fetched[offset]
+                    found[position] = True
+                    if self._cache is not None:
+                        self._cache.put(keys[position], fetched[offset])
+        return values, found
+
+    def serve_puts(self, keys: Sequence[Key], values: Sequence[Any]) -> np.ndarray:
+        """Serve a write batch (write-through); returns owner ids."""
+        owners = self._plane.put_many(keys, values)
+        if self._cache is not None:
+            for key, value in zip(keys, values):
+                self._cache.put(key, value)
+        return owners
+
+    def serve_deletes(self, keys: Sequence[Key]) -> np.ndarray:
+        """Serve a delete batch; returns a per-key deleted mask."""
+        deleted = np.zeros(len(keys), dtype=bool)
+        for position, key in enumerate(keys):
+            try:
+                self._plane.delete(key)
+            except KeyError:
+                continue
+            deleted[position] = True
+            if self._cache is not None:
+                self._cache.invalidate(key)
+        return deleted
+
+    def dispatch(self, batch: Sequence[Request]) -> None:
+        """Serve one flushed micro-batch and resolve its futures.
+
+        Op order realises the documented batch semantics: every read
+        observes the pre-batch state, then deletes apply, then puts.
+        """
+        if not batch:
+            return
+        started = self._clock()
+        gets = [request for request in batch if request.op == "get"]
+        deletes = [request for request in batch if request.op == "delete"]
+        puts = [request for request in batch if request.op == "put"]
+        if gets:
+            values, found = self.serve_gets([request.key for request in gets])
+            for request, value, present in zip(gets, values, found):
+                _resolve(request, (bool(present), value))
+        if deletes:
+            removed = self.serve_deletes([request.key for request in deletes])
+            for request, present in zip(deletes, removed):
+                _resolve(request, bool(present))
+        if puts:
+            owners = self.serve_puts(
+                [request.key for request in puts],
+                [request.value for request in puts],
+            )
+            for request, owner in zip(puts, owners):
+                _resolve(request, owner)
+        now = self._clock()
+        self._metrics.observe_ops(gets=len(gets), puts=len(puts), deletes=len(deletes))
+        self._metrics.observe_batch(len(batch), busy_seconds=now - started)
+        self._metrics.observe_latencies(
+            [now - request.enqueued_at for request in batch]
+        )
+
+    def flush(self) -> int:
+        """Dispatch one micro-batch from the queue head; returns its size."""
+        batch = self._queue.take(self.max_batch)
+        self.dispatch(batch)
+        return len(batch)
+
+    def drain(self) -> int:
+        """Flush until the queue is empty; returns requests dispatched."""
+        dispatched = 0
+        while self._queue:
+            dispatched += self.flush()
+        return dispatched
+
+    # -- asyncio layer -----------------------------------------------------
+
+    def submit(self, op: str, key: Key, value: Any = None) -> "asyncio.Future":
+        """Enqueue one operation; the future resolves at batch dispatch.
+
+        Must be called from a running event loop.  Resolution values:
+        ``get`` -> ``(found, value)``, ``put`` -> owning server id,
+        ``delete`` -> deleted bool.
+        """
+        future = asyncio.get_running_loop().create_future()
+        request = Request(
+            op=op,
+            key=key,
+            value=value,
+            future=future,
+            enqueued_at=self._clock(),
+        )
+        self._queue.append(request)
+        if self._arrival is not None:
+            self._arrival.set()
+        if self._burst is not None and len(self._queue) >= self.max_batch:
+            self._burst.set()
+        return future
+
+    async def run(self) -> None:
+        """The flush loop: dispatch on size or deadline until stopped."""
+        if self._running:
+            raise RuntimeError("batcher is already running")
+        self._running = True
+        self._arrival = asyncio.Event()
+        self._burst = asyncio.Event()
+        try:
+            # ``_stop_requested`` covers a stop() issued between task
+            # creation and the loop's first iteration, which a bare
+            # ``_running`` flag would lose.
+            while self._running and not self._stop_requested:
+                if not self._queue:
+                    self._arrival.clear()
+                    await self._arrival.wait()
+                    continue
+                deadline = self._queue.head().enqueued_at + self.max_delay
+                while self._running and len(self._queue) < self.max_batch:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0:
+                        break
+                    self._burst.clear()
+                    try:
+                        await asyncio.wait_for(self._burst.wait(), timeout=remaining)
+                    except asyncio.TimeoutError:
+                        break
+                self.flush()
+        finally:
+            self._running = False
+            self._stop_requested = False
+            self._arrival = None
+            self._burst = None
+
+    def stop(self) -> None:
+        """Ask :meth:`run` to exit after the current flush."""
+        self._stop_requested = True
+        self._running = False
+        if self._arrival is not None:
+            self._arrival.set()
+        if self._burst is not None:
+            self._burst.set()
+
+
+def _resolve(request: Request, result: Any) -> None:
+    """Resolve a request's future, tolerating sync use and cancellation."""
+    future = request.future
+    if future is not None and not future.done():
+        future.set_result(result)

@@ -1,0 +1,134 @@
+"""The hot-key cache: an LRU read cache with *epoch-based* invalidation.
+
+Zipfian traffic concentrates on a small hot set, so a small LRU in
+front of the :class:`~repro.store.DataPlane` absorbs most reads.  The
+hard part is staying correct while membership changes underneath: after
+a resize epoch, a remapped key's routed read would miss (the key is in
+flight to its new owner), so serving it from cache would diverge from
+what the data plane answers.  The router already names exactly the
+remapped keys -- every epoch's :class:`~repro.service.migration.
+MigrationPlan` is built from the same assignment diff as the remap
+accounting -- so the cache evicts precisely those keys and keeps the
+rest warm.  No blanket flush, no stale entry; see
+:class:`~repro.serve.frontend.EpochInvalidator` for the wiring.
+
+Write semantics are write-through: a put refreshes the cached value, a
+delete evicts it, so a cached read can never observe an overwritten
+value.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Iterable, Tuple
+
+from ..hashfn import Key
+
+__all__ = ["HotKeyCache"]
+
+#: Sentinel distinguishing "cached None" from "absent".
+_ABSENT = object()
+
+#: Default hot-set capacity.
+DEFAULT_CAPACITY = 4_096
+
+
+class HotKeyCache:
+    """Bounded LRU of hot keys with exact, epoch-driven invalidation."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self._capacity = int(capacity)
+        self._entries: "OrderedDict[Key, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:
+        return "HotKeyCache(size={}, capacity={}, hit_rate={:.3f})".format(
+            len(self._entries), self._capacity, self.hit_rate
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup, 0.0 before any lookup."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def keys(self) -> Tuple[Key, ...]:
+        """Cached keys, least recently used first."""
+        return tuple(self._entries)
+
+    # -- read path ---------------------------------------------------------
+
+    def get(self, key: Key, default: Any = None) -> Any:
+        """Cached value (refreshing recency) or ``default`` on a miss."""
+        value = self._entries.get(key, _ABSENT)
+        if value is _ABSENT:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def peek(self, key: Key, default: Any = None) -> Any:
+        """Like :meth:`get` but touches neither recency nor counters."""
+        value = self._entries.get(key, _ABSENT)
+        return default if value is _ABSENT else value
+
+    # -- write path --------------------------------------------------------
+
+    def put(self, key: Key, value: Any) -> None:
+        """Insert/refresh an entry, evicting the LRU tail past capacity."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, key: Key) -> bool:
+        """Drop one entry; True when it was cached."""
+        if self._entries.pop(key, _ABSENT) is _ABSENT:
+            return False
+        self.invalidations += 1
+        return True
+
+    def invalidate_keys(self, keys: Iterable[Key]) -> int:
+        """Drop exactly ``keys``; returns how many were actually cached.
+
+        This is the epoch path: fed the migration plan's moved-key set,
+        it evicts precisely the entries whose routing changed and leaves
+        every other hot entry warm.
+        """
+        evicted = 0
+        for key in keys:
+            if self._entries.pop(key, _ABSENT) is not _ABSENT:
+                evicted += 1
+        self.invalidations += evicted
+        return evicted
+
+    def flush(self) -> int:
+        """Drop everything; returns the number of entries dropped.
+
+        The blanket fallback -- correct but cold.  The serving tier
+        only takes it when an epoch closes with *no* tracked probe
+        population, i.e. when the remapped-key set is unknowable.
+        """
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.invalidations += dropped
+        return dropped

@@ -1,0 +1,176 @@
+"""The serving front-end: async facade + epoch-exact cache invalidation.
+
+Two pieces live here.  :class:`EpochInvalidator` is a
+:class:`~repro.service.router.RouterObserver` binding a
+:class:`~repro.serve.cache.HotKeyCache` to a router: when an epoch
+closes, the router's :class:`~repro.service.router.EpochResult` carries
+the migration plan naming exactly the tracked keys the epoch rerouted,
+and the invalidator evicts precisely those keys.  Only when the source
+router has *no* tracked probe population (``probe_keys is None`` -- the
+remapped set is unknowable) does it fall back to a blanket flush.
+
+The exactness contract: invalidation is exact for every key in the
+router's probe population.  The serving tier keeps the population
+current by running behind a :class:`~repro.control.ControlLoop`, whose
+tick calls :meth:`~repro.store.DataPlane.track` before applying any
+membership change -- so every stored (hence cacheable) key is tracked
+when an epoch closes.
+
+:class:`ServingFrontend` assembles the whole tier -- data plane,
+hot-key cache, micro-batcher, metrics -- wires the invalidator(s) up
+(per *shard* for a :class:`~repro.service.cluster.ClusterRouter`, since
+each shard closes its own epochs with shard-local plans), and exposes
+the client-facing async ``get``/``put``/``delete``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, List, Optional, Tuple
+
+from ..hashfn import Key
+from ..service.cluster import ClusterRouter
+from ..service.router import EpochResult, Router, RouterObserver
+from .batcher import DEFAULT_MAX_BATCH, DEFAULT_MAX_DELAY, MicroBatcher
+from .cache import DEFAULT_CAPACITY, HotKeyCache
+from .metrics import ServingMetrics
+
+__all__ = ["EpochInvalidator", "ServingFrontend"]
+
+
+class EpochInvalidator(RouterObserver):
+    """Evicts exactly the keys an epoch remapped from a hot-key cache."""
+
+    def __init__(
+        self,
+        cache: HotKeyCache,
+        source,
+        metrics: Optional[ServingMetrics] = None,
+    ):
+        #: ``source`` is the router whose epochs this observer receives
+        #: (a shard router, for a cluster) -- consulted for whether a
+        #: probe population was tracked when the epoch closed.
+        self._cache = cache
+        self._source = source
+        self._metrics = metrics
+
+    @property
+    def cache(self) -> HotKeyCache:
+        return self._cache
+
+    def on_epoch(self, result: EpochResult) -> None:
+        if self._source.probe_keys is None:
+            # No probe population: the remapped-key set is unknowable,
+            # so correctness demands the blanket flush.
+            dropped = self._cache.flush()
+            if self._metrics is not None:
+                self._metrics.observe_invalidation(dropped, flush=True)
+            return
+        moved = [key for batch in result.plan.batches for key in batch.keys]
+        evicted = self._cache.invalidate_keys(moved)
+        if self._metrics is not None:
+            self._metrics.observe_invalidation(evicted)
+
+
+class ServingFrontend:
+    """The assembled serving tier behind an async get/put/delete API."""
+
+    def __init__(
+        self,
+        plane,
+        cache: Optional[HotKeyCache] = None,
+        metrics: Optional[ServingMetrics] = None,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_delay: float = DEFAULT_MAX_DELAY,
+        cache_capacity: int = DEFAULT_CAPACITY,
+    ):
+        self._plane = plane
+        self._cache = cache if cache is not None else HotKeyCache(cache_capacity)
+        self._metrics = metrics if metrics is not None else ServingMetrics()
+        self._batcher = MicroBatcher(
+            plane,
+            cache=self._cache,
+            metrics=self._metrics,
+            max_batch=max_batch,
+            max_delay=max_delay,
+        )
+        self._invalidators: List[Tuple[Router, EpochInvalidator]] = []
+        self._task: Optional["asyncio.Task"] = None
+        self._subscribe_invalidators()
+
+    def _subscribe_invalidators(self) -> None:
+        router = self._plane.router
+        if isinstance(router, ClusterRouter):
+            # Each shard closes its own epochs with a shard-local plan,
+            # so each gets its own invalidator bound to that shard.
+            sources = [router.shard(index) for index in range(router.n_shards)]
+        else:
+            sources = [router]
+        for source in sources:
+            invalidator = EpochInvalidator(self._cache, source, metrics=self._metrics)
+            source.subscribe(invalidator)
+            self._invalidators.append((source, invalidator))
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def plane(self):
+        return self._plane
+
+    @property
+    def cache(self) -> HotKeyCache:
+        return self._cache
+
+    @property
+    def metrics(self) -> ServingMetrics:
+        return self._metrics
+
+    @property
+    def batcher(self) -> MicroBatcher:
+        return self._batcher
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None and not self._task.done()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "asyncio.Task":
+        """Launch the batcher's flush loop on the running event loop."""
+        if self.running:
+            raise RuntimeError("frontend is already running")
+        self._task = asyncio.get_running_loop().create_task(self._batcher.run())
+        return self._task
+
+    async def stop(self) -> None:
+        """Flush everything pending, then stop the flush loop."""
+        self._batcher.drain()
+        self._batcher.stop()
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    def close(self) -> None:
+        """Detach the epoch invalidators from their routers."""
+        for source, invalidator in self._invalidators:
+            source.unsubscribe(invalidator)
+        self._invalidators.clear()
+
+    # -- client API --------------------------------------------------------
+
+    async def get(self, key: Key, default: Any = None) -> Any:
+        """The value for ``key`` (or ``default``), via the micro-batch."""
+        found, value = await self._batcher.submit("get", key)
+        return value if found else default
+
+    async def lookup(self, key: Key) -> Tuple[bool, Any]:
+        """Like :meth:`get` but returns ``(found, value)`` explicitly."""
+        return await self._batcher.submit("get", key)
+
+    async def put(self, key: Key, value: Any) -> Key:
+        """Store ``key``; resolves to the owning server id."""
+        return await self._batcher.submit("put", key, value)
+
+    async def delete(self, key: Key) -> bool:
+        """Delete ``key``; resolves to whether it existed."""
+        return await self._batcher.submit("delete", key)

@@ -26,9 +26,12 @@ facade:
   be restored in place (:meth:`restore_shard`) without touching its
   peers -- and instead of silently stranding the keys the swap
   reroutes, the restore emits the migration plan that rescues them;
-* :meth:`route` takes an ``avoid`` set -- the failover path: when the
-  primary is in ``avoid`` (a failure detector flagged it dead), the
-  key is served by its first healthy replica instead.
+* :meth:`route` / :meth:`route_batch` are failover-aware with the same
+  contract as :class:`Router`: a persistent :meth:`avoid` set (plus an
+  optional per-call ``avoid``) excludes flagged servers, serving their
+  keys from the first healthy replica, while :meth:`assign` /
+  :meth:`assign_batch` stay avoid-blind (writes land at the assigned
+  owner so a transient health flag never strands data).
 
 Every shard shares the same key-hashing family (same seed), so the
 cluster hashes each key exactly once and feeds the pre-routed words to
@@ -54,7 +57,7 @@ from typing import (
 
 import numpy as np
 
-from ..errors import EmptyTableError, StateError
+from ..errors import EmptyTableError, StateError, UnknownServerError
 from ..hashfn import Key
 from ..hashing.base import DynamicHashTable
 from ..hashing.registry import TableSpec, make_table
@@ -64,6 +67,7 @@ from .router import (
     EpochResult,
     MembershipUpdate,
     Router,
+    RouterObserver,
     _record_from_state,
     _unique,
 )
@@ -141,6 +145,7 @@ class ClusterRouter:
         self._shard_family = self._family.derive("cluster-shard")
         self._history: List[ClusterEpochRecord] = []
         self._probe_keys: Optional[np.ndarray] = None
+        self._avoided: Set[Key] = set()
         if probe_keys is not None:
             self.track(probe_keys)
 
@@ -222,25 +227,86 @@ class ClusterRouter:
         """Hash a key batch once, for the whole cluster."""
         return self._shards[0].table.words_of_keys(keys)
 
+    # -- observers ---------------------------------------------------------
+
+    def subscribe(self, observer: RouterObserver) -> RouterObserver:
+        """Attach an observer to every shard; returns it.
+
+        Shard routers dispatch their own events, so a cluster-level
+        subscriber sees one ``on_epoch`` per shard whose membership
+        actually changed -- each carrying that shard's migration plan,
+        which covers exactly the tracked keys the shard serves (the
+        granularity an epoch-invalidated cache wants).
+        """
+        for router in self._shards:
+            router.subscribe(observer)
+        return observer
+
+    def unsubscribe(self, observer: RouterObserver) -> None:
+        """Detach an observer previously attached to every shard."""
+        for router in self._shards:
+            router.unsubscribe(observer)
+
+    # -- failure / drain flagging ------------------------------------------
+
+    @property
+    def avoided(self) -> frozenset:
+        """Servers currently excluded from serving (failover targets)."""
+        return frozenset(self._avoided)
+
+    def avoid(self, server_id: Key) -> None:
+        """Exclude a member from serving cluster-wide, same contract as
+        :meth:`Router.avoid`: no membership change, no epoch, keys it
+        owns served by their first non-avoided replica until the flag
+        lifts or the control plane reconciles it out."""
+        if server_id not in set(self.server_ids):
+            raise UnknownServerError(server_id)
+        self._avoided.add(server_id)
+
+    def readmit(self, server_id: Key) -> None:
+        """Lift a previous :meth:`avoid` flag (no-op when not flagged)."""
+        self._avoided.discard(server_id)
+
+    def _failover_word(self, word: int, avoided: Set[Key]) -> Key:
+        """Serve one pre-hashed word around the avoided servers."""
+        table = self._shards[self.shard_of_word(word)].table
+        k = min(table.server_count, len(avoided) + 1)
+        for slot in table.route_word_replicas(word, k):
+            server_id = table.server_ids[int(slot)]
+            if server_id not in avoided:
+                return server_id
+        raise EmptyTableError(
+            "every candidate server for word {} is in the avoid set".format(
+                word
+            )
+        )
+
     # -- routing -----------------------------------------------------------
 
     def assign(self, key: Key) -> Key:
-        """The key's assigned owner, from its shard (the write path).
+        """The key's *assigned* owner, from its shard (the write path).
 
-        ClusterRouter keeps no persistent avoid set (``avoid`` is
-        per-call on :meth:`route`), so assignment *is* plain routing;
-        the dedicated name keeps the storage-path contract explicit --
-        if routing ever grows a persistent failover set, assignment
-        must stay blind to it.
+        Avoid-blind by contract, exactly like :meth:`Router.assign`: a
+        suspect server is served *around* on the read path but still
+        owns its keys, so writes keep landing at the assignment -- a
+        transient health flag must never strand data on a failover
+        replica.
         """
-        return self.route(key)
+        word = self._family.word(key)
+        table = self._shards[self.shard_of_word(word)].table
+        return table.server_ids[table.route_word(word)]
+
+    def assign_batch(self, keys: Sequence[Key]) -> np.ndarray:
+        """Batched :meth:`assign`: raw shard fan-out, avoid-blind."""
+        return self.route_words(self.words_of_keys(keys))
 
     def route(self, key: Key, avoid: Optional[Iterable[Key]] = None) -> Key:
         """Route one key through its owning shard.
 
-        ``avoid`` is the failover path: server identifiers a failure
-        detector has flagged (dead, draining, overloaded).  When the
-        primary is in ``avoid`` the key is served by its first healthy
+        Servers in the cluster's persistent :meth:`avoid` set (plus any
+        per-call ``avoid`` -- identifiers a failure detector has
+        flagged dead, draining or overloaded) are excluded: when the
+        primary is flagged the key is served by its first healthy
         replica -- the next entry of the shard table's replica set --
         without any membership change (the control plane reconciles,
         and pays the remap bill, on its own schedule).
@@ -248,7 +314,9 @@ class ClusterRouter:
         word = self._family.word(key)
         table = self._shards[self.shard_of_word(word)].table
         primary = table.server_ids[table.route_word(word)]
-        avoided: Set[Key] = set(avoid) if avoid is not None else set()
+        avoided = (
+            self._avoided if avoid is None else self._avoided | set(avoid)
+        )
         if primary not in avoided:
             # The common case stays O(1): the replica walk is paid only
             # for keys whose primary is actually flagged.
@@ -283,13 +351,34 @@ class ClusterRouter:
             )
         return out
 
-    def route_batch(self, keys: Sequence[Key]) -> np.ndarray:
-        """Route a key batch: hash once, fan out shard by shard."""
-        return self.route_words(self.words_of_keys(keys))
+    def route_batch(
+        self, keys: Sequence[Key], avoid: Optional[Iterable[Key]] = None
+    ) -> np.ndarray:
+        """Route a key batch: hash once, fan out shard by shard.
 
-    #: Batched assignment (the write path) -- see :meth:`assign`: with
-    #: no persistent avoid set, assignment is plain batch routing.
-    assign_batch = route_batch
+        Avoid-aware, with the same contract as
+        :meth:`Router.route_batch`: the persistent avoid set and the
+        per-call ``avoid`` merge, the batch takes each shard's
+        vectorized kernel, and only keys whose primary is flagged pay
+        the per-key replica walk.
+        """
+        words = self.words_of_keys(keys)
+        assigned = self.route_words(words)
+        avoided = (
+            self._avoided if avoid is None else self._avoided | set(avoid)
+        )
+        if not avoided:
+            return assigned
+        flagged = np.fromiter(
+            (server_id in avoided for server_id in assigned),
+            dtype=bool,
+            count=assigned.size,
+        )
+        for index in np.nonzero(flagged)[0]:
+            assigned[index] = self._failover_word(
+                int(words[index]), avoided
+            )
+        return assigned
 
     def route_replicas(self, key: Key, k: int) -> Tuple[Key, ...]:
         """The key's ``k``-replica set, from its owning shard."""
@@ -340,6 +429,10 @@ class ClusterRouter:
     def _close_epoch(
         self, results: Sequence[Optional[EpochResult]]
     ) -> ClusterEpochResult:
+        # Mirrors Router.apply: a server reconciled out of the fleet
+        # sheds its avoid flag (re-admitting the same id later starts
+        # unflagged).
+        self._avoided.intersection_update(self.server_ids)
         records = tuple(
             result.record if result is not None else None
             for result in results
@@ -454,6 +547,7 @@ class ClusterRouter:
             )
             plan = MigrationPlan.from_delta(delta, epoch=router.epoch)
         self._shards[index] = router
+        self._avoided.intersection_update(self.server_ids)
         if self._probe_keys is not None:
             owners = self.shards_of_words(
                 self.words_of_keys(self._probe_keys)
@@ -511,6 +605,9 @@ class ClusterRouter:
             for record in meta.get("history", ())
         ]
         cluster._probe_keys = None
+        # Avoid flags are ephemeral serving state, not topology: like
+        # Router.restore, a restored cluster starts with none.
+        cluster._avoided = set()
         if probe_keys is not None:
             cluster.track(probe_keys)
         return cluster

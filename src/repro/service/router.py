@@ -245,6 +245,12 @@ class RouterObserver:
     def on_remap(self, record: EpochRecord) -> None:
         """An epoch closed; ``record`` carries its remap accounting."""
 
+    def on_epoch(self, result: "EpochResult") -> None:
+        """An epoch closed; ``result`` carries the record *and* the
+        migration plan naming exactly the tracked keys the epoch
+        rerouted -- the hook an epoch-invalidated cache uses to evict
+        precisely the remapped keys instead of flushing."""
+
 
 class Router:
     """Production-facing facade over a :class:`DynamicHashTable`."""
@@ -462,9 +468,11 @@ class Router:
         )
         plan = MigrationPlan.from_delta(delta, epoch=self._epoch)
         self._history.append(record)
+        result = EpochResult(record=record, plan=plan)
         for observer in self._observers:
             observer.on_remap(record)
-        return EpochResult(record=record, plan=plan)
+            observer.on_epoch(result)
+        return result
 
     def join(
         self, server_id: Key, weight: Optional[float] = None

@@ -49,6 +49,10 @@ def _record(scale: float) -> dict:
             "ticks_per_s": 5e3 * scale,
             "normalized": 0.001 * scale,
         },
+        "serve": {
+            "requests_per_s": 3e6 * scale,
+            "normalized": 0.9 * scale,
+        },
     }
 
 

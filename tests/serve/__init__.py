@@ -1,0 +1,1 @@
+"""Tests for the async serving tier."""

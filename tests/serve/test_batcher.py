@@ -1,0 +1,189 @@
+"""Tests for the micro-batcher: dispatch core, semantics, asyncio loop."""
+
+import asyncio
+
+import pytest
+
+from repro.hashing import make_table
+from repro.serve import HotKeyCache, MicroBatcher, Request, RequestQueue
+from repro.service import Router
+from repro.store import DataPlane
+
+
+def build_plane(servers=6, seed=3):
+    router = Router(make_table("consistent", seed=seed))
+    router.sync(["srv-{}".format(index) for index in range(servers)])
+    return DataPlane(router)
+
+
+def build_batcher(**kwargs):
+    plane = build_plane()
+    kwargs.setdefault("cache", HotKeyCache(64))
+    return MicroBatcher(plane, **kwargs), plane
+
+
+class TestRequestQueue:
+    def test_fifo_take(self):
+        queue = RequestQueue()
+        for index in range(5):
+            queue.append(Request("get", index))
+        assert [request.key for request in queue.take(3)] == [0, 1, 2]
+        assert len(queue) == 2
+
+    def test_head_is_oldest(self):
+        queue = RequestQueue()
+        queue.append(Request("get", "old"))
+        queue.append(Request("get", "new"))
+        assert queue.head().key == "old"
+
+
+class TestRequest:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            Request("frobnicate", "k")
+
+
+class TestValidation:
+    def test_bad_knobs_rejected(self):
+        plane = build_plane()
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(plane, max_batch=0)
+        with pytest.raises(ValueError, match="max_delay"):
+            MicroBatcher(plane, max_delay=-1.0)
+
+
+class TestSyncCore:
+    def test_gets_fill_then_hit_the_cache(self):
+        batcher, plane = build_batcher()
+        plane.put_many(list(range(10)), list(range(10)))
+        values, found = batcher.serve_gets(list(range(10)))
+        assert found.all() and list(values) == list(range(10))
+        assert batcher.cache.hits == 0
+        values, found = batcher.serve_gets(list(range(10)))
+        assert found.all()
+        assert batcher.cache.hits == 10
+
+    def test_missing_keys_reported_not_cached(self):
+        batcher, __ = build_batcher()
+        values, found = batcher.serve_gets(["ghost"])
+        assert not found.any() and values[0] is None
+        assert "ghost" not in batcher.cache
+
+    def test_put_is_write_through(self):
+        batcher, plane = build_batcher()
+        batcher.serve_puts(["k"], ["v1"])
+        assert batcher.cache.peek("k") == "v1"
+        batcher.serve_puts(["k"], ["v2"])
+        assert batcher.cache.peek("k") == "v2"
+        assert plane.get("k") == "v2"
+
+    def test_delete_evicts_and_reports(self):
+        batcher, plane = build_batcher()
+        batcher.serve_puts(["k"], ["v"])
+        deleted = batcher.serve_deletes(["k", "ghost"])
+        assert list(deleted) == [True, False]
+        assert "k" not in batcher.cache
+        assert plane.get("k", None) is None
+
+    def test_cacheless_batcher_still_serves(self):
+        plane = build_plane()
+        batcher = MicroBatcher(plane, cache=None)
+        plane.put("k", "v")
+        values, found = batcher.serve_gets(["k"])
+        assert found[0] and values[0] == "v"
+
+
+class TestBatchSemantics:
+    def test_reads_observe_pre_batch_state(self):
+        # A get, a delete and a put of the SAME key in one batch: the
+        # get must see the pre-batch value, the delete the pre-batch
+        # entry, and the put must win the final state.
+        batcher, plane = build_batcher()
+        plane.put("k", "before")
+        batch = [
+            Request("put", "k", "after"),
+            Request("get", "k"),
+            Request("delete", "k"),
+        ]
+        batcher.dispatch(batch)
+        # order of application: gets -> deletes -> puts
+        assert plane.get("k") == "after"
+        assert batcher.cache.peek("k") == "after"
+
+    def test_dispatch_resolves_metrics(self):
+        batcher, plane = build_batcher()
+        plane.put("k", "v")
+        batcher.dispatch([Request("get", "k"), Request("put", "j", 1)])
+        assert batcher.metrics.requests == 2
+        assert batcher.metrics.batches == 1
+
+    def test_flush_takes_at_most_max_batch(self):
+        batcher, __ = build_batcher(max_batch=4)
+        for index in range(10):
+            batcher._queue.append(Request("put", index, index))
+        assert batcher.flush() == 4
+        assert batcher.pending == 6
+        assert batcher.drain() == 6
+        assert batcher.pending == 0
+
+
+class TestAsyncLoop:
+    def test_flush_on_size(self):
+        async def scenario():
+            batcher, plane = build_batcher(max_batch=4, max_delay=60.0)
+            task = asyncio.get_running_loop().create_task(batcher.run())
+            futures = [batcher.submit("put", index, index * 2) for index in range(4)]
+            owners = await asyncio.wait_for(asyncio.gather(*futures), timeout=5.0)
+            assert len(owners) == 4
+            assert plane.get(3) == 6
+            batcher.stop()
+            await task
+
+        asyncio.run(scenario())
+
+    def test_flush_on_deadline(self):
+        async def scenario():
+            batcher, plane = build_batcher(max_batch=1_000, max_delay=0.01)
+            task = asyncio.get_running_loop().create_task(batcher.run())
+            plane.put("k", "v")
+            found, value = await asyncio.wait_for(
+                batcher.submit("get", "k"), timeout=5.0
+            )
+            assert found and value == "v"
+            batcher.stop()
+            await task
+
+        asyncio.run(scenario())
+
+    def test_get_resolution_shape(self):
+        async def scenario():
+            batcher, plane = build_batcher(max_batch=2, max_delay=0.005)
+            task = asyncio.get_running_loop().create_task(batcher.run())
+            plane.put("k", "v")
+            hit, miss = await asyncio.wait_for(
+                asyncio.gather(
+                    batcher.submit("get", "k"),
+                    batcher.submit("get", "ghost"),
+                ),
+                timeout=5.0,
+            )
+            assert hit == (True, "v")
+            assert miss == (False, None)
+            deleted = await asyncio.wait_for(batcher.submit("delete", "k"), timeout=5.0)
+            assert deleted is True
+            batcher.stop()
+            await task
+
+        asyncio.run(scenario())
+
+    def test_run_twice_rejected(self):
+        async def scenario():
+            batcher, __ = build_batcher()
+            task = asyncio.get_running_loop().create_task(batcher.run())
+            await asyncio.sleep(0)  # let run() start
+            with pytest.raises(RuntimeError, match="already running"):
+                await batcher.run()
+            batcher.stop()
+            await task
+
+        asyncio.run(scenario())

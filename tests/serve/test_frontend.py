@@ -1,0 +1,138 @@
+"""Tests for the serving front-end and the epoch-exact invalidator."""
+
+import asyncio
+
+from repro.hashing import make_table
+from repro.serve import EpochInvalidator, HotKeyCache, ServingFrontend, ServingMetrics
+from repro.service import ClusterRouter, Router
+from repro.store import DataPlane
+
+
+def tracked_stack(name="consistent", servers=6, keys=400, seed=3):
+    router = Router(make_table(name, seed=seed))
+    router.sync(["srv-{}".format(index) for index in range(servers)])
+    plane = DataPlane(router)
+    population = list(range(keys))
+    plane.put_many(population, population)
+    plane.track()
+    return router, plane, population
+
+
+class TestEpochInvalidator:
+    def test_exact_eviction_when_tracked(self):
+        router, plane, population = tracked_stack()
+        cache = HotKeyCache(1_024)
+        for key in population:
+            cache.put(key, key)
+        metrics = ServingMetrics()
+        router.subscribe(EpochInvalidator(cache, router, metrics=metrics))
+        result = router.join("srv-new")
+        moved = {key for batch in result.plan.batches for key in batch.keys}
+        assert moved  # the epoch must have remapped something
+        assert set(cache.keys()) == set(population) - moved
+        assert metrics.invalidated_keys == len(moved)
+        assert metrics.cache_flushes == 0
+
+    def test_blanket_flush_when_untracked(self):
+        router = Router(make_table("consistent", seed=3))
+        router.sync(["a", "b", "c"])
+        cache = HotKeyCache(64)
+        cache.put("k", 1)
+        metrics = ServingMetrics()
+        router.subscribe(EpochInvalidator(cache, router, metrics=metrics))
+        router.join("d")  # no probe population: unknowable remap set
+        assert len(cache) == 0
+        assert metrics.cache_flushes == 1
+
+    def test_leave_epoch_also_exact(self):
+        router, plane, population = tracked_stack()
+        cache = HotKeyCache(1_024)
+        for key in population[:100]:
+            cache.put(key, key)
+        router.subscribe(EpochInvalidator(cache, router))
+        plane.track()
+        result = router.leave("srv-0")
+        moved = {key for batch in result.plan.batches for key in batch.keys}
+        assert set(cache.keys()) == set(population[:100]) - moved
+
+
+class TestServingFrontendSync:
+    def test_subscribes_per_shard_for_clusters(self):
+        cluster = ClusterRouter("consistent", n_shards=3, seed=3)
+        cluster.sync(["a", "b", "c", "d"])
+        plane = DataPlane(cluster)
+        population = list(range(500))
+        plane.put_many(population, population)
+        plane.track()
+        frontend = ServingFrontend(plane)
+        for key in population:
+            frontend.cache.put(key, key)
+        results = cluster.sync(["a", "b", "c", "d", "e"])
+        moved = {key for batch in results.plan.batches for key in batch.keys}
+        assert set(frontend.cache.keys()) == set(population) - moved
+        assert frontend.metrics.cache_flushes == 0
+        frontend.close()
+
+    def test_close_detaches_invalidators(self):
+        router, plane, population = tracked_stack()
+        frontend = ServingFrontend(plane)
+        frontend.cache.put(population[0], population[0])
+        frontend.close()
+        plane.track()
+        router.join("srv-new")
+        # no invalidator attached: the entry survives regardless
+        assert len(frontend.cache) == 1
+
+
+class TestServingFrontendAsync:
+    def test_roundtrip_under_running_loop(self):
+        async def scenario():
+            router, plane, population = tracked_stack()
+            frontend = ServingFrontend(plane, max_batch=16, max_delay=0.002)
+            frontend.start()
+            assert frontend.running
+            owner = await frontend.put("fresh", "value")
+            assert owner in router.server_ids
+            assert await frontend.get("fresh") == "value"
+            assert await frontend.lookup("ghost") == (False, None)
+            assert await frontend.delete("fresh") is True
+            assert await frontend.get("fresh", "gone") == "gone"
+            await frontend.stop()
+            assert not frontend.running
+            frontend.close()
+
+        asyncio.run(scenario())
+
+    def test_start_twice_rejected(self):
+        async def scenario():
+            __, plane, __ = tracked_stack()
+            frontend = ServingFrontend(plane)
+            frontend.start()
+            try:
+                frontend.start()
+            except RuntimeError as error:
+                assert "already running" in str(error)
+            else:  # pragma: no cover - the assertion above must fire
+                raise AssertionError("second start() should be rejected")
+            await frontend.stop()
+            frontend.close()
+
+        asyncio.run(scenario())
+
+    def test_stop_flushes_pending(self):
+        async def scenario():
+            __, plane, __ = tracked_stack()
+            # Deadline far away: only stop()'s drain can serve these.
+            frontend = ServingFrontend(plane, max_batch=1_000, max_delay=60.0)
+            frontend.start()
+            futures = [
+                frontend.put("key-{}".format(index), index) for index in range(5)
+            ]
+            pending = asyncio.gather(*futures)
+            await asyncio.sleep(0)  # let the submits enqueue
+            await frontend.stop()
+            await asyncio.wait_for(pending, timeout=5.0)
+            assert plane.get("key-4") == 4
+            frontend.close()
+
+        asyncio.run(scenario())

@@ -1,0 +1,117 @@
+"""The serving tier's invalidation guarantee, over every algorithm.
+
+After ANY membership mutation (``join`` / ``leave`` / ``sync``) on a
+tracked router, exactly the remapped keys leave the hot-key cache --
+no blanket flush, nothing extra evicted -- and every read served
+through the cache afterwards still matches ``DataPlane.get``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hashing import make_table, registered_algorithms
+from repro.serve import EpochInvalidator, HotKeyCache, MicroBatcher, ServingMetrics
+from repro.service import Router
+from repro.store import DataPlane
+
+#: Small constructor configs so the expensive tables stay fast here.
+_CONFIGS = {
+    "hd": {"dim": 256, "codebook_size": 64},
+    "maglev": {"table_size": 251},
+}
+
+_KEYS = 400
+
+
+def build_tier(name, servers=6, seed=5):
+    router = Router(make_table(name, seed=seed, **_CONFIGS.get(name, {})))
+    router.sync(["srv-{:02d}".format(index) for index in range(servers)])
+    plane = DataPlane(router)
+    population = list(range(_KEYS))
+    plane.put_many(population, population)
+    cache = HotKeyCache(2 * _KEYS)
+    metrics = ServingMetrics()
+    batcher = MicroBatcher(plane, cache=cache, metrics=metrics)
+    router.subscribe(EpochInvalidator(cache, router, metrics=metrics))
+    # Warm the cache through the read path, then install the stored
+    # keys as the probe population (the invalidation contract's
+    # precondition, normally maintained by the control loop's tick).
+    batcher.serve_gets(population)
+    plane.track()
+    return router, plane, batcher, population
+
+
+def moved_keys(result):
+    if result is None:
+        return set()
+    return {int(key) for batch in result.plan.batches for key in batch.keys}
+
+
+def check_epoch(router, plane, batcher, population, mutate):
+    cached_before = {int(key) for key in batcher.cache.keys()}
+    flushes_before = batcher.metrics.cache_flushes
+    moved = moved_keys(mutate())
+    # exactly the remapped keys left the cache, and no blanket flush
+    assert {int(key) for key in batcher.cache.keys()} == cached_before - moved
+    assert batcher.metrics.cache_flushes == flushes_before
+    # every cached read still matches the plane, for the whole
+    # population (hits and misses alike)
+    values, found = batcher.serve_gets(population)
+    for key, value, present in zip(population, values, found):
+        assert bool(present) == (plane.get(key, None) is not None)
+        if present:
+            assert value == plane.get(key)
+
+
+@pytest.mark.parametrize("name", registered_algorithms())
+class TestEveryAlgorithm:
+    def test_join_evicts_exactly_the_remapped_keys(self, name):
+        router, plane, batcher, population = build_tier(name)
+        check_epoch(router, plane, batcher, population, lambda: router.join("srv-new"))
+
+    def test_leave_evicts_exactly_the_remapped_keys(self, name):
+        router, plane, batcher, population = build_tier(name)
+        check_epoch(router, plane, batcher, population, lambda: router.leave("srv-00"))
+
+    def test_sync_evicts_exactly_the_remapped_keys(self, name):
+        router, plane, batcher, population = build_tier(name)
+        # one join + one leave in a single declarative epoch
+        target = [
+            server_id for server_id in router.server_ids if server_id != "srv-01"
+        ] + ["srv-new"]
+        check_epoch(router, plane, batcher, population, lambda: router.sync(target))
+
+
+class TestMutationSequences:
+    @given(
+        steps=st.lists(
+            st.sampled_from(["join", "leave", "sync-grow", "sync-shrink"]),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_random_epoch_sequences_stay_exact(self, steps):
+        router, plane, batcher, population = build_tier("consistent")
+        next_id = 100
+        for step in steps:
+            if router.server_count <= 2 and step in ("leave", "sync-shrink"):
+                continue
+            if step == "join":
+                joiner = "srv-{:02d}".format(next_id)
+                next_id += 1
+                mutate = lambda joiner=joiner: router.join(joiner)
+            elif step == "leave":
+                victim = router.server_ids[0]
+                mutate = lambda victim=victim: router.leave(victim)
+            elif step == "sync-grow":
+                target = list(router.server_ids) + ["srv-{:02d}".format(next_id)]
+                next_id += 1
+                mutate = lambda target=target: router.sync(target)
+            else:
+                target = list(router.server_ids)[1:]
+                mutate = lambda target=target: router.sync(target)
+            check_epoch(router, plane, batcher, population, mutate)
+            # keep the contract's precondition current, as the control
+            # loop's tick does before every epoch it applies
+            plane.track()

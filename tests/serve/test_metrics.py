@@ -1,0 +1,86 @@
+"""Tests for the serving metrics accumulator and snapshot."""
+
+import pytest
+
+from repro.serve import ServingMetrics
+
+
+class TestOps:
+    def test_requests_sums_verbs(self):
+        metrics = ServingMetrics()
+        metrics.observe_ops(gets=3, puts=2, deletes=1)
+        assert metrics.requests == 6
+        assert (metrics.gets, metrics.puts, metrics.deletes) == (3, 2, 1)
+
+
+class TestBatches:
+    def test_histogram_buckets_are_powers_of_two(self):
+        metrics = ServingMetrics()
+        for size in (1, 2, 3, 4, 5, 200, 256):
+            metrics.observe_batch(size)
+        histogram = metrics.batch_histogram()
+        # bucket 2**b counts sizes in (2**(b-1), 2**b]
+        assert histogram[1] == 1
+        assert histogram[2] == 1
+        assert histogram[4] == 2
+        assert histogram[8] == 1
+        assert histogram[256] == 2
+
+    def test_zero_size_batches_ignored(self):
+        metrics = ServingMetrics()
+        metrics.observe_batch(0)
+        assert metrics.batches == 0
+
+    def test_mean_and_max(self):
+        metrics = ServingMetrics()
+        metrics.observe_batch(10, busy_seconds=0.5)
+        metrics.observe_batch(30, busy_seconds=0.5)
+        snapshot = metrics.snapshot()
+        assert snapshot.mean_batch == 20.0
+        assert snapshot.max_batch == 30
+
+
+class TestLatencies:
+    def test_percentiles_in_seconds(self):
+        metrics = ServingMetrics()
+        metrics.observe_latencies([0.001] * 99 + [0.1])
+        p50, p99 = metrics.latency_percentiles(50.0, 99.0)
+        assert p50 == pytest.approx(0.001)
+        assert p99 >= 0.001
+
+    def test_no_samples_is_zero(self):
+        metrics = ServingMetrics()
+        assert metrics.latency_percentiles(50.0, 99.0) == (0.0, 0.0)
+
+    def test_sample_pool_is_capped(self):
+        metrics = ServingMetrics(max_samples=10)
+        metrics.observe_latencies([1.0] * 8)
+        metrics.observe_latencies([2.0] * 8)  # only 2 join the pool
+        assert metrics._samples == 10
+        metrics.observe_latencies([3.0])  # pool full: dropped
+        assert metrics._samples == 10
+
+
+class TestSnapshot:
+    def test_throughput_is_requests_per_busy_second(self):
+        metrics = ServingMetrics()
+        metrics.observe_ops(gets=100)
+        metrics.observe_batch(100, busy_seconds=0.5)
+        assert metrics.snapshot().throughput_rps == pytest.approx(200.0)
+
+    def test_hit_rate_and_invalidation_accounting(self):
+        metrics = ServingMetrics()
+        metrics.observe_cache(hits=3, misses=1)
+        metrics.observe_invalidation(5)
+        metrics.observe_invalidation(7, flush=True)
+        snapshot = metrics.snapshot()
+        assert snapshot.hit_rate == pytest.approx(0.75)
+        assert snapshot.invalidated_keys == 12
+        assert snapshot.cache_flushes == 1
+
+    def test_describe_mentions_the_headline_numbers(self):
+        metrics = ServingMetrics()
+        metrics.observe_ops(gets=4)
+        metrics.observe_batch(4, busy_seconds=0.001)
+        text = metrics.snapshot().describe()
+        assert "4 requests" in text and "p99" in text
