@@ -259,6 +259,54 @@ class DynamicHashTable(ABC):
                         break
         return np.asarray(chosen[:k], dtype=np.int64)
 
+    def _walk_distinct_batch(
+        self, starts: np.ndarray, seq: np.ndarray, k: int
+    ) -> np.ndarray:
+        """Vectorized :meth:`_collect_distinct` over a whole word batch.
+
+        ``starts`` holds one entry index per word and ``seq`` the slot
+        sequence being walked (``seq[(start + step) % len(seq)]`` --
+        ring successor slots, Maglev table entries, modular buckets).
+        All rows advance in lockstep with a masked scatter, the same
+        shape as ``jump_hash_batch``: at each step only the rows whose
+        candidate is a not-yet-chosen slot accept it, and rows that have
+        collected ``k`` distinct slots drop out of the active set.  Rows
+        whose walk ends short (``seq`` does not cover the pool, e.g.
+        after corruption) are finished by :meth:`_complete_replicas`,
+        exactly as the scalar walk would be.  Bit-exact with running
+        :meth:`_collect_distinct` per row, since acceptance order is the
+        walk order either way.
+
+        ``seq`` values must already be valid slots in
+        ``[0, server_count)``.
+        """
+        n = starts.size
+        size = seq.size
+        out = np.empty((n, k), dtype=np.int64)
+        first = seq[starts % size]
+        out[:, 0] = first
+        if k == 1:
+            return out
+        chosen = np.zeros((n, self.server_count), dtype=bool)
+        rows_all = np.arange(n)
+        chosen[rows_all, first] = True
+        filled = np.ones(n, dtype=np.int64)
+        active = rows_all
+        for step in range(1, size):
+            if active.size == 0:
+                break
+            cand = seq[(starts[active] + step) % size]
+            fresh = ~chosen[active, cand]
+            rows = active[fresh]
+            slots = cand[fresh]
+            out[rows, filled[rows]] = slots
+            chosen[rows, slots] = True
+            filled[rows] += 1
+            active = active[filled[active] < k]
+        for row in np.nonzero(filled < k)[0]:
+            out[row] = self._complete_replicas(out[row, : filled[row]].tolist(), k)
+        return out
+
     def _route_word_replicas(self, word: int, k: int) -> np.ndarray:
         """Generic exclusion-rerank fallback on a validated ``k``.
 
@@ -284,9 +332,32 @@ class DynamicHashTable(ABC):
     def route_word_replicas(self, word: int, k: int) -> np.ndarray:
         """Route one pre-hashed word to ``k`` distinct server slots.
 
-        Returns an ``int64`` array of length ``k``, ordered by
-        preference: ``route_word_replicas(word, k)[0] ==
-        route_word(word)`` for every algorithm.
+        This is the canonical statement of the replica contract; every
+        scalar/batch/key-level replica entry point resolves to it:
+
+        * **k distinct**: the result is an ``int64`` array of length
+          ``k`` whose entries are pairwise-distinct slots, ordered by
+          the algorithm's preference.  ``k`` outside
+          ``[1, server_count]`` raises
+          :class:`~repro.errors.ReplicaCountError`.
+        * **head equals lookup**: ``replicas[0] == route_word(word)``
+          for every algorithm and every table state, so replica routing
+          never disagrees with single-server routing about the primary.
+        * **pure function of (word, state)**: batch
+          (:meth:`route_replicas_batch`) and scalar rows are bit-exact,
+          and bit-identical table replicas agree, even on corrupted
+          state.
+
+        These properties are what the service layer's avoid-set
+        failover builds on: :meth:`Router.route
+        <repro.service.router.Router.route>` and
+        :meth:`ClusterRouter.route
+        <repro.service.cluster.ClusterRouter.route>` serve a key from
+        the first replica *not* in the avoid set -- flagging a server
+        re-ranks traffic onto each key's next preferred replica without
+        any membership change, and lifting the flag restores the
+        original placement because the underlying replica sequence
+        never moved.
         """
         self._require_servers()
         self._check_replica_count(k)

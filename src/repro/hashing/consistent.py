@@ -216,6 +216,22 @@ class ConsistentHashTable(DynamicHashTable):
         """Native replica path: ``k`` distinct ring successors."""
         return self._distinct_successors(self._successor_index(word), k)
 
+    def _successor_indices(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_successor_index` for a key batch."""
+        indices = np.searchsorted(
+            self._ring_positions, keys, side="left"
+        ).astype(np.int64)
+        indices[indices == self._ring_positions.size] = 0
+        return indices
+
+    def _route_replicas_batch(self, words: np.ndarray, k: int) -> np.ndarray:
+        """Batch replica path: one searchsorted for every word's
+        successor entry, then the shared masked-advance array walk over
+        the sorted ring -- the vectorized form of
+        :meth:`_distinct_successors`."""
+        starts = self._successor_indices(self._keys_of_words(words))
+        return self._walk_distinct_batch(starts, self._ring_slots, k)
+
     def _route_batch_bisect(self, keys: np.ndarray) -> np.ndarray:
         indices = np.searchsorted(self._ring_positions, keys, side="left")
         indices[indices == self._ring_positions.size] = 0

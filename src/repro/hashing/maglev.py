@@ -7,9 +7,27 @@ preferred empty slot.  Lookup is a single O(1) table read; resizing
 rebuilds the table but moves few keys because the permutations are
 stable.
 
-Memory model: the populated lookup table itself (slot -> server), the
-same structure Maglev keeps in memory per packet; corrupted entries are
-re-interpreted modulo the pool size.
+Churn is incremental in two layers, both bit-exact with the sequential
+fill the NSDI paper describes (property-tested in
+``tests/hashing/test_maglev_incremental.py``):
+
+* **cached permutation state** -- each member's offset/skip pair, its
+  modular-inverse skip and its full permutation row are computed once
+  at join and reused across every subsequent fill, so a membership
+  event only hashes the *joining* server;
+* **deferred bulk fill** -- membership changes mark the lookup table
+  stale instead of rebuilding it; the next route (or snapshot, or
+  fault-injection surface) pays one :func:`_fill_table` for the whole
+  batch of changes.  A ``Router.sync`` epoch or a leave+join
+  autoscaling cycle therefore costs one table build, not one per event.
+
+:func:`_fill_table` itself is the bulk-array construction (HashGraph
+style): a round-synchronous phase advances every cursor with masked
+window gathers and commits each round's longest duplicate-free prefix
+at once, and a free-slot-centric *race* finishes the end game (or, for
+small pools, the whole fill) where per-round vectorization degenerates.
+The sequential reference fill is kept as :func:`_fill_reference`, the
+oracle the property tests compare against.
 """
 
 from __future__ import annotations
@@ -31,6 +49,16 @@ __all__ = ["MaglevHashTable", "MaglevConfig"]
 #: by the experiments, trading table weight for fill speed in tests.
 DEFAULT_TABLE_SIZE = 4099
 
+#: Pools at or below this size fill fastest through the scalar race
+#: over cached permutation rows; larger pools amortize the vectorized
+#: round phase across more claims per numpy call.  Tuned empirically at
+#: the perf-profile shapes (509x16 and 4099x64).
+_RACE_COUNT_CUTOVER = 32
+
+#: Lookahead width (entries per cursor) of the round phase's masked
+#: advance gather.
+_ADVANCE_WINDOW = 16
+
 
 def _is_prime(value: int) -> bool:
     if value < 2:
@@ -43,6 +71,160 @@ def _is_prime(value: int) -> bool:
             return False
         divisor += 2
     return True
+
+
+def _fill_reference(
+    offsets: np.ndarray, skips: np.ndarray, size: int
+) -> np.ndarray:
+    """The sequential NSDI fill: servers take turns claiming their next
+    preferred empty slot.  Kept as the bit-exactness oracle for
+    :func:`_fill_table`; every production fill goes through the bulk
+    path."""
+    count = offsets.size
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    table = np.full(size, -1, dtype=np.int64)
+    next_index = np.zeros(count, dtype=np.int64)
+    filled = 0
+    while filled < size:
+        for slot in range(count):
+            position = (
+                int(offsets[slot]) + int(skips[slot]) * int(next_index[slot])
+            ) % size
+            next_index[slot] += 1
+            while table[position] >= 0:
+                position = (
+                    int(offsets[slot])
+                    + int(skips[slot]) * int(next_index[slot])
+                ) % size
+                next_index[slot] += 1
+            table[position] = slot
+            filled += 1
+            if filled == size:
+                break
+    return table
+
+
+def _race(
+    table: np.ndarray,
+    lists: List[List[int]],
+    size: int,
+    count: int,
+    remaining: int,
+) -> None:
+    """Finish a fill by racing servers over their free-slot claim lists.
+
+    ``lists[s]`` is server ``s``'s remaining free slots in permutation
+    (rank) order -- every free slot has rank at or past every cursor, so
+    restricting the sequential fill to free slots in round-robin turn
+    order is *exactly* the sequential fill from this state.  Claims are
+    buffered and scattered into ``table`` in one write at the end.
+    """
+    claimed = bytearray(size)
+    ptrs = [0] * count
+    won_slots: List[int] = []
+    won_by: List[int] = []
+    append_slot = won_slots.append
+    append_srv = won_by.append
+    while True:
+        for server in range(count):
+            lst = lists[server]
+            ptr = ptrs[server]
+            while claimed[lst[ptr]]:
+                ptr += 1
+            slot = lst[ptr]
+            claimed[slot] = 1
+            append_slot(slot)
+            append_srv(server)
+            ptrs[server] = ptr + 1
+            remaining -= 1
+            if not remaining:
+                table[won_slots] = won_by
+                return
+
+
+def _fill_table(
+    perm: np.ndarray,
+    offsets: np.ndarray,
+    inv_skips: np.ndarray,
+    size: int,
+) -> np.ndarray:
+    """Bulk Maglev fill, bit-identical to :func:`_fill_reference`.
+
+    Small pools go straight to the scalar race over the cached
+    permutation rows.  Large pools run round-synchronous vectorized
+    claiming: every cursor advances past claimed entries through a
+    masked window gather, each round commits its longest duplicate-free
+    candidate prefix in one scatter (exact, because claims by
+    earlier-turn servers cannot change a later server's first free
+    entry unless they *are* that entry -- a duplicate), and the
+    remaining suffix retries.  When few free slots remain the round
+    phase degenerates (every round is mostly collisions), so the end
+    game switches to the race over rank-sorted free slots, recovering
+    each server's claim order from the modular inverse of its skip.
+    """
+    count = perm.shape[0]
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    table = np.full(size, -1, dtype=np.int64)
+    if count == 1:
+        table[:] = 0
+        return table
+    if count <= _RACE_COUNT_CUTOVER:
+        _race(table, perm.tolist(), size, count, size)
+        return table
+    perm_flat = perm.ravel()
+    cursor = np.zeros(count, dtype=np.int64)
+    rows = np.arange(count)
+    row_base = rows * size
+    first_claim = np.full(size, -1, dtype=np.int64)
+    win_off = np.arange(_ADVANCE_WINDOW)
+    filled = 0
+    endgame_at = min(2 * count, size - 1)
+    while filled < size:
+        free = size - filled
+        if free <= endgame_at:
+            free_slots = np.nonzero(table < 0)[0]
+            ranks = (
+                (free_slots[None, :] - offsets[:, None]) * inv_skips[:, None]
+            ) % size
+            order = np.argsort(ranks, axis=1, kind="stable")
+            _race(table, free_slots[order].tolist(), size, count, free)
+            return table
+        width = min(count, free)
+        start = 0
+        while start < width:
+            turn = rows[start:width]
+            cand = perm_flat[row_base[start:width] + cursor[start:width]]
+            blocked = table[cand] >= 0
+            while blocked.any():
+                stuck = turn[blocked]
+                at = cursor[stuck]
+                window = perm_flat[
+                    row_base[stuck][:, None]
+                    + (at[:, None] + win_off[None, :]) % size
+                ]
+                window_free = table[window] < 0
+                has_free = window_free.any(axis=1)
+                advance = np.where(
+                    has_free, window_free.argmax(axis=1), _ADVANCE_WINDOW
+                )
+                cursor[stuck] = at + advance
+                cand[blocked] = perm_flat[row_base[stuck] + cursor[stuck] % size]
+                blocked = table[cand] >= 0
+            # First duplicate in turn order: the reversed scatter keeps
+            # the earliest claimant of every candidate slot.
+            first_claim[cand[::-1]] = turn[::-1]
+            duplicate = first_claim[cand] != turn
+            prefix = int(duplicate.argmax()) if duplicate.any() else turn.size
+            first_claim[cand] = -1
+            table[cand[:prefix]] = turn[:prefix]
+            cursor[start : start + prefix] += 1
+            filled += prefix
+            start += prefix
+            if filled == size:
+                break
+    return table
 
 
 @dataclass(frozen=True)
@@ -76,44 +258,46 @@ class MaglevHashTable(DynamicHashTable):
         self._offset_family = self.family.derive("maglev-offset")
         self._skip_family = self.family.derive("maglev-skip")
         self._server_words = np.empty(0, dtype=np.uint64)
+        self._offsets = np.empty(0, dtype=np.int64)
+        self._skips = np.empty(0, dtype=np.int64)
+        self._inv_skips = np.empty(0, dtype=np.int64)
+        self._perm = np.empty((0, table_size), dtype=np.int64)
         self._table = np.empty(0, dtype=np.int64)
+        self._stale = False
 
     @property
     def table_size(self) -> int:
         """Size of the prime lookup table."""
         return self._table_size
 
-    def _populate(self) -> None:
-        """Fill the lookup table by round-robin preference claiming."""
-        count = self._server_words.size
-        if count == 0:
-            self._table = np.empty(0, dtype=np.int64)
-            return
+    def _offset_skip(self, server_word: int):
+        """One server's permutation parameters (offset, skip, 1/skip).
+
+        Derived from independent hash sub-families exactly as the NSDI
+        construction prescribes; the modular inverse exists because the
+        table size is prime (Fermat), and lets the end-game race recover
+        a slot's rank in the server's permutation without scanning it.
+        """
         size = self._table_size
-        words = self._server_words
-        offsets = self._offset_family.pair_vec(words, 0) % np.uint64(size)
-        skips = self._skip_family.pair_vec(words, 0) % np.uint64(size - 1) + np.uint64(1)
-        table = np.full(size, -1, dtype=np.int64)
-        next_index = np.zeros(count, dtype=np.int64)
-        filled = 0
-        while filled < size:
-            for slot in range(count):
-                # Walk this server's permutation to its next empty slot.
-                position = (
-                    int(offsets[slot]) + int(skips[slot]) * int(next_index[slot])
-                ) % size
-                next_index[slot] += 1
-                while table[position] >= 0:
-                    position = (
-                        int(offsets[slot])
-                        + int(skips[slot]) * int(next_index[slot])
-                    ) % size
-                    next_index[slot] += 1
-                table[position] = slot
-                filled += 1
-                if filled == size:
-                    break
-        self._table = table
+        word = np.uint64(server_word)
+        offset = int(self._offset_family.pair(int(word), 0) % size)
+        skip = int(self._skip_family.pair(int(word), 0) % (size - 1)) + 1
+        inv_skip = pow(skip, size - 2, size)
+        return offset, skip, inv_skip
+
+    def _materialized(self) -> np.ndarray:
+        """The lookup table, filling it first if membership changed.
+
+        Every read of routing state funnels through here, so a batch of
+        membership events costs one bulk fill at the next route,
+        snapshot or fault-injection access -- never one per event.
+        """
+        if self._stale:
+            self._table = _fill_table(
+                self._perm, self._offsets, self._inv_skips, self._table_size
+            )
+            self._stale = False
+        return self._table
 
     def _join(self, server_id: Key, server_word: int) -> None:
         if self.server_count + 1 > self._table_size:
@@ -122,22 +306,34 @@ class MaglevHashTable(DynamicHashTable):
                     self._table_size, self.server_count + 1
                 )
             )
-        self._server_words = np.append(
-            self._server_words, np.uint64(server_word)
-        )
-        self._populate()
+        offset, skip, inv_skip = self._offset_skip(server_word)
+        row = (
+            offset
+            + skip * np.arange(self._table_size, dtype=np.int64)
+        ) % self._table_size
+        self._server_words = np.append(self._server_words, np.uint64(server_word))
+        self._offsets = np.append(self._offsets, np.int64(offset))
+        self._skips = np.append(self._skips, np.int64(skip))
+        self._inv_skips = np.append(self._inv_skips, np.int64(inv_skip))
+        self._perm = np.vstack([self._perm, row[None, :]])
+        self._stale = True
 
     def _leave(self, server_id: Key, slot: int) -> None:
         self._server_words = np.delete(self._server_words, slot)
-        self._populate()
+        self._offsets = np.delete(self._offsets, slot)
+        self._skips = np.delete(self._skips, slot)
+        self._inv_skips = np.delete(self._inv_skips, slot)
+        self._perm = np.delete(self._perm, slot, axis=0)
+        self._stale = True
 
     def route_word(self, word: int) -> int:
         self._require_servers()
-        entry = int(self._table[word % self._table_size])
+        entry = int(self._materialized()[word % self._table_size])
         return entry % self.server_count
 
     def _route_batch(self, words: np.ndarray) -> np.ndarray:
-        entries = self._table[(words % np.uint64(self._table_size)).astype(np.int64)]
+        table = self._materialized()
+        entries = table[(words % np.uint64(self._table_size)).astype(np.int64)]
         return entries % np.int64(self.server_count)
 
     def _route_word_replicas(self, word: int, k: int) -> np.ndarray:
@@ -150,13 +346,22 @@ class MaglevHashTable(DynamicHashTable):
         """
         size = self._table_size
         count = self.server_count
+        table = self._materialized()
         start = int(word % size)
         return self._collect_distinct(
-            (
-                int(self._table[(start + step) % size]) % count
-                for step in range(size)
-            ),
+            (int(table[(start + step) % size]) % count for step in range(size)),
             k,
+        )
+
+    def _route_replicas_batch(self, words: np.ndarray, k: int) -> np.ndarray:
+        """Batch replica path: the shared array walk over the lookup
+        table's slot sequence (entries reduced modulo the pool size,
+        the same re-interpretation the scalar walk applies to
+        corrupted entries)."""
+        table = self._materialized()
+        starts = (words % np.uint64(self._table_size)).astype(np.int64)
+        return self._walk_distinct_batch(
+            starts, table % np.int64(self.server_count), k
         )
 
     # -- snapshot / restore ----------------------------------------------
@@ -167,14 +372,33 @@ class MaglevHashTable(DynamicHashTable):
     def _state_payload(self) -> Dict[str, Any]:
         return {
             "server_words": self._server_words.copy(),
-            "table": self._table.copy(),
+            "table": self._materialized().copy(),
         }
 
     def _load_payload(self, payload: Dict[str, Any], server_ids: List[Key]) -> None:
         self._server_words = np.asarray(
             payload["server_words"], dtype=np.uint64
         ).copy()
+        size = self._table_size
+        count = self._server_words.size
+        offsets = np.empty(count, dtype=np.int64)
+        skips = np.empty(count, dtype=np.int64)
+        inv_skips = np.empty(count, dtype=np.int64)
+        for slot in range(count):
+            offsets[slot], skips[slot], inv_skips[slot] = self._offset_skip(
+                int(self._server_words[slot])
+            )
+        self._offsets = offsets
+        self._skips = skips
+        self._inv_skips = inv_skips
+        self._perm = (
+            offsets[:, None] + skips[:, None] * np.arange(size, dtype=np.int64)
+        ) % size
+        # Install the snapshot's table verbatim (it may carry injected
+        # corruption); the table is *not* stale -- a refill here would
+        # silently repair what the snapshot promised to preserve.
         self._table = np.asarray(payload["table"], dtype=np.int64).copy()
+        self._stale = False
 
     def memory_regions(self) -> List[MemoryRegion]:
-        return [MemoryRegion("lookup_table", self._table)]
+        return [MemoryRegion("lookup_table", self._materialized())]

@@ -80,6 +80,16 @@ class ModularHashTable(DynamicHashTable):
             k,
         )
 
+    def _route_replicas_batch(self, words: np.ndarray, k: int) -> np.ndarray:
+        """Batch replica path: the shared array walk over successive
+        buckets of the slot-indirection table (the vectorized form of
+        the open-addressing probe above, corruption surface included)."""
+        count = self.server_count
+        starts = (words % np.uint64(count)).astype(np.int64)
+        return self._walk_distinct_batch(
+            starts, self._slot_refs % np.int64(count), k
+        )
+
     def _state_payload(self) -> Dict[str, Any]:
         return {"slot_refs": self._slot_refs.copy()}
 

@@ -103,15 +103,48 @@ class MultiProbeConsistentHashTable(ConsistentHashTable):
         hashing's successor-set placement."""
         return self._distinct_successors(self._best_probe_index(word), k)
 
-    def _route_batch(self, words: np.ndarray) -> np.ndarray:
+    def _best_probe_indices(self, words: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_best_probe_index`: the ``(probes, n)``
+        distance matrix, argmin over the probe axis (first winner on
+        ties, matching the scalar argmin).
+
+        The successor search is a branchless doubling search over the
+        ring padded to a power of two with max sentinels: ``log2(ring)``
+        whole-matrix gather+compare rounds, which beats
+        ``np.searchsorted``'s per-element binary search at one ring
+        entry per server.  Distances stay uint32 -- wrapping subtraction
+        is exactly the mod-2**32 clockwise distance.
+        """
         seeds = np.arange(self._probes, dtype=np.uint64)[:, None]
         probe_words = self._probe_family.pair_vec(words[None, :], seeds)
         keys = (probe_words >> np.uint64(32)).astype(np.uint32)
         ring = self._ring_positions
-        indices = np.searchsorted(ring, keys, side="left")
-        indices[indices == ring.size] = 0
-        successors = ring[indices].astype(np.uint64)
-        distances = (successors - keys.astype(np.uint64)) % np.uint64(1 << 32)
+        size = ring.size
+        width = 1 << (size - 1).bit_length()
+        padded = np.full(width, np.uint32(0xFFFFFFFF))
+        padded[:size] = ring
+        indices = np.zeros(keys.shape, dtype=np.intp)
+        step = width >> 1
+        while step:
+            probe = padded[indices + (step - 1)]
+            indices += np.multiply(probe < keys, step, dtype=np.intp)
+            step >>= 1
+        # The doubling search tops out at ``width - 1``, so keys past the
+        # last ring entry need their wrap to the first entry patched in.
+        indices[keys > ring[-1]] = 0
+        distances = ring[indices] - keys
         best = distances.argmin(axis=0)
-        chosen = indices[best, np.arange(words.size)]
-        return self._ring_slots[chosen]
+        return indices[best, np.arange(words.size)].astype(np.int64)
+
+    def _route_batch(self, words: np.ndarray) -> np.ndarray:
+        return self._ring_slots[self._best_probe_indices(words)]
+
+    def _route_replicas_batch(self, words: np.ndarray, k: int) -> np.ndarray:
+        """Batch replica path: the vectorized probe matrix picks each
+        word's winning ring entry, then the shared array walk collects
+        the distinct successors (overrides the plain-successor walk
+        inherited from :class:`ConsistentHashTable`, which would start
+        at the wrong entry for multi-probe placement)."""
+        return self._walk_distinct_batch(
+            self._best_probe_indices(words), self._ring_slots, k
+        )

@@ -84,6 +84,14 @@ class AlgorithmEntry:
             algorithm-specific replica path (ranked kernel or
             vectorized walk) instead of the scalar exclusion-rerank
             default.
+        ``replica-batch-native``
+            vectorized :meth:`~DynamicHashTable._route_replicas_batch`
+            kernel (array walk, ranked kernel, or the vectorized
+            rehash), not the dedup-then-scalar-loop default.
+
+        All flags are derived from which protocol methods the class
+        actually overrides, so they stay truthful as kernels land --
+        nothing here is hand-maintained per algorithm.
         """
         flags = []
         if getattr(self.cls, "supports_weights", False):
@@ -97,6 +105,11 @@ class AlgorithmEntry:
             is not DynamicHashTable._route_word_replicas
         ):
             flags.append("replica-native")
+        if (
+            self.cls._route_replicas_batch
+            is not DynamicHashTable._route_replicas_batch
+        ):
+            flags.append("replica-batch-native")
         return tuple(flags)
 
 

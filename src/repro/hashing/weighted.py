@@ -13,10 +13,13 @@ cost per unit weight.
 
 Routing stays batch-native: the inner table's vectorized kernel routes
 the word batch to virtual slots, and one ``int64`` gather maps virtual
-slots to real slots.  Replica sets use the base class's exclusion-rerank
-machinery *over the mapped slots*, so the ``k`` replicas are distinct
-real servers (two virtual members of one server never count twice) and
-batch stays bit-exact with scalar.
+slots to real slots.  Replica sets come from the inner algorithm's own
+ranking over virtual members, deduplicated onto distinct *real* servers
+in ranking order (two virtual members of one server never count twice),
+so placement is weight-aware for every replica and batch stays
+bit-exact with scalar.  For the default rendezvous inner the dedup
+collapses to a fused group-max over each real server's virtual block of
+the pairwise weight matrix -- no per-virtual-slot top-k at all.
 
 The wrapper registers as ``"weighted"``::
 
@@ -40,6 +43,7 @@ from ..hashfn import HashFamily, Key
 from ..memory import MemoryRegion
 from .base import DynamicHashTable
 from .registry import algorithm_entry, make_table, register_table
+from .rendezvous import RendezvousHashTable, _top_k_slots
 
 __all__ = ["VirtualWeightTable", "WeightedTableConfig", "weighted_table"]
 
@@ -189,10 +193,126 @@ class VirtualWeightTable(DynamicHashTable):
     def _route_batch(self, words: np.ndarray) -> np.ndarray:
         return self._slot_map()[self._inner.route_batch(words)]
 
-    # Replica sets must be distinct *real* servers; the vectorized
-    # exclusion-rerank fallback dedups on the mapped outer slots, so two
-    # virtual members of one server never count as two replicas.
-    _route_replicas_batch = DynamicHashTable._rehash_replicas_batch
+    # Replica sets must be distinct *real* servers, chosen by the inner
+    # algorithm's own ranking over virtual members (weight-aware all
+    # the way down the replica list, unlike the salted rehash fallback
+    # this replaced).  Deduplicating the virtual ranking by real owner
+    # keeps each real server's *best-ranked* member, so for the default
+    # rendezvous inner the whole ranking collapses to a group-max: one
+    # best-member weight per real server, then a top-k over real rows.
+    # That reduction is exact because every real server's virtual
+    # members form one contiguous block of inner slots in real-slot
+    # order (members join back-to-back and ``np.delete`` preserves
+    # order), so "first virtual occurrence" and "best weight, ties to
+    # the lowest real slot" rank identically.  Generic inners take the
+    # escalation path instead: ask for the top ``m`` virtual replicas,
+    # map through the slot gather, dedup in ranking order, and double
+    # ``m`` until ``k`` real servers surface.
+
+    def _member_block_starts(self) -> Optional[np.ndarray]:
+        """Start index of each real server's virtual-member block in
+        inner slot order, or ``None`` if the blocks are not contiguous
+        (never expected; checked so the fused reduction can never go
+        quietly wrong)."""
+        owner = self._slot_map()
+        if owner.size == 0:
+            return None
+        diffs = np.diff(owner)
+        if np.any(diffs < 0):
+            return None
+        starts = np.concatenate(([0], np.flatnonzero(diffs) + 1))
+        if starts.size != self.server_count:
+            return None
+        return starts
+
+    def _escalation_schedule(self, k: int) -> List[int]:
+        """Virtual ranking depths the generic path tries, in order.
+
+        Starts at ``2k`` -- virtual multiplicity makes adjacent ranks
+        collide onto one real server often enough that ``k`` exactly
+        would re-rank most words -- and doubles to the full virtual
+        pool.  Scalar and batch walk the same schedule and re-dedup
+        from scratch each round, so they agree without assuming the
+        inner ranking is prefix-stable.
+        """
+        inner_count = self._inner.server_count
+        depths = [min(2 * k, inner_count)]
+        while depths[-1] < inner_count:
+            depths.append(min(2 * depths[-1], inner_count))
+        return depths
+
+    def _route_word_replicas(self, word: int, k: int) -> np.ndarray:
+        # Single-row dispatch through the batch kernel keeps scalar and
+        # batch replica sets bit-identical on every inner algorithm.
+        return self._route_replicas_batch(
+            np.asarray([word], dtype=np.uint64), k
+        )[0]
+
+    def _route_replicas_batch(self, words: np.ndarray, k: int) -> np.ndarray:
+        inner = self._inner
+        if type(inner) is RendezvousHashTable:
+            starts = self._member_block_starts()
+            if starts is not None:
+                count = self.server_count
+                # Equal multiplicity (e.g. uniform weights) lets the
+                # group-max run as a contiguous reshape reduction, which
+                # is several times faster than the strided ``reduceat``.
+                multiplicity = inner.server_count // count
+                uniform = inner.server_count == count * multiplicity and (
+                    np.array_equal(
+                        starts,
+                        np.arange(count, dtype=starts.dtype) * multiplicity,
+                    )
+                )
+                out = np.empty((words.size, k), dtype=np.int64)
+                for lo, hi, block in inner._weight_chunks(words):
+                    if uniform:
+                        best = block.reshape(count, multiplicity, -1).max(
+                            axis=1
+                        )
+                    else:
+                        best = np.maximum.reduceat(block, starts, axis=0)
+                    np.invert(best, out=best)
+                    out[lo:hi] = _top_k_slots(best, k).T
+                return out
+        return self._replicas_by_escalation(words, k)
+
+    def _replicas_by_escalation(self, words: np.ndarray, k: int) -> np.ndarray:
+        slot_map = self._slot_map()
+        n = words.size
+        out = np.empty((n, k), dtype=np.int64)
+        pending = np.arange(n)
+        filled = np.zeros(n, dtype=np.int64)
+        for depth in self._escalation_schedule(k):
+            if pending.size == 0:
+                break
+            outer = slot_map[
+                self._inner.route_replicas_batch(words[pending], depth)
+            ]
+            # Row-wise in-order dedup to the first k distinct reals;
+            # recomputed from scratch each round.
+            rows = outer.shape[0]
+            round_out = np.empty((rows, k), dtype=np.int64)
+            round_filled = np.zeros(rows, dtype=np.int64)
+            chosen = np.zeros((rows, self.server_count), dtype=bool)
+            live = np.arange(rows)
+            for column in range(depth):
+                if live.size == 0:
+                    break
+                cand = outer[live, column]
+                fresh = ~chosen[live, cand]
+                accept = live[fresh]
+                slots = cand[fresh]
+                round_out[accept, round_filled[accept]] = slots
+                chosen[accept, slots] = True
+                round_filled[accept] += 1
+                live = live[round_filled[live] < k]
+            out[pending] = round_out
+            filled[pending] = round_filled
+            pending = pending[round_filled < k]
+        for row in np.nonzero(filled < k)[0]:
+            out[row] = self._complete_replicas(out[row, : filled[row]].tolist(), k)
+        return out
 
     # -- snapshot / restore ------------------------------------------------
 

@@ -381,7 +381,14 @@ class ClusterRouter:
         return assigned
 
     def route_replicas(self, key: Key, k: int) -> Tuple[Key, ...]:
-        """The key's ``k``-replica set, from its owning shard."""
+        """The key's ``k``-replica set, from its owning shard.
+
+        Per-shard, the contract is
+        :meth:`~repro.hashing.base.DynamicHashTable.route_word_replicas`:
+        k distinct servers, head equal to :meth:`assign`'s owner,
+        batch/scalar bit-exact.  :meth:`route` fails over along this
+        set when the primary is in the avoid set.
+        """
         word = self._family.word(key)
         table = self._shards[self.shard_of_word(word)].table
         slots = table.route_word_replicas(word, k)

@@ -411,6 +411,9 @@ class Router:
         The returned :class:`EpochResult` carries the epoch's
         accounting record and the migration plan for the tracked keys
         the epoch rerouted (an empty plan when nothing is tracked).
+        The epoch / :class:`~repro.service.migration.DeltaTracker` /
+        :class:`~repro.service.migration.MigrationPlan` flow is mapped
+        end to end in ``docs/ARCHITECTURE.md``.
         """
         if update.is_empty:
             return None
@@ -586,11 +589,19 @@ class Router:
         return assigned
 
     def route_replicas(self, key: Key, k: int) -> Tuple[Key, ...]:
-        """The key's ``k``-replica set through the wrapped table."""
+        """The key's ``k``-replica set through the wrapped table.
+
+        The replica contract (k pairwise-distinct servers, the head
+        equal to :meth:`assign`'s owner, batch/scalar bit-exact) is
+        stated once at
+        :meth:`~repro.hashing.base.DynamicHashTable.route_word_replicas`;
+        :meth:`route`'s avoid-set failover is built on it.
+        """
         return self._table.lookup_replicas(key, k)
 
     def route_replicas_batch(self, keys: Sequence[Key], k: int) -> np.ndarray:
-        """Batched ``(len(keys), k)`` replica sets through the table."""
+        """Batched ``(len(keys), k)`` replica sets through the table
+        (same contract as :meth:`route_replicas`, row for row)."""
         return self._table.lookup_replicas_batch(keys, k)
 
     # -- snapshot / restore ------------------------------------------------

@@ -1,0 +1,105 @@
+"""Intra-repo link integrity for the documentation tree.
+
+Backs the CI ``docs`` job: every relative link in ``README.md`` and
+``docs/*.md`` must point at a file that exists, and every fragment
+(``file.md#anchor`` or ``#anchor``) must match a heading in the target
+document, using GitHub's heading-slug rules.  External links
+(``http(s)://``, ``mailto:``) are out of scope -- the check must stay
+hermetic.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOCUMENTS = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")]
+)
+
+_LINK = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*)$")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def links_of(document: Path):
+    in_fence = False
+    for line in document.read_text().splitlines():
+        if _CODE_FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield match.group(1)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # code spans keep text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep text
+    text = re.sub(r"[*_]", "", text)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(document: Path):
+    anchors = set()
+    in_fence = False
+    for line in document.read_text().splitlines():
+        if _CODE_FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if match:
+            anchors.add(github_slug(match.group(2)))
+    return anchors
+
+
+def test_documents_exist():
+    assert (REPO_ROOT / "docs" / "ARCHITECTURE.md") in DOCUMENTS
+    assert (REPO_ROOT / "docs" / "PERFORMANCE.md") in DOCUMENTS
+
+
+@pytest.mark.parametrize(
+    "document", DOCUMENTS, ids=[d.name for d in DOCUMENTS]
+)
+def test_relative_links_resolve(document):
+    broken = []
+    for target in links_of(document):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        resolved = (
+            document
+            if not path_part
+            else (document.parent / path_part).resolve()
+        )
+        if not resolved.exists():
+            broken.append(target)
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in anchors_of(resolved):
+                broken.append(target + " (missing anchor)")
+    assert not broken, "dead links in {}: {}".format(document.name, broken)
+
+
+def test_every_doc_is_reachable_from_readme():
+    readme = REPO_ROOT / "README.md"
+    linked = set()
+    for target in links_of(readme):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part = target.partition("#")[0]
+        if path_part:
+            linked.add((readme.parent / path_part).resolve())
+    for document in (REPO_ROOT / "docs").glob("*.md"):
+        assert document.resolve() in linked, (
+            "docs/{} is not linked from the README".format(document.name)
+        )

