@@ -424,27 +424,41 @@ class ControlLoop:
             *(worker.copied_keys for worker in executors)
         )
         for worker in executors:
-            for source_id, destination_id, key in worker.processed_moves():
-                if key in seen:
+            for batch, keys in worker.processed_batches():
+                fresh = [key for key in keys if key not in seen]
+                if not fresh:
                     continue
-                seen.add(key)
-                if key not in copied:
-                    # Never copied by any pass: either deleted before
-                    # the cursor reached it, or it was never at its
-                    # planned source (in-flight backlog from an earlier
-                    # migration living at some third store).  Nothing
-                    # of ours to reconcile -- and the destination store
-                    # may hold the key's ONLY copy, so it must not be
-                    # misread as a mid-drain delete.
+                seen.update(fresh)
+                # Keys never copied by any pass are left alone: either
+                # deleted before the cursor reached them, or never at
+                # their planned source (in-flight backlog from an
+                # earlier migration living at some third store).
+                # Nothing of ours to reconcile -- and the destination
+                # store may hold such a key's ONLY copy, so it must not
+                # be misread as a mid-drain delete.
+                candidates = [key for key in fresh if key in copied]
+                if not candidates:
                     continue
-                source = self._plane.store(source_id)
-                destination = self._plane.store(destination_id)
-                if key in source and key in destination:
-                    source.delete(key)
-                    cleaned += 1
-                elif key in destination:
-                    destination.delete(key)
-                    cleaned += 1
+                source = self._plane.store(batch.source)
+                destination = self._plane.store(batch.destination)
+                __, at_source = source.get_many(candidates)
+                __, at_destination = destination.get_many(candidates)
+                both = at_source & at_destination
+                stale = at_destination & ~at_source
+                drop_source = [
+                    key
+                    for key, hit in zip(candidates, both.tolist())
+                    if hit
+                ]
+                drop_destination = [
+                    key
+                    for key, hit in zip(candidates, stale.tolist())
+                    if hit
+                ]
+                if drop_source:
+                    cleaned += source.discard_many(drop_source)
+                if drop_destination:
+                    cleaned += destination.discard_many(drop_destination)
         return cleaned
 
     # -- the reconciliation tick -------------------------------------------

@@ -49,6 +49,10 @@ class PerfProfile:
     serve_requests: int = 4_096
     serve_batch: int = 256
     serve_cache: int = 4_096
+    #: Zipf key universe the ``serve`` metric samples from.  Decoupled
+    #: from ``migration_keys`` so the migration population can scale
+    #: without changing the serve workload's hit-rate profile.
+    serve_universe: int = 4_096
     #: Per-algorithm constructor overrides applied through
     #: :func:`repro.hashing.make_table`.
     table_configs: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
@@ -68,7 +72,11 @@ PERF_PROFILES: Dict[str, PerfProfile] = {
         # single-scheduler-hiccup noise past the 30% tolerance.
         repeats=5,
         churn_cycles=16,
-        migration_keys=4_096,
+        # 16k keys: enough moved keys per resize that migrate_execute
+        # times bulk engine passes, not per-run setup.  The serve
+        # universe stays at 4k so the cache hit profile is unchanged.
+        migration_keys=16_384,
+        serve_universe=4_096,
         table_configs={
             "hd": {"dim": 2_048, "codebook_size": 256},
             "maglev": {"table_size": 509},
@@ -82,6 +90,7 @@ PERF_PROFILES: Dict[str, PerfProfile] = {
         churn_cycles=12,
         migration_keys=16_384,
         serve_requests=16_384,
+        serve_universe=16_384,
         table_configs={
             "hd": {"dim": 10_000, "codebook_size": 1_024},
         },
@@ -94,6 +103,7 @@ PERF_PROFILES: Dict[str, PerfProfile] = {
         churn_cycles=24,
         migration_keys=32_768,
         serve_requests=32_768,
+        serve_universe=32_768,
         table_configs={},
     ),
 }

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..errors import MigrationError
 from ..hashfn import Key
+from ..store.store import MISSING, item_nbytes
 
 __all__ = [
     "DeltaTracker",
@@ -42,8 +43,9 @@ __all__ = [
     "MigrationExecutor",
 ]
 
-#: Sentinel distinguishing "stored None" from "absent" in store reads.
-_MISSING = object()
+#: Sentinel distinguishing "stored None" from "absent" in store reads
+#: (the stores' own sentinel, so bulk reads compare by identity).
+_MISSING = MISSING
 
 #: An assignment function: pre-hashed words -> server identifiers
 #: (object array), or ``None`` when the pool is empty.
@@ -267,7 +269,11 @@ class MigrationPlan:
                 MoveBatch(
                     source=delta.sources[rows[0]],
                     destination=delta.destinations[rows[0]],
-                    keys=tuple(delta.keys[rows]),
+                    # ``tolist`` unboxes numpy scalars to builtins --
+                    # python ints hash measurably faster than np.int64
+                    # in every downstream dict/set pass the executor
+                    # runs, and compare equal everywhere.
+                    keys=tuple(delta.keys[rows].tolist()),
                 )
             )
         return cls(tracked=delta.tracked, batches=tuple(batches), epoch=epoch)
@@ -348,6 +354,16 @@ class MigrationExecutor:
        source serving until the membership epoch lands; the caller
        then reconciles the double copies over :meth:`processed_moves`).
 
+    The hot path is array-at-a-time: the plan is flattened once into
+    per-batch key offsets, a tick's cursor advances by one
+    ``searchsorted`` over prefix-summed byte costs (instead of per-key
+    ``item_bytes`` probes), and each contiguous per-batch segment of
+    the admitted window moves through ``get_many`` -> ``put_many`` ->
+    bulk read-back -> ``delete_many`` with one accounting update per
+    store call.  Within one plan every key appears in exactly one
+    batch, so per-segment phasing is state-identical to the scalar
+    chunk-wide phasing.
+
     Keys absent from their source store (deleted since planning, or
     committed by a previous executor over the same plan) are skipped and
     counted.  The cursor lives on the executor, so execution resumes by
@@ -375,10 +391,25 @@ class MigrationExecutor:
         self._max_bytes = max_bytes_per_tick
         self._delete_source = delete_source
         self._planned = plan.total_keys
-        self._batch_index = 0
-        self._offset = 0
+        # Flat cursor: batch ``i`` covers the half-open key-position
+        # range ``[_bounds[i], _bounds[i + 1])``; ``_pos`` is the next
+        # unprocessed position.
+        counts = np.fromiter(
+            (len(batch.keys) for batch in plan.batches),
+            dtype=np.int64,
+            count=len(plan.batches),
+        )
+        self._bounds = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(counts))
+        )
+        self._total = int(self._bounds[-1])
+        self._pos = 0
         self._copied = 0
+        # Copied keys accumulate as per-tick chunks and merge into the
+        # set lazily on first read -- set inserts are per-key work the
+        # hot loop does not need to pay.
         self._copied_keys: set = set()
+        self._copied_chunks: List[List[Key]] = []
         self._committed = 0
         self._skipped = 0
         self._bytes_copied = 0
@@ -399,6 +430,11 @@ class MigrationExecutor:
         planned source at all (in-flight backlog from an earlier
         migration) -- in both cases the reconcile must not touch it.
         """
+        if self._copied_chunks:
+            merged = self._copied_keys
+            for chunk in self._copied_chunks:
+                merged.update(chunk)
+            self._copied_chunks.clear()
         return frozenset(self._copied_keys)
 
     @property
@@ -413,61 +449,216 @@ class MigrationExecutor:
             ticks=self._ticks,
         )
 
-    def _next_chunk(self) -> List[Tuple[MoveBatch, Key]]:
-        """Advance the cursor by up to one tick's key/byte budget."""
-        chunk: List[Tuple[MoveBatch, Key]] = []
-        budget_bytes = self._max_bytes
+    def _segments(self, start: int, end: int):
+        """Per-batch ``(batch, a, b)`` slices covering ``[start, end)``.
+
+        ``a``/``b`` are key offsets inside the batch; empty batches are
+        skipped.
+        """
+        bounds = self._bounds
         batches = self._plan.batches
-        while len(chunk) < self._max_keys and self._batch_index < len(batches):
-            batch = batches[self._batch_index]
-            if self._offset >= len(batch.keys):
-                self._batch_index += 1
-                self._offset = 0
+        index = int(np.searchsorted(bounds, start, side="right")) - 1
+        pos = start
+        while pos < end:
+            batch_end = int(bounds[index + 1])
+            if batch_end <= pos:
+                index += 1
                 continue
-            key = batch.keys[self._offset]
-            if budget_bytes is not None:
-                cost = self._plane.store(batch.source).item_bytes(key)
-                # The first key is always admitted (progress guarantee,
-                # even when one item alone exceeds the budget) but its
-                # cost is still charged against the tick's budget.
-                if chunk and cost > budget_bytes:
-                    break
-                budget_bytes -= cost
-            chunk.append((batch, key))
-            self._offset += 1
-        return chunk
+            seg_end = min(end, batch_end)
+            begin = int(bounds[index])
+            yield batches[index], pos - begin, seg_end - begin
+            pos = seg_end
+            index += 1
+
+    def _admitted_end(self) -> int:
+        """The tick's cursor stop: key budget, then byte budget.
+
+        Bit-exact with per-key throttling: the admitted count is the
+        largest prefix whose cumulative cost fits ``max_bytes_per_tick``
+        (absent keys cost 0), clamped to at least one key -- the same
+        progress guarantee the scalar loop gave by always admitting the
+        first key while still charging its cost.
+        """
+        pos = self._pos
+        end = min(self._total, pos + self._max_keys)
+        if self._max_bytes is None or end <= pos:
+            return end
+        costs = np.empty(end - pos, dtype=np.int64)
+        filled = 0
+        for batch, a, b in self._segments(pos, end):
+            costs[filled : filled + (b - a)] = self._plane.store(
+                batch.source
+            ).item_bytes_many(batch.keys[a:b])
+            filled += b - a
+        admitted = int(
+            np.searchsorted(
+                np.cumsum(costs), self._max_bytes, side="right"
+            )
+        )
+        return pos + max(1, admitted)
 
     def tick(self) -> MigrationStatus:
-        """Move one throttled chunk through copy -> verify -> commit."""
-        chunk = self._next_chunk()
-        staged: List[Tuple[MoveBatch, Key, object]] = []
-        for batch, key in chunk:
-            value = self._plane.store(batch.source).get(key, _MISSING)
-            if value is _MISSING:
-                # Deleted since planning, or already committed by an
-                # earlier executor run over the same plan.
-                self._skipped += 1
-                continue
-            self._bytes_copied += self._plane.store(batch.destination).put(
-                key, value
-            )
-            self._copied += 1
-            self._copied_keys.add(key)
-            staged.append((batch, key, value))
-        for batch, key, value in staged:
-            readback = self._plane.store(batch.destination).get(key, _MISSING)
-            if readback is not value and readback != value:
-                raise MigrationError(
-                    "copied key {!r} did not read back from {!r} "
-                    "(wrote {!r}, read {!r})".format(
-                        key, batch.destination, value, readback
-                    )
-                )
-        for batch, key, __ in staged:
-            if self._delete_source:
-                self._plane.store(batch.source).delete(key)
-            self._committed += 1
+        """Move one throttled chunk through copy -> verify -> commit.
+
+        The admitted window's per-batch segments are grouped by source
+        for the copy reads and commit deletes and by destination for
+        the copy writes and read-back verify, so a tick costs one bulk
+        store call per *server touched*, not per key or per batch.  The
+        whole tick's live items are priced in a single numeric-batch
+        probe that feeds both the destination charge and the source
+        release.  Keys are unique within a plan, so the grouped order
+        is state-identical to the scalar chunk order (including each
+        destination dict's insertion order).
+        """
+        start = self._pos
+        end = self._admitted_end()
+        # The cursor covers the admitted window whether or not every
+        # key survives the phases -- identical to the scalar loop,
+        # which consumed the chunk before running them.
+        self._pos = end
         self._ticks += 1
+        if end <= start:
+            return self.status
+        plane = self._plane
+        segments = list(self._segments(start, end))
+        count = len(segments)
+        seg_keys: List[Sequence[Key]] = [
+            batch.keys[a:b] for batch, a, b in segments
+        ]
+        by_source: Dict[Key, List[int]] = {}
+        by_destination: Dict[Key, List[int]] = {}
+        for index, (batch, __, __b) in enumerate(segments):
+            by_source.setdefault(batch.source, []).append(index)
+            by_destination.setdefault(batch.destination, []).append(index)
+
+        # -- copy reads: one bulk fetch per source server -------------
+        missing = _MISSING
+        live_keys: List[Sequence[Key]] = [()] * count
+        live_values: List[List] = [[]] * count
+        # Per-source gather lists whose reads hit every key; the commit
+        # phase deletes exactly these, so it can reuse them instead of
+        # re-concatenating the segments.
+        clean_reads: Dict[Key, Optional[Sequence[Key]]] = {}
+        for source_id, members in by_source.items():
+            gathered = (
+                seg_keys[members[0]]
+                if len(members) == 1
+                else [key for index in members for key in seg_keys[index]]
+            )
+            values, misses = plane.store(source_id).read_many(gathered)
+            clean_reads[source_id] = None if misses else gathered
+            offset = 0
+            for index in members:
+                keys = seg_keys[index]
+                width = len(keys)
+                # A lone member owns the whole read -- no slice copy.
+                picked = (
+                    values
+                    if len(members) == 1
+                    else values[offset : offset + width]
+                )
+                offset += width
+                if misses:
+                    # Deleted since planning, or already committed by
+                    # an earlier executor run over the same plan.
+                    kept_keys = []
+                    kept_values = []
+                    for key, value in zip(keys, picked):
+                        if value is not missing:
+                            kept_keys.append(key)
+                            kept_values.append(value)
+                    self._skipped += width - len(kept_keys)
+                    live_keys[index] = kept_keys
+                    live_values[index] = kept_values
+                else:
+                    live_keys[index] = keys
+                    live_values[index] = picked
+
+        # -- pricing: one numeric probe over the tick's live set ------
+        flat_keys = [key for keys in live_keys for key in keys]
+        live = len(flat_keys)
+        if not live:
+            return self.status
+        # A batch of machine scalars (int/float/bool) sums to a builtin
+        # number in one C pass; anything else -- strings, bytes, None,
+        # arrays, numpy scalars -- either raises or yields a non-builtin
+        # total, and falls through to the exact per-item pricing.  Both
+        # outcomes match the scalar executor's ``item_nbytes`` sums
+        # (builtin numerics are 8 bytes each).
+        try:
+            probe = sum(flat_keys) + sum(map(sum, live_values))
+            numeric = type(probe) is int or type(probe) is float
+        except (TypeError, ValueError):
+            numeric = False
+        if numeric:
+            seg_nbytes = [16 * len(keys) for keys in live_keys]
+        else:
+            seg_nbytes = [
+                sum(map(item_nbytes, keys)) + sum(map(item_nbytes, values))
+                for keys, values in zip(live_keys, live_values)
+            ]
+
+        # -- copy writes + verify: one bulk put/read-back per dest ----
+        for destination_id, members in by_destination.items():
+            if len(members) == 1:
+                index = members[0]
+                copy_keys: Sequence[Key] = live_keys[index]
+                copy_values = live_values[index]
+                charged = seg_nbytes[index]
+            else:
+                copy_keys = [
+                    key for index in members for key in live_keys[index]
+                ]
+                copy_values = [
+                    value for index in members for value in live_values[index]
+                ]
+                charged = sum(seg_nbytes[index] for index in members)
+            if not copy_keys:
+                continue
+            store = plane.store(destination_id)
+            self._bytes_copied += store.put_many(
+                copy_keys, copy_values, accounted_nbytes=charged
+            )
+            readback, __ = store.read_many(copy_keys)
+            # List equality short-circuits per element on identity
+            # (exactly the scalar ``is``-then-``==`` check), so the
+            # all-good case is one C-level pass.
+            if readback != copy_values:
+                for key, value, seen in zip(copy_keys, copy_values, readback):
+                    if seen is not value and seen != value:
+                        raise MigrationError(
+                            "copied key {!r} did not read back from {!r} "
+                            "(wrote {!r}, read {!r})".format(
+                                key, destination_id, value, seen
+                            )
+                        )
+
+        self._copied += live
+        self._copied_chunks.append(flat_keys)
+
+        # -- commit: one bulk delete per source server ----------------
+        # ``evict_many``'s precondition holds: every dropped key was
+        # read from its source this tick (so it is present), plans
+        # never repeat a key, and the copy writes only ever add keys
+        # from *other* batches to a store.
+        if self._delete_source:
+            for source_id, members in by_source.items():
+                cached = clean_reads[source_id]
+                if len(members) == 1:
+                    released = seg_nbytes[members[0]]
+                else:
+                    released = sum(seg_nbytes[index] for index in members)
+                if cached is not None:
+                    drop_keys: Sequence[Key] = cached
+                elif len(members) == 1:
+                    drop_keys = live_keys[members[0]]
+                else:
+                    drop_keys = [
+                        key for index in members for key in live_keys[index]
+                    ]
+                if drop_keys:
+                    plane.store(source_id).evict_many(drop_keys, released)
+        self._committed += live
         return self.status
 
     def run(self, max_ticks: Optional[int] = None) -> MigrationStatus:
@@ -482,12 +673,16 @@ class MigrationExecutor:
 
     def remaining_plan(self) -> MigrationPlan:
         """The uncommitted tail, as a plan a fresh executor can take."""
+        bounds = self._bounds
+        pos = self._pos
+        plan_batches = self._plan.batches
+        first = int(np.searchsorted(bounds, pos, side="right")) - 1
         batches: List[MoveBatch] = []
-        for index in range(self._batch_index, len(self._plan.batches)):
-            batch = self._plan.batches[index]
+        for index in range(max(first, 0), len(plan_batches)):
+            batch = plan_batches[index]
             keys = (
-                batch.keys[self._offset :]
-                if index == self._batch_index
+                batch.keys[pos - int(bounds[index]) :]
+                if index == first
                 else batch.keys
             )
             if keys:
@@ -504,6 +699,28 @@ class MigrationExecutor:
             epoch=self._plan.epoch,
         )
 
+    def processed_batches(self):
+        """Yield ``(batch, keys)`` prefixes the cursor has processed.
+
+        ``keys`` is the batch's processed (non-empty) prefix, skipped
+        keys included -- the bulk reconciliation surface behind
+        :meth:`processed_moves`, letting callers work per batch instead
+        of per key (see :meth:`~repro.control.loop.ControlLoop.drain`).
+        """
+        bounds = self._bounds
+        pos = self._pos
+        plan_batches = self._plan.batches
+        last = int(np.searchsorted(bounds, pos, side="right")) - 1
+        for index in range(min(last, len(plan_batches) - 1) + 1):
+            batch = plan_batches[index]
+            keys = (
+                batch.keys
+                if index < last
+                else batch.keys[: pos - int(bounds[index])]
+            )
+            if keys:
+                yield batch, keys
+
     def processed_moves(self):
         """Yield ``(source, destination, key)`` for every processed move.
 
@@ -516,15 +733,7 @@ class MigrationExecutor:
         overlapping plan) -- see
         :meth:`~repro.control.loop.ControlLoop.drain`.
         """
-        for index in range(self._batch_index + 1):
-            if index >= len(self._plan.batches):
-                break
-            batch = self._plan.batches[index]
-            keys = (
-                batch.keys[: self._offset]
-                if index == self._batch_index
-                else batch.keys
-            )
+        for batch, keys in self.processed_batches():
             for key in keys:
                 yield batch.source, batch.destination, key
 
@@ -532,34 +741,33 @@ class MigrationExecutor:
         """Ownership pass over everything the cursor has processed.
 
         Re-routes every processed (non-skipped) key through the data
-        plane's router and asserts the owner is the batch's destination
-        and the value is readable there.  Meaningful immediately after
-        execution -- later epochs may legitimately move keys again.
-        Returns the number of keys checked.
+        plane's router -- one batched routing pass over the whole
+        cursor range -- and asserts each key's owner is its batch's
+        destination and the value is readable there.  Meaningful
+        immediately after execution -- later epochs may legitimately
+        move keys again.  Returns the number of keys checked.
         """
         router = self._plane.router
-        checked = 0
-        for index in range(self._batch_index + 1):
-            if index >= len(self._plan.batches):
-                break
-            batch = self._plan.batches[index]
-            keys = (
-                batch.keys[: self._offset]
-                if index == self._batch_index
-                else batch.keys
-            )
-            if not keys:
-                continue
+        present: List[Key] = []
+        expected: List[Key] = []
+        for batch, keys in self.processed_batches():
             store = self._plane.store(batch.destination)
-            present = [key for key in keys if key in store]
-            if not present:
+            __, found = store.get_many(keys)
+            if found.all():
+                held = list(keys)
+            else:
+                held = [keys[index] for index in found.nonzero()[0]]
+            if not held:
                 continue
-            owners = router.route_batch(list(present))
-            for key, owner in zip(present, owners):
-                if owner != batch.destination:
-                    raise MigrationError(
-                        "moved key {!r} sits on {!r} but routes to "
-                        "{!r}".format(key, batch.destination, owner)
-                    )
-            checked += len(present)
-        return checked
+            present.extend(held)
+            expected.extend([batch.destination] * len(held))
+        if not present:
+            return 0
+        owners = router.route_batch(present)
+        for key, want, owner in zip(present, expected, owners):
+            if owner != want:
+                raise MigrationError(
+                    "moved key {!r} sits on {!r} but routes to "
+                    "{!r}".format(key, want, owner)
+                )
+        return len(present)

@@ -29,6 +29,13 @@ Quickstart::
 """
 
 from .dataplane import DataPlane, FleetImbalance
-from .store import ServerStore, item_nbytes
+from .store import MISSING, ServerStore, item_nbytes, total_nbytes
 
-__all__ = ["DataPlane", "FleetImbalance", "ServerStore", "item_nbytes"]
+__all__ = [
+    "DataPlane",
+    "FleetImbalance",
+    "MISSING",
+    "ServerStore",
+    "item_nbytes",
+    "total_nbytes",
+]

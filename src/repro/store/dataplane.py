@@ -294,15 +294,36 @@ class DataPlane:
     # -- bulk operations ---------------------------------------------------
 
     def put_many(self, keys: Sequence[Key], values: Sequence[Any]) -> np.ndarray:
-        """Write aligned batches; returns each key's owning server id."""
+        """Write aligned batches; returns each key's owning server id.
+
+        One routed assignment pass, then one
+        :meth:`~repro.store.store.ServerStore.put_many` per owning
+        server -- a batch landing on few servers (the common case at
+        fleet scale) pays per-store, not per-key, overhead.
+        """
         if len(keys) != len(values):
             raise ValueError(
                 "put_many needs aligned batches, got {} keys and {} "
                 "values".format(len(keys), len(values))
             )
         owners = self._router.assign_batch(keys)
-        for key, value, server_id in zip(keys, values, owners):
-            self.store(server_id).put(key, value)
+        # Iterate builtins, not numpy scalars: ndarray iteration boxes
+        # one numpy scalar per element, which then hashes slower in
+        # every store dict these loops feed.
+        if isinstance(keys, np.ndarray):
+            keys = keys.tolist()
+        if isinstance(values, np.ndarray):
+            values = values.tolist()
+        assigned = owners.tolist() if isinstance(owners, np.ndarray) else owners
+        grouped: Dict[Key, Tuple[List[Key], List[Any]]] = {}
+        for key, value, server_id in zip(keys, values, assigned):
+            bucket = grouped.get(server_id)
+            if bucket is None:
+                bucket = grouped[server_id] = ([], [])
+            bucket[0].append(key)
+            bucket[1].append(value)
+        for server_id, (group_keys, group_values) in grouped.items():
+            self.store(server_id).put_many(group_keys, group_values)
         self._mutations += len(keys)
         return owners
 
@@ -310,19 +331,30 @@ class DataPlane:
         """Batched routed reads: ``(values, found)`` aligned to ``keys``.
 
         ``found`` is a boolean mask; missing keys (including in-flight
-        ones) leave ``None`` in ``values``.
+        ones) leave ``None`` in ``values``.  Reads are grouped per
+        routed owner and served by one bulk store read each.
         """
         owners = self._router.route_batch(keys)
         values = np.empty(len(keys), dtype=object)
         found = np.zeros(len(keys), dtype=bool)
-        for index, (key, server_id) in enumerate(zip(keys, owners)):
+        if isinstance(keys, np.ndarray):
+            keys = keys.tolist()
+        routed = owners.tolist() if isinstance(owners, np.ndarray) else owners
+        grouped: Dict[Key, Tuple[List[Key], List[int]]] = {}
+        for index, (key, server_id) in enumerate(zip(keys, routed)):
+            bucket = grouped.get(server_id)
+            if bucket is None:
+                bucket = grouped[server_id] = ([], [])
+            bucket[0].append(key)
+            bucket[1].append(index)
+        for server_id, (group_keys, indices) in grouped.items():
             store = self._stores.get(server_id)
             if store is None:
                 continue
-            value = store.get(key, _MISSING)
-            if value is not _MISSING:
-                values[index] = value
-                found[index] = True
+            group_values, group_found = store.get_many(group_keys)
+            found[np.asarray(indices, dtype=np.intp)] = group_found
+            for offset, index in enumerate(indices):
+                values[index] = group_values[offset]
         return values, found
 
     # -- migration / accounting integration --------------------------------

@@ -58,11 +58,62 @@ class TestServerStore:
         store = ServerStore("s0")
         charged = store.put_many([1, 2, 3], ["a", "b", "c"])
         assert charged == store.nbytes
-        assert store.get_many([1, 9, 3], default="?") == ["a", "?", "c"]
-        assert store.delete_many([1, 9]) == 1
+        values, found = store.get_many([1, 9, 3], default="?")
+        assert values == ["a", "?", "c"]
+        assert found.tolist() == [True, False, True]
+        hits = store.delete_many([1, 9])
+        assert hits.tolist() == [1, 0]
         assert store.keys() == (2, 3)
         with pytest.raises(ValueError):
             store.put_many([1, 2], ["only-one"])
+
+    def test_bulk_accounting_matches_scalar(self):
+        # The bulk paths vectorize the byte accounting; every mixed
+        # batch below must land on exactly the per-item sums.
+        values = ["abc", 7, None, b"xy", np.zeros(3, dtype=np.int64), "123"]
+        keys = list(range(len(values)))
+        scalar = ServerStore("scalar")
+        for key, value in zip(keys, values):
+            scalar.put(key, value)
+        bulk = ServerStore("bulk")
+        charged = bulk.put_many(keys, values)
+        assert bulk.nbytes == scalar.nbytes
+        assert charged == sum(
+            item_nbytes(k) + item_nbytes(v) for k, v in zip(keys, values)
+        )
+        # Overwrites re-account in bulk exactly as per-key puts do.
+        bulk.put_many(keys[:2], ["zz", "longer-value"])
+        scalar.put(keys[0], "zz")
+        scalar.put(keys[1], "longer-value")
+        assert bulk.nbytes == scalar.nbytes
+        # Deletes release the same bytes, partial hits included.
+        bulk.delete_many(keys + ["ghost"])
+        for key in keys:
+            scalar.delete(key)
+        assert bulk.nbytes == scalar.nbytes == 0
+
+    def test_put_many_duplicate_keys_match_sequential_puts(self):
+        sequential = ServerStore("seq")
+        for key, value in [(1, "a"), (1, "bb"), (2, "c")]:
+            sequential.put(key, value)
+        bulk = ServerStore("bulk")
+        charged = bulk.put_many([1, 1, 2], ["a", "bb", "c"])
+        assert bulk.nbytes == sequential.nbytes
+        assert charged == sum(
+            item_nbytes(k) + item_nbytes(v)
+            for k, v in [(1, "a"), (1, "bb"), (2, "c")]
+        )
+        assert bulk.get(1) == "bb"
+
+    def test_item_bytes_many_matches_scalar_probe(self):
+        store = ServerStore("s0")
+        store.put_many([1, "two"], [b"xyz", 9])
+        probes = store.item_bytes_many([1, "ghost", "two"])
+        assert probes.tolist() == [
+            store.item_bytes(1),
+            0,
+            store.item_bytes("two"),
+        ]
 
     def test_clone_is_independent(self):
         store = ServerStore("s0")
