@@ -122,6 +122,98 @@ class DynamicHashTable(ABC):
         self._leave(server_id, slot)
         del self._server_ids[slot]
 
+    def join_many(
+        self,
+        server_ids: Sequence[Key],
+        server_words: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Add several servers as one membership event.
+
+        Validation (duplicates against the pool and within the batch)
+        happens up front, before any mutation.  The whole batch then
+        goes through :meth:`_join_many`, which incremental algorithms
+        override with a single array-level operation per event instead
+        of one per member -- bit-identical to joining the same ids one
+        at a time, in order.
+
+        ``server_words`` lets a caller that already knows each member's
+        64-bit word (the weighted wrapper derives its virtual members'
+        words vectorized) skip the per-id scalar hash; when given it
+        must align with ``server_ids`` and equal what
+        ``self.family.word`` would return for placement to be
+        deterministic.
+        """
+        ids = list(server_ids)
+        if not ids:
+            return
+        pool = set(self._server_ids)
+        for server_id in ids:
+            if server_id in pool:
+                raise DuplicateServerError(server_id)
+            pool.add(server_id)
+        if server_words is None:
+            words = [self._family.word(server_id) for server_id in ids]
+        else:
+            words = [int(word) for word in server_words]
+            if len(words) != len(ids):
+                raise ValueError(
+                    "server_words must align with server_ids"
+                )
+        self._join_many(ids, words)
+
+    def leave_many(self, server_ids: Sequence[Key]) -> None:
+        """Remove several servers as one membership event.
+
+        Validated up front (every id must be present, duplicates in the
+        batch are rejected as the sequential semantics would be), then
+        dispatched through :meth:`_leave_many` -- bit-identical to
+        leaving the same ids one at a time, in order.
+        """
+        ids = list(server_ids)
+        if not ids:
+            return
+        pool = set(self._server_ids)
+        for server_id in ids:
+            if server_id not in pool:
+                raise UnknownServerError(server_id)
+            pool.discard(server_id)
+        self._leave_many(ids, [self._slot_of(server_id) for server_id in ids])
+
+    def _join_many(
+        self, server_ids: List[Key], server_words: List[int]
+    ) -> None:
+        """Bulk-join hook on a pre-validated batch.
+
+        Responsible for extending ``self._server_ids`` (so overrides
+        can compute all new slots before any registry mutation).
+        ``server_words`` may arrive as a ``uint64`` ndarray from an
+        internal caller (the weighted wrapper derives virtual-member
+        words vectorized); the default coerces each word back to a
+        Python int so scalar hooks never see numpy's overflow-warning
+        scalar arithmetic.
+        """
+        for server_id, server_word in zip(server_ids, server_words):
+            self._join(server_id, int(server_word))
+            self._server_ids.append(server_id)
+
+    def _leave_many(
+        self, server_ids: List[Key], server_slots: List[int]
+    ) -> None:
+        """Bulk-leave hook on a pre-validated batch.
+
+        ``server_slots`` aligns with ``server_ids`` and holds each
+        member's slot *before any removal* -- callers that already
+        track their members' slots (the weighted wrapper's owner map)
+        hand them over so array-level overrides skip the per-id
+        registry scans.  Responsible for shrinking ``self._server_ids``.
+        The default replays the scalar hook per member (recomputing
+        slots, since they shift as members are removed).
+        """
+        for server_id in server_ids:
+            slot = self._slot_of(server_id)
+            self._leave(server_id, slot)
+            del self._server_ids[slot]
+
     @abstractmethod
     def _join(self, server_id: Key, server_word: int) -> None:
         """Algorithm-specific join; runs before the registry append."""
@@ -200,6 +292,42 @@ class DynamicHashTable(ABC):
             dtype=np.int64,
             count=words.size,
         )
+
+    # -- delta-scoped epoch accounting ---------------------------------------
+
+    def _delta_scores(self, words: np.ndarray) -> Optional[np.ndarray]:
+        """Per-word *winning* score under the current table, or ``None``.
+
+        The opt-in kernel behind the delta-scoped epoch close of
+        :class:`~repro.service.migration.DeltaTracker`: algorithms with
+        the minimal-disruption guarantee (a join only steals the keys
+        the new server now wins; a leave only remaps the departing
+        server's keys) return the score their ``route``/``lookup``
+        winner won with, on a *higher-is-better* scale where ties are
+        impossible or break toward the incumbent.  ``None`` (the
+        default) means "no such kernel" and keeps the tracker on the
+        full-recompute path.  Scores must be comparable across calls as
+        long as membership only changes through join/leave events --
+        in-place memory corruption voids them (the fault campaigns do
+        not run epoch accounting through stale caches).
+        """
+        return None
+
+    def _delta_challenge(
+        self, server_id: Key, words: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """``server_id``'s score against every word, or ``None``.
+
+        The join-epoch side of the delta-scoped close: the score the
+        (already joined) server would win each word with, on the same
+        scale as :meth:`_delta_scores`.  A key moves to the joining
+        server exactly where this is *strictly* greater than the cached
+        winning score -- strictness encodes every algorithm's tie rule,
+        since a joiner always ranks behind incumbents on ties
+        (later item-memory row, higher slot, and ring positions never
+        collide).
+        """
+        return None
 
     # -- replica routing ----------------------------------------------------
 

@@ -147,9 +147,14 @@ class ConsistentHashTable(DynamicHashTable):
             return (int(position) + 1) & _CIRCLE_MASK
         return np.float32(np.nextafter(np.float32(position), np.float32(2.0)))
 
-    def _positions_for(self, server_word: int) -> List:
+    def _positions_into(self, server_word: int, occupied: set) -> List:
+        """One server's ring positions, probed against ``occupied``.
+
+        ``occupied`` accumulates across an event, so a multi-member
+        join probes each later member against the earlier members'
+        positions exactly as sequential joins would.
+        """
         positions = []
-        occupied = set(self._ring_positions.tolist())
         for replica in range(self._replicas):
             position = self._to_circle(self._ring_family.pair(server_word, replica))
             # Collisions are rare but possible at scale; probe forward so
@@ -164,24 +169,72 @@ class ConsistentHashTable(DynamicHashTable):
             positions.append(position)
         return positions
 
+    def _positions_for(self, server_word: int) -> List:
+        return self._positions_into(
+            server_word, set(self._ring_positions.tolist())
+        )
+
+    def _merge_into_ring(self, values: np.ndarray, slots: np.ndarray) -> None:
+        """Insert ``(position, slot)`` pairs in one merged ring copy.
+
+        Positions are unique (collision-probed), so sorting the batch
+        and inserting at its ``searchsorted`` indices produces exactly
+        the ring that one-at-a-time ``np.insert`` calls would -- with
+        one array copy per event instead of one per virtual node.
+        """
+        order = np.argsort(values, kind="stable")
+        values = values[order]
+        slots = slots[order]
+        indices = np.searchsorted(self._ring_positions, values)
+        self._ring_positions = np.insert(self._ring_positions, indices, values)
+        self._ring_slots = np.insert(self._ring_slots, indices, slots)
+
     def _join(self, server_id: Key, server_word: int) -> None:
         slot = self.server_count
-        storage = self._ring_positions.dtype.type
-        for position in self._positions_for(server_word):
-            value = storage(position)
-            index = int(np.searchsorted(self._ring_positions, value))
-            self._ring_positions = np.insert(
-                self._ring_positions, index, value
-            )
-            self._ring_slots = np.insert(self._ring_slots, index, slot)
+        positions = self._positions_for(server_word)
+        values = np.asarray(positions, dtype=self._ring_positions.dtype)
+        self._merge_into_ring(
+            values, np.full(values.size, slot, dtype=np.int64)
+        )
 
-    def _leave(self, server_id: Key, slot: int) -> None:
-        keep = self._ring_slots != slot
+    def _join_many(
+        self, server_ids: List[Key], server_words: List[int]
+    ) -> None:
+        base_slot = self.server_count
+        occupied = set(self._ring_positions.tolist())
+        values: List = []
+        slots: List[int] = []
+        for offset, word in enumerate(server_words):
+            # Words may arrive as a uint64 ndarray from an internal
+            # caller; the scalar pair mix needs Python ints.
+            for position in self._positions_into(int(word), occupied):
+                values.append(position)
+                slots.append(base_slot + offset)
+        self._merge_into_ring(
+            np.asarray(values, dtype=self._ring_positions.dtype),
+            np.asarray(slots, dtype=np.int64),
+        )
+        self._server_ids.extend(server_ids)
+
+    def _drop_slots(self, removed: np.ndarray) -> None:
+        """Remove every ring entry of ``removed`` slots, renumbering the
+        survivors exactly as sequential leaves would (each surviving
+        slot drops by the number of removed slots below it)."""
+        keep = ~np.isin(self._ring_slots, removed)
         self._ring_positions = self._ring_positions[keep].copy()
         slots = self._ring_slots[keep]
-        self._ring_slots = np.where(slots > slot, slots - 1, slots).astype(
-            np.int64
-        )
+        shift = np.searchsorted(np.sort(removed), slots, side="left")
+        self._ring_slots = (slots - shift).astype(np.int64)
+
+    def _leave(self, server_id: Key, slot: int) -> None:
+        self._drop_slots(np.asarray([slot], dtype=np.int64))
+
+    def _leave_many(
+        self, server_ids: List[Key], server_slots: List[int]
+    ) -> None:
+        self._drop_slots(np.asarray(server_slots, dtype=np.int64))
+        for slot in sorted(server_slots, reverse=True):
+            del self._server_ids[slot]
 
     # -- routing ---------------------------------------------------------
 
@@ -254,6 +307,45 @@ class ConsistentHashTable(DynamicHashTable):
         if self._search == "count":
             return self._route_batch_count(keys)
         return self._route_batch_bisect(keys)
+
+    # -- delta-scoped epoch accounting -------------------------------------
+
+    # The ring is minimally disruptive: a join steals exactly the arcs
+    # preceding the new positions, a leave hands the departing arcs to
+    # their successors.  The winning "score" is the (negated) clockwise
+    # fixed-point distance to the winning ring position -- distinct
+    # positions yield distinct distances from any key, so ties are
+    # impossible and a strict comparison is exact.  float32 rings do not
+    # get the kernel (nextafter probing breaks the uint arithmetic).
+
+    def _delta_scores(self, words: np.ndarray):
+        if self._position_dtype != "fixed32" or not self._ring_positions.size:
+            return None
+        keys = self._keys_of_words(words)
+        winning = self._ring_positions[self._successor_indices(keys)]
+        return -(winning - keys).astype(np.int64)
+
+    def _delta_challenge(self, server_id: Key, words: np.ndarray):
+        if self._position_dtype != "fixed32":
+            return None
+        slot = self._slot_of(server_id)
+        positions = self._ring_positions[self._ring_slots == slot]
+        if not positions.size:
+            return None
+        keys = self._keys_of_words(words)
+        if positions.size > 4:
+            # ``positions`` is a sorted slice of the sorted ring, so the
+            # challenger's nearest clockwise position is a bisect over
+            # its own positions -- O(log replicas) per key instead of
+            # one full pass per replica.
+            indices = np.searchsorted(positions, keys, side="left")
+            indices[indices == positions.size] = 0
+            best = positions[indices] - keys
+        else:
+            best = positions[0] - keys
+            for position in positions[1:]:
+                np.minimum(best, position - keys, out=best)
+        return -best.astype(np.int64)
 
     # -- snapshot / restore ----------------------------------------------
 

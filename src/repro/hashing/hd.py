@@ -43,7 +43,7 @@ from ..errors import CapacityError, StateError
 from ..hashfn import HashFamily, Key
 from ..hdc.basis import BasisSet, circular_basis
 from ..hdc.item_memory import ItemMemory
-from ..hdc.packing import as_words, unpack_bits
+from ..hdc.packing import as_words, hamming_words, unpack_bits
 from ..memory import MemoryRegion
 from .base import DynamicHashTable
 from .registry import register_table
@@ -54,6 +54,15 @@ __all__ = ["HDHashTable", "HDConfig"]
 DEFAULT_DIM = 10_000
 #: Codebook size; the paper requires n > k and leaves n unreported.
 DEFAULT_CODEBOOK_SIZE = 4_096
+
+#: Batches at least this many times larger than the codebook skip the
+#: ``np.unique`` dedup and query every circle node instead: the batch
+#: saturates the codebook anyway, and gathering per-word results beats
+#: sorting millions of positions.  Smaller batches (including the
+#: delta-scoped reroutes, which concentrate on the departed server's few
+#: circle nodes) keep the dedup -- their unique-position count, not the
+#: batch size, is what the kernel sweep scales with.
+_DENSE_QUERY_FACTOR = 64
 
 
 @dataclass(frozen=True)
@@ -206,11 +215,60 @@ class HDHashTable(DynamicHashTable):
         indexing path.
         """
         positions = (words % np.uint64(self.codebook_size)).astype(np.int64)
+        if self.codebook_size * _DENSE_QUERY_FACTOR <= positions.size:
+            slots, __ = self._memory.query_batch_words(self._codebook_words)
+            return slots[positions]
         unique_positions, inverse = np.unique(positions, return_inverse=True)
         slots, __ = self._memory.query_batch_words(
             self._codebook_words[unique_positions]
         )
         return slots[inverse]
+
+    # -- delta kernels ------------------------------------------------------
+
+    def _delta_scores(self, words: np.ndarray) -> Optional[np.ndarray]:
+        # Similarity (Eq. 2) is monotone in negated Hamming distance, so
+        # the winning score of a word is minus its winner's distance.
+        # Ties break toward the earliest item-memory row, and a joiner
+        # is always the *latest* row, so the strict-win rule of the
+        # delta contract reproduces the first-minimum argmin exactly.
+        if not self._server_ids:
+            return None
+        positions = (words % np.uint64(self.codebook_size)).astype(np.int64)
+        if self.codebook_size * _DENSE_QUERY_FACTOR <= positions.size:
+            # More words than circle nodes: querying the whole codebook
+            # and gathering beats the sort inside np.unique.
+            __, distances = self._memory.query_batch_words(
+                self._codebook_words
+            )
+            return -distances[positions]
+        unique_positions, inverse = np.unique(positions, return_inverse=True)
+        __, distances = self._memory.query_batch_words(
+            self._codebook_words[unique_positions]
+        )
+        return -distances[inverse]
+
+    def _delta_challenge(
+        self, server_id: Key, words: np.ndarray
+    ) -> Optional[np.ndarray]:
+        try:
+            row = self._memory.index_of(server_id)
+        except KeyError:
+            return None
+        row_words = self._memory.memory_words()[row]
+        positions = (words % np.uint64(self.codebook_size)).astype(np.int64)
+        if self.codebook_size * _DENSE_QUERY_FACTOR <= positions.size:
+            distances = hamming_words(
+                self._codebook_words, row_words, self._memory.backend
+            )
+            return -np.asarray(distances, dtype=np.int64)[positions]
+        unique_positions, inverse = np.unique(positions, return_inverse=True)
+        distances = hamming_words(
+            self._codebook_words[unique_positions],
+            row_words,
+            self._memory.backend,
+        )
+        return -np.asarray(distances, dtype=np.int64)[inverse]
 
     def _route_word_replicas(self, word: int, k: int) -> np.ndarray:
         """Native replica path: the ``k`` nearest item-memory rows.

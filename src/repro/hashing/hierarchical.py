@@ -138,6 +138,41 @@ class HierarchicalHashTable(DynamicHashTable):
         group = self._group_of.pop(server_id)
         self._inners[group].leave(server_id)
 
+    def _join_many(
+        self, server_ids: List[Key], server_words: List[int]
+    ) -> None:
+        # One bulk join per touched group: members land in each inner
+        # table in event order, exactly as sequential joins would.  The
+        # outer words transfer to each inner only when the families
+        # match (always true for bare-name sub-specs, which inherit the
+        # outer seed); otherwise the inner re-hashes.
+        grouped: Dict[int, List[Key]] = {}
+        grouped_words: Dict[int, List[int]] = {}
+        for server_id, word in zip(server_ids, server_words):
+            group = self._assign_group(word)
+            grouped.setdefault(group, []).append(server_id)
+            grouped_words.setdefault(group, []).append(word)
+            self._group_of[server_id] = group
+        for group, members in grouped.items():
+            inner = self._inners[group]
+            if inner.family.seed == self._family.seed:
+                inner.join_many(members, grouped_words[group])
+            else:
+                inner.join_many(members)
+        self._server_ids.extend(server_ids)
+
+    def _leave_many(
+        self, server_ids: List[Key], server_slots: List[int]
+    ) -> None:
+        grouped: Dict[int, List[Key]] = {}
+        for server_id in server_ids:
+            group = self._group_of.pop(server_id)
+            grouped.setdefault(group, []).append(server_id)
+        for group, members in grouped.items():
+            self._inners[group].leave_many(members)
+        for slot in sorted(server_slots, reverse=True):
+            del self._server_ids[slot]
+
     # -- routing ------------------------------------------------------------
 
     def _route_via_groups(self, word: int) -> Key:

@@ -143,27 +143,92 @@ def _race(
                 return
 
 
-def _fill_table(
-    perm: np.ndarray,
+def _race_full(
+    table: np.ndarray,
+    lists: List[List[int]],
     offsets: np.ndarray,
+    inv_skips: np.ndarray,
+    size: int,
+    count: int,
+) -> None:
+    """A whole fill as one race, compacting claim lists as slots fill.
+
+    The plain race's cost is dominated by skip scans over already-
+    claimed entries, and those concentrate in the tail (the expected
+    scan per claim is ``1/(1 - fill_fraction)``).  Once the free count
+    drops to ``2 * count``, the remaining free slots are re-listed in
+    each server's rank order (recovered from the modular inverse of its
+    skip -- the same lemma as the round phase's end game: every free
+    slot sits at or past every cursor, so racing over the compacted
+    lists is exactly the sequential fill from this state), and the tail
+    race runs scan-free.  Compacting earlier does not pay: re-listing
+    costs O(count * free) while the scans it saves per halving are only
+    O(size * ln 2).
+    """
+    # One byte-per-slot owner map doubles as the claimed flag: 0 means
+    # free, otherwise the winning server's 1-based tag (the cutover
+    # keeps count + 1 < 256).  A full fill converts it wholesale at the
+    # end -- no append-per-claim buffer, no separate claimed array.
+    owners = bytearray(size)
+    ptrs = [0] * (count + 1)
+    indexed = list(enumerate(lists, 1))
+    remaining = size
+    compact_at = 2 * count
+    while remaining >= count:
+        for server, lst in indexed:
+            ptr = ptrs[server]
+            while owners[lst[ptr]]:
+                ptr += 1
+            owners[lst[ptr]] = server
+            ptrs[server] = ptr + 1
+        remaining -= count
+        if remaining <= compact_at and remaining:
+            compact_at = 0
+            free_slots = np.nonzero(
+                np.frombuffer(owners, dtype=np.uint8) == 0
+            )[0].astype(np.int64)
+            ranks = (
+                (free_slots[None, :] - offsets[:, None]) * inv_skips[:, None]
+            ) % size
+            order = np.argsort(ranks, axis=1, kind="stable")
+            indexed = list(enumerate(free_slots[order].tolist(), 1))
+            ptrs = [0] * (count + 1)
+    for server, lst in indexed[:remaining]:
+        ptr = ptrs[server]
+        while owners[lst[ptr]]:
+            ptr += 1
+        owners[lst[ptr]] = server
+    table[:] = np.frombuffer(owners, dtype=np.uint8)
+    table -= 1
+
+
+def _fill_table(
+    claim_lists: List[List[int]],
+    offsets: np.ndarray,
+    skips: np.ndarray,
     inv_skips: np.ndarray,
     size: int,
 ) -> np.ndarray:
     """Bulk Maglev fill, bit-identical to :func:`_fill_reference`.
 
     Small pools go straight to the scalar race over the cached
-    permutation rows.  Large pools run round-synchronous vectorized
-    claiming: every cursor advances past claimed entries through a
-    masked window gather, each round commits its longest duplicate-free
-    candidate prefix in one scatter (exact, because claims by
-    earlier-turn servers cannot change a later server's first free
-    entry unless they *are* that entry -- a duplicate), and the
-    remaining suffix retries.  When few free slots remain the round
-    phase degenerates (every round is mostly collisions), so the end
-    game switches to the race over rank-sorted free slots, recovering
-    each server's claim order from the modular inverse of its skip.
+    permutation lists (with its end-game compaction).  Large pools run
+    round-synchronous vectorized claiming: every cursor advances past
+    claimed entries through a masked window gather, each round commits
+    its longest duplicate-free candidate prefix in one scatter (exact,
+    because claims by earlier-turn servers cannot change a later
+    server's first free entry unless they *are* that entry -- a
+    duplicate), and the remaining suffix retries.  When few free slots
+    remain the round phase degenerates (every round is mostly
+    collisions), so the end game switches to the race over rank-sorted
+    free slots, recovering each server's claim order from the modular
+    inverse of its skip.
+
+    The permutation matrix the round phase gathers from is rebuilt here
+    from the offset/skip pairs: only pools past the race cutover need
+    it, so membership events never pay the matrix copy.
     """
-    count = perm.shape[0]
+    count = len(claim_lists)
     if count == 0:
         return np.empty(0, dtype=np.int64)
     table = np.full(size, -1, dtype=np.int64)
@@ -171,8 +236,24 @@ def _fill_table(
         table[:] = 0
         return table
     if count <= _RACE_COUNT_CUTOVER:
-        _race(table, perm.tolist(), size, count, size)
+        # Servers that joined while the pool was past the cutover have
+        # no cached claim list (the round phase never reads them);
+        # materialize the stragglers into the shared cache now.
+        for index, lst in enumerate(claim_lists):
+            if lst is None:
+                claim_lists[index] = (
+                    (
+                        offsets[index]
+                        + skips[index] * np.arange(size, dtype=np.int64)
+                    )
+                    % size
+                ).tolist()
+        _race_full(table, claim_lists, offsets, inv_skips, size, count)
         return table
+    perm = (
+        offsets[:, None]
+        + skips[:, None] * np.arange(size, dtype=np.int64)
+    ) % size
     perm_flat = perm.ravel()
     cursor = np.zeros(count, dtype=np.int64)
     rows = np.arange(count)
@@ -258,10 +339,16 @@ class MaglevHashTable(DynamicHashTable):
         self._offset_family = self.family.derive("maglev-offset")
         self._skip_family = self.family.derive("maglev-skip")
         self._server_words = np.empty(0, dtype=np.uint64)
-        self._offsets = np.empty(0, dtype=np.int64)
-        self._skips = np.empty(0, dtype=np.int64)
-        self._inv_skips = np.empty(0, dtype=np.int64)
-        self._perm = np.empty((0, table_size), dtype=np.int64)
+        # offsets / skips / inverse skips as rows of one matrix, so a
+        # membership event is one concatenate or delete, not three.
+        self._params = np.empty((3, 0), dtype=np.int64)
+        # Per-server full permutation rows as Python lists: the scalar
+        # race's claim lists, computed once per join and reused across
+        # every subsequent fill.  The round phase's permutation matrix
+        # is rebuilt on demand inside _fill_table instead of being
+        # maintained here -- small pools never need it.
+        self._claim_lists: List[List[int]] = []
+        self._positions = np.arange(table_size, dtype=np.int64)
         self._table = np.empty(0, dtype=np.int64)
         self._stale = False
 
@@ -269,6 +356,18 @@ class MaglevHashTable(DynamicHashTable):
     def table_size(self) -> int:
         """Size of the prime lookup table."""
         return self._table_size
+
+    @property
+    def _offsets(self) -> np.ndarray:
+        return self._params[0]
+
+    @property
+    def _skips(self) -> np.ndarray:
+        return self._params[1]
+
+    @property
+    def _inv_skips(self) -> np.ndarray:
+        return self._params[2]
 
     def _offset_skip(self, server_word: int):
         """One server's permutation parameters (offset, skip, 1/skip).
@@ -294,7 +393,11 @@ class MaglevHashTable(DynamicHashTable):
         """
         if self._stale:
             self._table = _fill_table(
-                self._perm, self._offsets, self._inv_skips, self._table_size
+                self._claim_lists,
+                self._offsets,
+                self._skips,
+                self._inv_skips,
+                self._table_size,
             )
             self._stale = False
         return self._table
@@ -307,23 +410,28 @@ class MaglevHashTable(DynamicHashTable):
                 )
             )
         offset, skip, inv_skip = self._offset_skip(server_word)
-        row = (
-            offset
-            + skip * np.arange(self._table_size, dtype=np.int64)
-        ) % self._table_size
         self._server_words = np.append(self._server_words, np.uint64(server_word))
-        self._offsets = np.append(self._offsets, np.int64(offset))
-        self._skips = np.append(self._skips, np.int64(skip))
-        self._inv_skips = np.append(self._inv_skips, np.int64(inv_skip))
-        self._perm = np.vstack([self._perm, row[None, :]])
+        self._params = np.concatenate(
+            [
+                self._params,
+                np.asarray([[offset], [skip], [inv_skip]], dtype=np.int64),
+            ],
+            axis=1,
+        )
+        if self.server_count < _RACE_COUNT_CUTOVER:
+            row = (offset + skip * self._positions) % self._table_size
+            self._claim_lists.append(row.tolist())
+        else:
+            # Past the cutover only the round phase fills, and it reads
+            # offsets/skips; the race path materializes missing lists
+            # lazily if the pool ever shrinks back.
+            self._claim_lists.append(None)
         self._stale = True
 
     def _leave(self, server_id: Key, slot: int) -> None:
         self._server_words = np.delete(self._server_words, slot)
-        self._offsets = np.delete(self._offsets, slot)
-        self._skips = np.delete(self._skips, slot)
-        self._inv_skips = np.delete(self._inv_skips, slot)
-        self._perm = np.delete(self._perm, slot, axis=0)
+        self._params = np.delete(self._params, slot, axis=1)
+        del self._claim_lists[slot]
         self._stale = True
 
     def route_word(self, word: int) -> int:
@@ -333,6 +441,9 @@ class MaglevHashTable(DynamicHashTable):
 
     def _route_batch(self, words: np.ndarray) -> np.ndarray:
         table = self._materialized()
+        if words.size == 1:
+            entry = int(table[int(words[0]) % self._table_size])
+            return np.asarray([entry % self.server_count], dtype=np.int64)
         entries = table[(words % np.uint64(self._table_size)).astype(np.int64)]
         return entries % np.int64(self.server_count)
 
@@ -388,12 +499,9 @@ class MaglevHashTable(DynamicHashTable):
             offsets[slot], skips[slot], inv_skips[slot] = self._offset_skip(
                 int(self._server_words[slot])
             )
-        self._offsets = offsets
-        self._skips = skips
-        self._inv_skips = inv_skips
-        self._perm = (
-            offsets[:, None] + skips[:, None] * np.arange(size, dtype=np.int64)
-        ) % size
+        self._params = np.vstack([offsets, skips, inv_skips])
+        # Claim lists rebuild lazily at the next race-path fill.
+        self._claim_lists = [None] * count
         # Install the snapshot's table verbatim (it may carry injected
         # corruption); the table is *not* stale -- a refill here would
         # silently repair what the snapshot promised to preserve.

@@ -52,6 +52,21 @@ class ModularHashTable(DynamicHashTable):
     def _leave(self, server_id: Key, slot: int) -> None:
         self._rebuild(self.server_count - 1)
 
+    def _join_many(
+        self, server_ids: List[Key], server_words: List[int]
+    ) -> None:
+        # The modulus only depends on the final count: one rebuild per
+        # event batch instead of one per member.
+        self._server_ids.extend(server_ids)
+        self._rebuild(self.server_count)
+
+    def _leave_many(
+        self, server_ids: List[Key], server_slots: List[int]
+    ) -> None:
+        for slot in sorted(server_slots, reverse=True):
+            del self._server_ids[slot]
+        self._rebuild(self.server_count)
+
     def route_word(self, word: int) -> int:
         self._require_servers()
         count = self.server_count

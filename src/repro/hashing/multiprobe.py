@@ -20,7 +20,7 @@ from typing import Any, Dict
 
 import numpy as np
 
-from ..hashfn import HashFamily
+from ..hashfn import HashFamily, Key
 from .consistent import ConsistentHashTable
 from .registry import register_table
 
@@ -138,6 +138,20 @@ class MultiProbeConsistentHashTable(ConsistentHashTable):
 
     def _route_batch(self, words: np.ndarray) -> np.ndarray:
         return self._ring_slots[self._best_probe_indices(words)]
+
+    def _delta_scores(self, words: np.ndarray):
+        # Multi-probe placement scores a key by its *best probe*, not by
+        # the key's own ring distance, so the single-score-per-key delta
+        # contract inherited from ConsistentHashTable does not apply: a
+        # joiner can capture a key through any of its probes.  Opt out.
+        return None
+
+    # The override exists to *disable* the inherited kernel; keep the
+    # registry's derived ``delta-close`` capability flag truthful.
+    _delta_scores.delta_opt_out = True  # type: ignore[attr-defined]
+
+    def _delta_challenge(self, server_id: Key, words: np.ndarray):
+        return None
 
     def _route_replicas_batch(self, words: np.ndarray, k: int) -> np.ndarray:
         """Batch replica path: the vectorized probe matrix picks each

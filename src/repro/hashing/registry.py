@@ -88,10 +88,25 @@ class AlgorithmEntry:
             vectorized :meth:`~DynamicHashTable._route_replicas_batch`
             kernel (array walk, ranked kernel, or the vectorized
             rehash), not the dedup-then-scalar-loop default.
+        ``churn-incremental``
+            array-level bulk membership kernels
+            (:meth:`~DynamicHashTable._join_many` /
+            :meth:`~DynamicHashTable._leave_many`): one structural
+            operation per membership *event*, not one per member.
+        ``delta-close``
+            delta-scoped epoch accounting kernels
+            (:meth:`~DynamicHashTable._delta_scores` /
+            :meth:`~DynamicHashTable._delta_challenge`), so a tracked
+            :class:`~repro.service.migration.DeltaTracker` closes
+            join/leave epochs from cached winning scores instead of
+            re-routing the whole tracked population.
 
         All flags are derived from which protocol methods the class
         actually overrides, so they stay truthful as kernels land --
-        nothing here is hand-maintained per algorithm.
+        nothing here is hand-maintained per algorithm.  A class that
+        overrides the delta kernels only to *opt out* (multi-probe's
+        best-probe placement breaks the single-score contract) marks
+        the override with ``delta_opt_out`` and is not flagged.
         """
         flags = []
         if getattr(self.cls, "supports_weights", False):
@@ -110,6 +125,15 @@ class AlgorithmEntry:
             is not DynamicHashTable._route_replicas_batch
         ):
             flags.append("replica-batch-native")
+        if (
+            self.cls._join_many is not DynamicHashTable._join_many
+            or self.cls._leave_many is not DynamicHashTable._leave_many
+        ):
+            flags.append("churn-incremental")
+        scores_kernel = self.cls._delta_scores
+        opted_out = getattr(scores_kernel, "delta_opt_out", False)
+        if scores_kernel is not DynamicHashTable._delta_scores and not opted_out:
+            flags.append("delta-close")
         return tuple(flags)
 
 

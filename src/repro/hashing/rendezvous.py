@@ -87,6 +87,34 @@ class RendezvousHashTable(DynamicHashTable):
     def _leave(self, server_id: Key, slot: int) -> None:
         self._server_words = np.delete(self._server_words, slot)
 
+    def _join_many(
+        self, server_ids: List[Key], server_words: List[int]
+    ) -> None:
+        words = np.asarray(server_words, dtype=np.uint64)
+        self._server_words = np.concatenate([self._server_words, words])
+        self._server_ids.extend(server_ids)
+
+    def _leave_many(
+        self, server_ids: List[Key], server_slots: List[int]
+    ) -> None:
+        removed = sorted(server_slots)
+        start, stop = removed[0], removed[-1] + 1
+        if stop - start == len(removed):
+            # Contiguous block (every single-server leave through the
+            # weighted wrapper): two slice views and one concatenate.
+            self._server_words = np.concatenate(
+                [self._server_words[:start], self._server_words[stop:]]
+            )
+            del self._server_ids[start:stop]
+            return
+        # Direct keep-mask indexing; np.delete pays generic-path
+        # overhead that dominates at membership-event sizes.
+        keep = np.ones(self._server_words.size, dtype=bool)
+        keep[removed] = False
+        self._server_words = self._server_words[keep]
+        for slot in reversed(removed):
+            del self._server_ids[slot]
+
     def route_word(self, word: int) -> int:
         """Scalar deployment path: an explicit O(k) loop over the pool.
 
@@ -136,6 +164,15 @@ class RendezvousHashTable(DynamicHashTable):
             yield start, stop, block
 
     def _route_batch(self, words: np.ndarray) -> np.ndarray:
+        if words.size == 1:
+            # One-word probes (the churn reconciliation pattern) skip
+            # the chunk generator and its buffer: same one-sided mixes,
+            # same fmix, same first-maximum argmax -- bit-identical.
+            lhs, rhs = self._pair_family.pair_terms(
+                self._server_words, words
+            )
+            weights = fmix64_inplace(lhs ^ rhs[0])
+            return np.asarray([weights.argmax()], dtype=np.int64)
         out = np.empty(words.size, dtype=np.int64)
         for start, stop, block in self._weight_chunks(words):
             out[start:stop] = block.argmax(axis=0)
@@ -163,6 +200,29 @@ class RendezvousHashTable(DynamicHashTable):
             np.invert(block, out=block)
             out[start:stop] = _top_k_slots(block, k).T
         return out
+
+    # -- delta-scoped epoch accounting -------------------------------------
+
+    # HRW is the textbook minimal-disruption placement: the winning
+    # pairwise weight is untouched by other servers' departures, and a
+    # joiner steals exactly the words its own weight column strictly
+    # exceeds the cached winner on (argmax keeps the first maximum, so
+    # the incumbent's lower slot wins ties).
+
+    def _delta_scores(self, words: np.ndarray):
+        if not self._server_ids:
+            return None
+        out = np.empty(words.size, dtype=np.uint64)
+        for start, stop, block in self._weight_chunks(words):
+            out[start:stop] = block.max(axis=0)
+        return out
+
+    def _delta_challenge(self, server_id: Key, words: np.ndarray):
+        # The 1-wide slice (not a scalar) keeps the mix on the array
+        # ufunc path, where uint64 wraparound is silent by contract.
+        slot = self._slot_of(server_id)
+        word = self._server_words[slot : slot + 1]
+        return self._pair_family.pair_vec(word, words)
 
     def _state_payload(self) -> Dict[str, Any]:
         return {"server_words": self._server_words.copy()}
@@ -219,6 +279,34 @@ class WeightedRendezvousHashTable(RendezvousHashTable):
         self._weight_array = np.delete(self._weight_array, slot)
         self._weights.pop(server_id, None)
 
+    def _join_many(
+        self, server_ids: List[Key], server_words: List[int]
+    ) -> None:
+        # Bulk joins carry the table default weight, matching scalar
+        # ``join``'s default; weighted joins go through ``join``.
+        for server_id in server_ids:
+            self._weights.setdefault(server_id, 1.0)
+        super()._join_many(server_ids, server_words)
+        self._weight_array = np.concatenate(
+            [
+                self._weight_array,
+                np.asarray(
+                    [self._weights[server_id] for server_id in server_ids],
+                    dtype=np.float64,
+                ),
+            ]
+        )
+
+    def _leave_many(
+        self, server_ids: List[Key], server_slots: List[int]
+    ) -> None:
+        self._weight_array = np.delete(
+            self._weight_array, sorted(server_slots)
+        )
+        super()._leave_many(server_ids, server_slots)
+        for server_id in server_ids:
+            self._weights.pop(server_id, None)
+
     def _scores(self, words: np.ndarray) -> np.ndarray:
         # Map pairwise hashes to uniform (0, 1), then score = -w / ln U.
         hashes = self._pair_family.pair_vec(
@@ -249,6 +337,31 @@ class WeightedRendezvousHashTable(RendezvousHashTable):
             stop = min(start + chunk, words.size)
             out[start:stop] = _top_k_slots(-self._scores(words[start:stop]), k).T
         return out
+
+    # The logarithm method preserves minimal disruption, so the same
+    # cached-winner trick applies over the weighted scores (float64;
+    # argmax keeps the first maximum, so strict comparison again breaks
+    # ties toward the incumbent's lower slot).
+
+    def _delta_scores(self, words: np.ndarray):
+        if not self._server_ids:
+            return None
+        out = np.empty(words.size, dtype=np.float64)
+        chunk = max(1, _CHUNK_WORDS // max(1, self.server_count))
+        for start in range(0, words.size, chunk):
+            stop = min(start + chunk, words.size)
+            out[start:stop] = self._scores(words[start:stop]).max(axis=0)
+        return out
+
+    def _delta_challenge(self, server_id: Key, words: np.ndarray):
+        slot = self._slot_of(server_id)
+        hashes = self._pair_family.pair_vec(
+            self._server_words[slot : slot + 1],
+            np.asarray(words, dtype=np.uint64),
+        )
+        uniforms = (hashes.astype(np.float64) + 0.5) / 2.0 ** 64
+        with np.errstate(divide="ignore"):
+            return -self._weight_array[slot] / np.log(uniforms)
 
     def _state_payload(self) -> Dict[str, Any]:
         payload = super()._state_payload()

@@ -100,8 +100,21 @@ class VirtualWeightTable(DynamicHashTable):
             algorithm, seed=self.family.seed, **self._inner_config
         )
         self._weights: Dict[Key, float] = {}
+        # Per-server virtual-id lists, kept from join to leave so the
+        # leave path reuses the very same string objects (identity-fast
+        # inner registry scans, no re-formatting).
+        self._members: Dict[Key, List[str]] = {}
         self._owner_slot: Optional[np.ndarray] = None
         self._pending_weight = 1.0
+        # Virtual-member words are derived from the real server's word
+        # with one vectorized mix per event (instead of one scalar
+        # string hash per virtual id): word XOR a per-index salt, then
+        # one fmix64 avalanche.  The salts live under a dedicated
+        # sub-family so virtual words can never systematically collide
+        # with key or server words; they are cached and grown
+        # geometrically on demand.
+        self._vnode_family = self.family.derive("vnode")
+        self._vnode_salts = np.empty(0, dtype=np.uint64)
 
     # -- introspection ----------------------------------------------------
 
@@ -144,25 +157,183 @@ class VirtualWeightTable(DynamicHashTable):
         self._pending_weight = float(weight)
         super().join(server_id)
 
+    def join_many(self, server_ids, weight: float = 1.0) -> None:
+        """Add several servers, all at ``weight``, in one bulk event."""
+        if weight <= 0:
+            raise ValueError("server weight must be positive")
+        self._pending_weight = float(weight)
+        super().join_many(server_ids)
+
+    def _virtual_ids(self, server_id: Key, weight: float) -> List[str]:
+        # Same strings as _virtual_id, but the per-server suffix is
+        # formatted once instead of once per virtual member.
+        suffix = ":{}:{!r}".format(type(server_id).__name__, server_id)
+        return [
+            "vnode:%d%s" % (index, suffix)
+            for index in range(self.multiplicity(weight))
+        ]
+
+    def _virtual_words(self, server_word: int, count: int) -> np.ndarray:
+        """The inner-table words of one server's virtual members.
+
+        XOR of two independently well-mixed words (the server's xxh64
+        word and a splitmix-derived per-index salt) is itself uniform
+        and injective per index, and every inner algorithm re-avalanches
+        member words in its own routing mix -- no extra finalizer
+        needed on the churn hot path.
+        """
+        if self._vnode_salts.size < count:
+            self._vnode_salts = self._vnode_family.words(
+                np.arange(max(count, 2 * self._vnode_salts.size, 16))
+            )
+        return self._vnode_salts[:count] ^ np.uint64(server_word)
+
+    def _admit_virtual(
+        self, virtual_ids: List[str], virtual_words: np.ndarray
+    ) -> None:
+        """One bulk inner join for a whole event, unwound on failure.
+
+        Calls the inner bulk hook directly: the wrapper already
+        validated the real server id, and virtual ids are injective by
+        construction, so the public-path duplicate scan over the whole
+        virtual pool would be pure overhead on the churn hot path.
+        """
+        try:
+            self._inner._join_many(virtual_ids, virtual_words)
+        except Exception:
+            present = set(self._inner.server_ids)
+            admitted = [vid for vid in virtual_ids if vid in present]
+            if admitted:
+                self._inner.leave_many(admitted)
+            self._owner_slot = None
+            raise
+
+    def _evict_virtual(
+        self, virtual_ids: List[str], outer_slots: List[int]
+    ) -> None:
+        """One bulk inner leave; direct hook call, as in admit.
+
+        The inner slots come straight from the owner map (each real
+        server's members form one contiguous block of the sorted map,
+        so two binary searches bound it) instead of per-id registry
+        scans.  ``virtual_ids`` must be grouped by ``outer_slots``
+        order, member-index ascending within each group -- exactly how
+        the blocks were admitted.
+        """
+        owner = self._owner_slot
+        if owner is None:
+            self._inner.leave_many(virtual_ids)
+            return
+        slots: List[int] = []
+        for outer_slot in outer_slots:
+            start = int(np.searchsorted(owner, outer_slot, side="left"))
+            stop = int(np.searchsorted(owner, outer_slot, side="right"))
+            slots.extend(range(start, stop))
+        self._inner._leave_many(virtual_ids, slots)
+
+    def _patch_owner_join(self, counts: List[int], base_slot: int) -> None:
+        # New virtual members always land at the tail of the inner
+        # registry, so the gather map grows by one contiguous block per
+        # real server -- no rebuild.
+        if self._owner_slot is None:
+            return
+        owners = np.repeat(
+            np.arange(
+                base_slot, base_slot + len(counts), dtype=np.int64
+            ),
+            counts,
+        )
+        self._owner_slot = np.concatenate([self._owner_slot, owners])
+
+    def _patch_owner_leave(self, removed: List[int]) -> None:
+        # Inner removal preserves the relative order of survivors, so
+        # dropping the departed blocks and renumbering the remaining
+        # owners keeps the map exact.  Removal batches are tiny (one
+        # slot per departing real server), so per-slot compares beat
+        # the set-operation machinery of ``np.isin``/``searchsorted``.
+        if self._owner_slot is None:
+            return
+        owner = self._owner_slot
+        keep = owner != removed[0]
+        for slot in removed[1:]:
+            keep &= owner != slot
+        owner = owner[keep]
+        for slot in reversed(removed):
+            owner[owner > slot] -= 1
+        self._owner_slot = owner
+
     def _join(self, server_id: Key, server_word: int) -> None:
         weight = self._pending_weight
-        admitted = 0
-        try:
-            for index in range(self.multiplicity(weight)):
-                self._inner.join(self._virtual_id(server_id, index))
-                admitted += 1
-        except Exception:
-            for index in range(admitted):
-                self._inner.leave(self._virtual_id(server_id, index))
-            raise
+        virtual_ids = self._virtual_ids(server_id, weight)
+        self._admit_virtual(
+            virtual_ids, self._virtual_words(server_word, len(virtual_ids))
+        )
         self._weights[server_id] = weight
-        self._owner_slot = None
+        self._members[server_id] = virtual_ids
+        if self._owner_slot is not None:
+            self._owner_slot = np.concatenate(
+                [
+                    self._owner_slot,
+                    np.full(
+                        len(virtual_ids), self.server_count, dtype=np.int64
+                    ),
+                ]
+            )
 
     def _leave(self, server_id: Key, slot: int) -> None:
-        weight = self._weights.pop(server_id)
-        for index in range(self.multiplicity(weight)):
-            self._inner.leave(self._virtual_id(server_id, index))
-        self._owner_slot = None
+        self._weights.pop(server_id)
+        virtual_ids = self._members.pop(server_id)
+        owner = self._owner_slot
+        if owner is None:
+            self._inner.leave_many(virtual_ids)
+            return
+        # One server's members form one contiguous block of the sorted
+        # owner map; everything past it owns a strictly higher outer
+        # slot, so the renumber is a single tail subtraction.
+        start = int(np.searchsorted(owner, slot, side="left"))
+        stop = start + len(virtual_ids)
+        self._inner._leave_many(virtual_ids, range(start, stop))
+        if start:
+            self._owner_slot = np.concatenate(
+                [owner[:start], owner[stop:] - np.int64(1)]
+            )
+        else:
+            self._owner_slot = owner[stop:] - np.int64(1)
+
+    def _join_many(
+        self, server_ids: List[Key], server_words: List[int]
+    ) -> None:
+        weight = self._pending_weight
+        base_slot = self.server_count
+        virtual_ids: List[str] = []
+        virtual_words: List[np.ndarray] = []
+        counts: List[int] = []
+        for server_id, word in zip(server_ids, server_words):
+            members = self._virtual_ids(server_id, weight)
+            virtual_ids.extend(members)
+            virtual_words.append(self._virtual_words(word, len(members)))
+            counts.append(len(members))
+        self._admit_virtual(virtual_ids, np.concatenate(virtual_words))
+        start = 0
+        for server_id, count in zip(server_ids, counts):
+            self._weights[server_id] = weight
+            self._members[server_id] = virtual_ids[start : start + count]
+            start += count
+        self._patch_owner_join(counts, base_slot)
+        self._server_ids.extend(server_ids)
+
+    def _leave_many(
+        self, server_ids: List[Key], server_slots: List[int]
+    ) -> None:
+        virtual_ids: List[str] = []
+        for server_id in server_ids:
+            self._weights.pop(server_id)
+            virtual_ids.extend(self._members.pop(server_id))
+        self._evict_virtual(virtual_ids, server_slots)
+        removed = sorted(server_slots)
+        self._patch_owner_leave(removed)
+        for slot in reversed(removed):
+            del self._server_ids[slot]
 
     # -- routing ----------------------------------------------------------
 
@@ -191,7 +362,36 @@ class VirtualWeightTable(DynamicHashTable):
         return int(self._slot_map()[self._inner.route_word(int(word))])
 
     def _route_batch(self, words: np.ndarray) -> np.ndarray:
-        return self._slot_map()[self._inner.route_batch(words)]
+        # Direct inner-hook dispatch: the outer batch wrapper already
+        # normalized ``words``, and the inner pool is non-empty
+        # whenever the outer one is (every server owns >= 1 member).
+        return self._slot_map()[self._inner._route_batch(words)]
+
+    # -- delta kernels ------------------------------------------------------
+
+    def _delta_scores(self, words: np.ndarray) -> Optional[np.ndarray]:
+        # The wrapper's winning score *is* the inner table's winning
+        # score (the owner gather does not reorder winners), so the
+        # delta contract composes: support it whenever the inner
+        # algorithm does.
+        return self._inner._delta_scores(words)
+
+    def _delta_challenge(
+        self, server_id: Key, words: np.ndarray
+    ) -> Optional[np.ndarray]:
+        members = self._members.get(server_id)
+        if members is None:
+            return None
+        best: Optional[np.ndarray] = None
+        for virtual_id in members:
+            challenge = self._inner._delta_challenge(virtual_id, words)
+            if challenge is None:
+                return None
+            if best is None:
+                best = challenge
+            else:
+                np.maximum(best, challenge, out=best)
+        return best
 
     # Replica sets must be distinct *real* servers, chosen by the inner
     # algorithm's own ranking over virtual members (weight-aware all
@@ -340,6 +540,10 @@ class VirtualWeightTable(DynamicHashTable):
         self._weights = {
             server_id: float(weight)
             for server_id, weight in payload["weights"]
+        }
+        self._members = {
+            server_id: self._virtual_ids(server_id, weight)
+            for server_id, weight in self._weights.items()
         }
         self._owner_slot = None
 

@@ -1,12 +1,12 @@
 """The ``BENCH_throughput.json`` artifact and the CI regression gate.
 
-Schema (version 5; version 2 added the ``route_replicas`` and
+Schema (version 6; version 2 added the ``route_replicas`` and
 ``cluster_route`` metric sections, version 3 added ``plan_migration``
 and ``migrate_execute``, version 4 added ``control_tick``, version 5
-added ``serve``)::
+added ``serve``, version 6 added ``epoch_close``)::
 
     {
-      "schema": 5,
+      "schema": 6,
       "kind": "repro-throughput",
       "profile": "fast",                  # measurement scale
       "seed": 0,
@@ -28,7 +28,9 @@ added ``serve``)::
                     {"keys_per_s": <float>, "normalized": <float>},
           "control_tick":
                     {"ticks_per_s": <float>, "normalized": <float>},
-          "serve":  {"requests_per_s": <float>, "normalized": <float>}
+          "serve":  {"requests_per_s": <float>, "normalized": <float>},
+          "epoch_close":
+                    {"keys_per_s": <float>, "normalized": <float>}
         }, ...
       }
     }
@@ -49,6 +51,11 @@ reads through the serving tier's synchronous dispatch core
 (:class:`~repro.serve.MicroBatcher` batches through a
 :class:`~repro.serve.HotKeyCache` in front of a stocked data plane) --
 the end-to-end request-serving rate of the micro-batched front-end.
+``epoch_close`` is membership epochs (one grow, one shrink) closed over
+a million-key tracked population (tracked keys accounted per second) --
+algorithms with delta-scoped score kernels take the
+:class:`~repro.service.migration.DeltaTracker` fast path, the rest pay
+the full tracked-slice re-route.
 
 ``normalized`` is the raw rate divided by the host's calibrated bulk
 XOR+popcount bandwidth (GB/s), so a baseline committed from one machine
@@ -77,7 +84,7 @@ __all__ = [
 ]
 
 #: Version stamp of the report layout documented above.
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 #: Maximum tolerated fractional drop in normalized throughput.
 DEFAULT_TOLERANCE = 0.30
@@ -95,9 +102,19 @@ CHURN_TOLERANCE = 0.50
 #: with clone setup (``migrate_execute``), plus ``control_tick``
 #: (microsecond-scale pure-Python reconciliation passes), plus
 #: ``serve``, whose per-request Python dispatch (cache probes, store
-#: dict hits) scatters like the other interpreter-bound loops.
+#: dict hits) scatters like the other interpreter-bound loops, plus
+#: ``epoch_close``, whose blocks embed the same microsecond-scale
+#: membership mutations and per-epoch plan assembly around the
+#: array-wide accounting sweep.
 NOISY_METRICS = frozenset(
-    {"churn", "plan_migration", "migrate_execute", "control_tick", "serve"}
+    {
+        "churn",
+        "plan_migration",
+        "migrate_execute",
+        "control_tick",
+        "serve",
+        "epoch_close",
+    }
 )
 
 #: Metric sections every per-algorithm record carries.
@@ -111,6 +128,7 @@ METRICS = (
     "migrate_execute",
     "control_tick",
     "serve",
+    "epoch_close",
 )
 
 
@@ -222,7 +240,7 @@ def format_report(report: Dict[str, Any]) -> str:
             report.get("calibration", {}).get("xor_popcount_gbps", 0.0),
         ),
         "{:<22} {:>13} {:>13} {:>13} {:>13} {:>11} {:>12} {:>12} "
-        "{:>10} {:>12}".format(
+        "{:>10} {:>12} {:>13}".format(
             "algorithm",
             "route k/s",
             "replicas k/s",
@@ -233,13 +251,15 @@ def format_report(report: Dict[str, Any]) -> str:
             "migrate k/s",
             "ctl t/s",
             "serve r/s",
+            "close k/s",
         ),
     ]
     for name in sorted(report["algorithms"]):
         record = report["algorithms"][name]
         lines.append(
             "{:<22} {:>13,.0f} {:>13,.0f} {:>13,.0f} {:>13,.0f} "
-            "{:>11,.0f} {:>12,.0f} {:>12,.0f} {:>10,.0f} {:>12,.0f}".format(
+            "{:>11,.0f} {:>12,.0f} {:>12,.0f} {:>10,.0f} {:>12,.0f} "
+            "{:>13,.0f}".format(
                 name,
                 record["route"]["keys_per_s"],
                 record["route_replicas"]["keys_per_s"],
@@ -250,6 +270,7 @@ def format_report(report: Dict[str, Any]) -> str:
                 record["migrate_execute"]["keys_per_s"],
                 record["control_tick"]["ticks_per_s"],
                 record["serve"]["requests_per_s"],
+                record["epoch_close"]["keys_per_s"],
             )
         )
     return "\n".join(lines)

@@ -40,6 +40,13 @@ class PerfProfile:
     #: Keys stored on the tracked DataPlane the ``plan_migration`` and
     #: ``migrate_execute`` metrics are measured over.
     migration_keys: int = 4_096
+    #: Probe keys tracked by the ``epoch_close`` metric's router -- the
+    #: population whose per-epoch assignment accounting is priced.  Held
+    #: at one million keys on *every* profile: the metric exists to
+    #: expose the gap between delta-scoped epoch accounting and the full
+    #: tracked-slice re-route, and that gap only shows at populations
+    #: large enough that the accounting dominates the membership event.
+    epoch_close_keys: int = 1_048_576
     #: Steady-state reconciliation ticks per timed block of the
     #: ``control_tick`` metric (single ticks are microsecond-scale).
     control_ticks: int = 8

@@ -1,6 +1,6 @@
 """The throughput harness: routing / cluster / churn / migration rates.
 
-Nine metrics per registered algorithm, all measured on live state at
+Ten metrics per registered algorithm, all measured on live state at
 the profile's pool size:
 
 ``route``
@@ -48,6 +48,16 @@ the profile's pool size:
     ``serve_batch`` through a :class:`~repro.serve.HotKeyCache` in
     front of a stocked :class:`~repro.store.DataPlane`; the rate is
     requests served per second, cache steady-state included.
+``epoch_close``
+    membership epochs (one grow, then one shrink, of a spare server)
+    closed by a router tracking the profile's ``epoch_close_keys``
+    probe population -- one million keys at every scale; the rate is
+    tracked keys accounted per second.  Algorithms with delta-scoped
+    score kernels take the
+    :class:`~repro.service.migration.DeltaTracker` fast path (join
+    epochs are one score-column sweep, leave epochs re-route only the
+    departing servers' keys); the rest pay the full tracked-slice
+    re-route, which is the gap this metric exists to expose.
 
 Every metric is timed ``repeats`` times and the best run is kept (the
 minimum time is the least-noise estimate of the machine's capability).
@@ -273,6 +283,29 @@ def measure_algorithm(
         migrate_block, profile.repeats, reset=migrate_reset
     )
 
+    # Epoch close at scale: the same grow+shrink epoch pair as
+    # ``plan_migration``, but over a million-key tracked population on
+    # a dedicated router with no data plane -- the metric prices the
+    # tracker's per-epoch assignment accounting, not storage.  Delta-
+    # scoped algorithms close each epoch from cached winning scores;
+    # the rest re-route the full tracked slice, so the spread between
+    # algorithms here is the delta-kernel payoff.
+    epoch_router = Router(make_table(name, seed=seed, **config))
+    epoch_router.sync(fleet)
+    epoch_spare = _SERVER_FMT.format(profile.servers + 3_000_000)
+    epoch_router.track(np.arange(profile.epoch_close_keys, dtype=np.int64))
+
+    def epoch_close_block():
+        epoch_router.sync(fleet + [epoch_spare])
+        epoch_router.sync(fleet)
+
+    # Three repeats, not the profile's count: at a million tracked keys
+    # the block is seconds of array-wide sweeps for full-recompute
+    # algorithms (multiprobe's probe cascade most of all), and bulk
+    # sweeps don't scatter like the microsecond-scale mutation blocks
+    # the higher repeat counts exist to stabilize.
+    epoch_close_seconds = _best_seconds(epoch_close_block, min(profile.repeats, 3))
+
     # Control plane: a healthy fleet sitting inside its utilization
     # band -- each tick pays the full reconciliation pass (heartbeat
     # deadlines, byte-utilization decision, no-op fleet diff) but makes
@@ -339,6 +372,7 @@ def measure_algorithm(
     migrate_rate = max(1, plan.total_keys) / migrate_seconds
     control_rate = profile.control_ticks / control_seconds
     serve_rate = profile.serve_requests / serve_seconds
+    epoch_close_rate = 2 * profile.epoch_close_keys / epoch_close_seconds
     return {
         "servers": profile.servers,
         "batch_words": profile.batch_words,
@@ -378,6 +412,10 @@ def measure_algorithm(
         "serve": {
             "requests_per_s": serve_rate,
             "normalized": _normalized(serve_rate, calibration_gbps),
+        },
+        "epoch_close": {
+            "keys_per_s": epoch_close_rate,
+            "normalized": _normalized(epoch_close_rate, calibration_gbps),
         },
     }
 

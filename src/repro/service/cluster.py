@@ -480,9 +480,19 @@ class ClusterRouter:
         migration plan.
         """
         target = tuple(target_server_ids)
-        return self._close_epoch(
-            [router.sync(target) for router in self._shards]
-        )
+        results: List[Optional[EpochResult]] = []
+        for router in self._shards:
+            update = router.diff(target)
+            if update.is_empty:
+                # Untouched shard: membership already matches, so its
+                # epoch close would provably produce an empty delta --
+                # skip the close (a full tracked-slice re-route on
+                # algorithms without the delta-scoped fast path) along
+                # with the epoch bump.
+                results.append(None)
+            else:
+                results.append(router.apply(update))
+        return self._close_epoch(results)
 
     def join(
         self, server_id: Key, weight: Optional[float] = None

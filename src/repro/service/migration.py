@@ -94,13 +94,26 @@ class DeltaTracker:
     (per shard) ``ClusterRouter``'s fleet-level bill -- and, since the
     diff also names every moved key's old and new owner, behind the
     :class:`MigrationPlan` emitted alongside each epoch record.
+
+    When constructed with the ``table`` it accounts for, epochs that
+    name their membership events (``close(joined=..., left=...)``) take
+    the *delta-scoped* path on algorithms exposing the
+    :meth:`~repro.hashing.base.DynamicHashTable._delta_scores` kernel:
+    the tracker caches every key's winning score, prices a join as one
+    score-column sweep (the joiner's challenge against the cached
+    winners, strict wins only) and a leave by re-routing only the keys
+    the departing servers owned.  Algorithms without the kernel -- and
+    anonymous closes -- keep the full recompute; both paths produce
+    bit-identical :class:`EpochDelta` s.
     """
 
-    def __init__(self, lookup: AssignmentLookup):
+    def __init__(self, lookup: AssignmentLookup, table=None):
         self._lookup = lookup
+        self._table = table
         self._keys: Optional[np.ndarray] = None
         self._words: Optional[np.ndarray] = None
         self._assignment: Optional[np.ndarray] = None
+        self._scores: Optional[np.ndarray] = None
 
     @property
     def probe_keys(self) -> Optional[np.ndarray]:
@@ -122,6 +135,19 @@ class DeltaTracker:
         self._keys = keys
         self._words = words
         self._assignment = self._lookup(words)
+        self._refresh_scores()
+
+    def _refresh_scores(self) -> None:
+        """Re-capture the winning-score baseline (None disables the
+        delta-scoped path until the next full recompute refreshes it)."""
+        if (
+            self._table is None
+            or self._words is None
+            or self._assignment is None
+        ):
+            self._scores = None
+        else:
+            self._scores = self._table._delta_scores(self._words)
 
     def _delta_against(self, current: Optional[np.ndarray]) -> EpochDelta:
         if current is None or self._assignment is None:
@@ -134,19 +160,118 @@ class DeltaTracker:
             destinations=current[mask],
         )
 
-    def close(self) -> EpochDelta:
-        """Route the cached words, diff, and advance the baseline.
+    def close(
+        self, joined: Sequence[Key] = (), left: Sequence[Key] = ()
+    ) -> EpochDelta:
+        """Diff the epoch's assignment change and advance the baseline.
 
-        Called once per applied membership epoch; the returned delta is
-        the single source for both the epoch's remap accounting and its
-        migration plan.
+        Called once per applied membership epoch (the table has already
+        mutated); the returned delta is the single source for both the
+        epoch's remap accounting and its migration plan.  When the
+        epoch's events are named and the table exposes the delta-score
+        kernels, the diff is delta-scoped: leave epochs re-route only
+        the keys the departing servers owned, join epochs sweep each
+        joiner's challenge column against the cached winning scores.
+        Anything else -- anonymous closes, algorithms without the
+        kernel, a baseline captured over an empty pool -- takes the
+        full batched re-route.
         """
         if self._keys is None or self._keys.size == 0:
             return EpochDelta.empty(self.tracked)
+        if (joined or left) and self._scores is not None:
+            delta = self._close_scoped(tuple(joined), tuple(left))
+            if delta is not None:
+                return delta
         current = self._lookup(self._words)
         delta = self._delta_against(current)
         self._assignment = current
+        self._refresh_scores()
         return delta
+
+    def _close_scoped(self, joined, left) -> Optional[EpochDelta]:
+        """The delta-scoped :class:`EpochDelta`, or ``None`` to opt out.
+
+        Every kernel call runs before any state mutation, so a
+        mid-epoch opt-out (a kernel returning ``None``) falls back to
+        the full recompute with nothing half-applied; the apply phase
+        is then pure array writes into the cached baseline, with each
+        key's pre-epoch owner captured the first time it moves.
+        Exactness rests on the minimal-disruption contract of the
+        kernels: an incumbent's winning score over a key never changes
+        while it stays in the pool, a joiner steals exactly the keys
+        it strictly outscores, and a leave only re-routes the departing
+        server's keys.  The moved set is therefore exact too -- a
+        departed key's owner left, and a captured key's owner was by
+        definition not the joiner -- which spares the close both the
+        full re-route and the full-population diff.
+        """
+        table = self._table
+        if self._assignment is None or not getattr(table, "server_count", 0):
+            return None
+        current = self._assignment
+        scores = self._scores
+        words = self._words
+        departed = None
+        if left:
+            departed = np.zeros(current.shape, dtype=bool)
+            cell = np.empty(1, dtype=object)
+            for server_id in left:
+                cell[0] = server_id
+                departed |= current == cell
+            if departed.any():
+                stranded = words[departed]
+                rerouted = self._lookup(stranded)
+                restored = table._delta_scores(stranded)
+                if rerouted is None or restored is None:
+                    return None
+            else:
+                departed = None
+        challenges = []
+        for server_id in joined:
+            challenge = table._delta_challenge(server_id, words)
+            if challenge is None or challenge.shape != scores.shape:
+                return None
+            challenges.append(challenge)
+        # Apply phase: in-place writes only.  ``moved_idx``/``moved_src``
+        # collect each moved key's position and pre-epoch owner once.
+        moved_idx: List[np.ndarray] = []
+        moved_src: List[np.ndarray] = []
+        moved = departed
+        if departed is not None:
+            moved_idx.append(np.nonzero(departed)[0])
+            moved_src.append(current[departed])
+            current[departed] = rerouted
+            scores[departed] = restored
+        for server_id, challenge in zip(joined, challenges):
+            captured = challenge > scores
+            if not captured.any():
+                continue
+            first = captured if moved is None else captured & ~moved
+            if first.any():
+                moved_idx.append(np.nonzero(first)[0])
+                moved_src.append(current[first])
+            # Scatter the (arbitrary hashable) id through a 1-cell
+            # object array so sequence-typed ids assign as single
+            # elements instead of broadcasting.
+            cell = np.empty(1, dtype=object)
+            cell[0] = server_id
+            current[captured] = cell
+            scores[captured] = challenge[captured]
+            moved = captured if moved is None else (moved | captured)
+        if moved_idx:
+            indices = np.concatenate(moved_idx)
+            order = np.argsort(indices, kind="stable")
+            indices = indices[order]
+            sources = np.concatenate(moved_src)[order]
+        else:
+            indices = np.empty(0, dtype=np.int64)
+            sources = current[indices]
+        return EpochDelta(
+            tracked=self.tracked,
+            keys=self._keys[indices],
+            sources=sources,
+            destinations=current[indices],
+        )
 
     def diff_against(self, lookup: AssignmentLookup) -> EpochDelta:
         """Diff the cached baseline against a *foreign* assignment.

@@ -266,7 +266,7 @@ class Router:
         self._epoch = 0
         self._history: List[EpochRecord] = []
         self._avoided: Set[Key] = set()
-        self._delta = DeltaTracker(self._probe_assignment)
+        self._delta = DeltaTracker(self._probe_assignment, table=table)
         if probe_keys is not None:
             self.track(probe_keys)
 
@@ -459,7 +459,7 @@ class Router:
         for server_id in update.joins:
             for observer in self._observers:
                 observer.on_join(server_id, self._epoch)
-        delta = self._delta.close()
+        delta = self._delta.close(joined=update.joins, left=update.leaves)
         record = EpochRecord(
             epoch=self._epoch,
             joined=update.joins,

@@ -1,0 +1,160 @@
+"""Oracle properties for the array-level bulk membership kernels.
+
+Every algorithm advertising ``churn-incremental`` overrides
+:meth:`~repro.hashing.base.DynamicHashTable._join_many` /
+:meth:`~repro.hashing.base.DynamicHashTable._leave_many` with one
+structural operation per membership *event*.  The documented contract
+is bit-exactness: a bulk batch must leave the table routing identically
+to joining/leaving the same ids one at a time, in order.  These
+properties replay random join/leave/route schedules twice -- once
+through the bulk kernels, once through a scalar shadow table that only
+ever sees singleton events -- and require identical assignments after
+every event (mirroring ``tests/hashing/test_maglev_incremental.py``,
+which pins Maglev's deferred fill to its sequential oracle the same
+way).  A mid-sequence ``state_dict`` round-trip rides along: restored
+tables must keep taking the incremental path without drifting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hashing import DynamicHashTable, make_table
+from repro.hashing.registry import algorithm_entry, registered_algorithms
+
+#: Constructor overrides keeping the expensive tables test-sized.
+LIGHT_CONFIGS = {
+    "hd": {"dim": 1_024, "codebook_size": 128},
+    "maglev": {"table_size": 131},
+}
+
+#: Registry-driven coverage: a new bulk-kernel algorithm is picked up
+#: the moment its override lands.
+INCREMENTAL_ALGORITHMS = [
+    name
+    for name in registered_algorithms()
+    if "churn-incremental" in algorithm_entry(name).capabilities
+]
+
+
+def build(name, seed):
+    return make_table(name, seed=seed, **LIGHT_CONFIGS.get(name, {}))
+
+
+def assert_same_routing(table, shadow, words):
+    assert list(table.server_ids) == list(shadow.server_ids)
+    assert np.array_equal(
+        table.lookup_words(words), shadow.lookup_words(words)
+    )
+
+
+def random_schedule(rng, universe=40, steps=10):
+    """Yield (kind, ids) events over a bounded server universe.
+
+    Joins arrive in batches of 1-3 fresh ids; leaves retire random
+    batches of current members.  The pool is kept non-empty so routing
+    comparisons are always possible.
+    """
+    pool = []
+    next_id = 0
+    for __ in range(steps):
+        if not pool or (next_id < universe and rng.random() < 0.6):
+            width = int(rng.integers(1, 4))
+            ids = ["srv-{:03d}".format(next_id + i) for i in range(width)]
+            next_id += width
+            pool.extend(ids)
+            yield "join", ids
+        else:
+            width = int(rng.integers(1, min(3, len(pool)) + 1))
+            if width >= len(pool):
+                width = len(pool) - 1 or 1
+            picks = rng.choice(len(pool), size=width, replace=False)
+            ids = [pool[int(index)] for index in sorted(picks)]
+            for server_id in ids:
+                pool.remove(server_id)
+            if not pool:
+                pool.extend(ids[:1])
+                ids = ids[1:]
+            if ids:
+                yield "leave", ids
+
+
+class TestBulkKernelsMatchScalarOracle:
+    @pytest.mark.parametrize("name", INCREMENTAL_ALGORITHMS)
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_schedules_route_identically(self, name, seed):
+        rng = np.random.default_rng(seed)
+        words = rng.integers(0, 2**64, 256, dtype=np.uint64)
+        table = build(name, seed)
+        shadow = build(name, seed)
+        for kind, ids in random_schedule(rng):
+            if kind == "join":
+                table.join_many(ids)
+                for server_id in ids:
+                    shadow.join(server_id)
+            else:
+                table.leave_many(ids)
+                for server_id in ids:
+                    shadow.leave(server_id)
+            # Route after *every* event so lazily-deferred state is
+            # forced at arbitrary points of the history, not just once
+            # at the end.
+            assert_same_routing(table, shadow, words)
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            name
+            for name in INCREMENTAL_ALGORITHMS
+            if "weighted" in algorithm_entry(name).capabilities
+        ],
+    )
+    @pytest.mark.parametrize("seed", range(6))
+    def test_weighted_schedules_route_identically(self, name, seed):
+        # Interleave non-unit-weight scalar admissions with bulk events:
+        # the bulk kernels must stay exact over weighted owner state.
+        rng = np.random.default_rng(1_000 + seed)
+        words = rng.integers(0, 2**64, 256, dtype=np.uint64)
+        table = build(name, seed)
+        shadow = build(name, seed)
+        heavy = 0
+        for kind, ids in random_schedule(rng):
+            if kind == "join":
+                table.join_many(ids)
+                for server_id in ids:
+                    shadow.join(server_id)
+            else:
+                table.leave_many(ids)
+                for server_id in ids:
+                    shadow.leave(server_id)
+            if rng.random() < 0.4:
+                weight = float(rng.integers(2, 6))
+                server_id = "heavy-{:03d}".format(heavy)
+                heavy += 1
+                table.join(server_id, weight=weight)
+                shadow.join(server_id, weight=weight)
+            assert_same_routing(table, shadow, words)
+
+    @pytest.mark.parametrize("name", INCREMENTAL_ALGORITHMS)
+    def test_mid_sequence_snapshot_roundtrip(self, name):
+        rng = np.random.default_rng(777)
+        words = rng.integers(0, 2**64, 256, dtype=np.uint64)
+        table = build(name, 3)
+        shadow = build(name, 3)
+        events = list(random_schedule(rng, steps=12))
+        midpoint = len(events) // 2
+        for step, (kind, ids) in enumerate(events):
+            if kind == "join":
+                table.join_many(ids)
+                for server_id in ids:
+                    shadow.join(server_id)
+            else:
+                table.leave_many(ids)
+                for server_id in ids:
+                    shadow.leave(server_id)
+            if step == midpoint:
+                # Swap the bulk-path table for its snapshot restore and
+                # keep going: the restored instance must route like the
+                # original *and* keep the incremental path exact.
+                table = DynamicHashTable.from_state(table.state_dict())
+                assert_same_routing(table, shadow, words)
+        assert_same_routing(table, shadow, words)

@@ -62,6 +62,64 @@ class TestRegistryContents:
             assert algorithm_entry(name).description
 
 
+class TestCapabilityFlags:
+    def test_churn_incremental_coverage(self):
+        # Derived from the bulk membership kernel overrides: one
+        # array-level structural update per membership event.  HD, jump
+        # and Maglev mutate per scalar event by design (their per-event
+        # work is already O(1)-ish), so they are truthfully unflagged.
+        flagged = {
+            name
+            for name in registered_algorithms()
+            if "churn-incremental" in algorithm_entry(name).capabilities
+        }
+        assert flagged == {
+            "modular",
+            "consistent",
+            "bounded-consistent",
+            "multiprobe-consistent",
+            "rendezvous",
+            "weighted-rendezvous",
+            "weighted",
+            "hierarchical",
+        }
+
+    def test_delta_close_coverage(self):
+        # Derived from the delta-scoped score kernels.  Multi-probe
+        # *overrides* the kernels it inherits from the ring -- but only
+        # to opt out (best-probe placement breaks the one-score-per-key
+        # contract), so the flag must not leak through the override.
+        flagged = {
+            name
+            for name in registered_algorithms()
+            if "delta-close" in algorithm_entry(name).capabilities
+        }
+        assert flagged == {
+            "hd",
+            "consistent",
+            "bounded-consistent",
+            "rendezvous",
+            "weighted-rendezvous",
+            "weighted",
+        }
+
+    def test_delta_close_flags_match_kernel_behaviour(self):
+        # The flag is only a promise that the kernel *exists*; check it
+        # against live tables -- flagged algorithms return a score per
+        # word (modulo config gates), unflagged ones return None.
+        words = np.arange(64, dtype=np.uint64)
+        for name in registered_algorithms():
+            table = build(name)
+            for index in range(4):
+                table.join("srv-{}".format(index))
+            scores = table._delta_scores(words)
+            if "delta-close" not in algorithm_entry(name).capabilities:
+                assert scores is None, name
+            else:
+                assert scores is not None, name
+                assert scores.shape == words.shape, name
+
+
 @pytest.mark.parametrize("name", [
     "modular", "consistent", "rendezvous", "hd", "jump", "maglev",
     "bounded-consistent", "weighted-rendezvous", "multiprobe-consistent",

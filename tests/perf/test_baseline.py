@@ -53,6 +53,10 @@ def _record(scale: float) -> dict:
             "requests_per_s": 3e6 * scale,
             "normalized": 0.9 * scale,
         },
+        "epoch_close": {
+            "keys_per_s": 5e7 * scale,
+            "normalized": 10.0 * scale,
+        },
     }
 
 

@@ -133,6 +133,55 @@ class TestFleetMembership:
             move.source != move.destination for move in plan.moves
         )
 
+    def test_untouched_shards_skip_epoch_close(self):
+        # Declarative sync must not bill shards whose membership
+        # already matches: their diff is empty, so the epoch close (a
+        # full tracked-slice re-route on algorithms without the
+        # delta-scoped fast path) is provably an empty delta -- skip it.
+        cluster = build(probe=True)
+        cluster.shard(2).sync(FLEET[:6])  # diverge one shard
+        closes = [0] * cluster.n_shards
+        for index in range(cluster.n_shards):
+            tracker = cluster.shard(index).delta_tracker
+            original = tracker.close
+
+            def spy(*args, _original=original, _index=index, **kwargs):
+                closes[_index] += 1
+                return _original(*args, **kwargs)
+
+            tracker.close = spy
+        record, plan = cluster.sync(FLEET)
+        # Only the diverged shard closed an epoch; its peers were
+        # skipped entirely, epochs included.
+        assert closes == [0, 0, 1, 0]
+        assert cluster.epochs == (1, 1, 3, 1)
+        assert record.records[0] is None
+        assert record.records[2] is not None
+        # ...and the fleet-level bill is exactly the touched shard's.
+        assert record.probes_moved == record.records[2].probes_moved > 0
+        assert record.remapped == pytest.approx(
+            record.probes_moved / PROBE.size
+        )
+        assert plan.total_keys == record.probes_moved
+        assert plan.tracked == PROBE.size
+
+    def test_noop_sync_closes_nothing(self):
+        cluster = build(probe=True)
+        closes = [0] * cluster.n_shards
+        for index in range(cluster.n_shards):
+            tracker = cluster.shard(index).delta_tracker
+            original = tracker.close
+
+            def spy(*args, _original=original, _index=index, **kwargs):
+                closes[_index] += 1
+                return _original(*args, **kwargs)
+
+            tracker.close = spy
+        record, plan = cluster.sync(FLEET)
+        assert closes == [0, 0, 0, 0]
+        assert record.probes_moved == 0
+        assert plan.is_empty
+
     def test_per_shard_divergence_is_allowed(self):
         # Draining one shard is a per-shard operation; its peers (and
         # their epochs) stay untouched.

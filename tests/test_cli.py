@@ -199,6 +199,15 @@ class TestAlgorithmsListing:
         for name, line in lines.items():
             assert "batch-native" in line
             assert "replica-native" in line
+        # Membership/epoch kernels surface as derived flags too: bulk
+        # join/leave kernels and the delta-scoped epoch-close kernels.
+        assert "churn-incremental" in lines["weighted"]
+        assert "delta-close" in lines["weighted"]
+        assert "delta-close" in lines["hd"]
+        # Multi-probe overrides the delta kernels only to opt out.
+        assert "churn-incremental" in lines["multiprobe-consistent"]
+        assert "delta-close" not in lines["multiprobe-consistent"]
+        assert "churn-incremental" not in lines["maglev"]
 
 
 class TestControl:
