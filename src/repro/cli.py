@@ -411,15 +411,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--max-batch", type=int, default=256,
-        help="micro-batch flush-on-size threshold (default: 256)",
+        help="micro-batch flush-on-size threshold, at least 1 "
+        "(default: 256)",
     )
     serve.add_argument(
-        "--max-delay-ms", type=float, default=1.0, metavar="MS",
-        help="micro-batch flush deadline (default: 1.0 ms)",
+        "--max-delay-ms", "--max-delay", dest="max_delay_ms",
+        type=float, default=1.0, metavar="MS",
+        help="micro-batch flush deadline in milliseconds, non-negative "
+        "(default: 1.0 ms)",
     )
     serve.add_argument(
-        "--cache", type=int, default=4_096,
-        help="hot-key cache capacity (default: 4096)",
+        "--cache", "--cache-capacity", dest="cache",
+        type=int, default=4_096, metavar="KEYS",
+        help="hot-key cache capacity in keys, at least 1 "
+        "(default: 4096)",
     )
     serve.add_argument(
         "--servers", type=int, default=8,
@@ -882,6 +887,15 @@ _SERVE_SCALES = {
 def _run_serve(args, out) -> int:
     from .emulator import ServingScenarioConfig, run_serving_scenario
 
+    # Validate the batching knobs up front with flag-named messages --
+    # the deeper ValueError (from MicroBatcher/HotKeyCache) names the
+    # constructor parameter, which is useless at the shell.
+    if args.max_batch < 1:
+        raise SystemExit("error: --max-batch must be at least 1")
+    if args.max_delay_ms < 0:
+        raise SystemExit("error: --max-delay cannot be negative")
+    if args.cache < 1:
+        raise SystemExit("error: --cache-capacity must be at least 1")
     scale = _SERVE_SCALES[args.profile]
     options = _parse_options(args.option)
     config = ServingScenarioConfig(

@@ -1,12 +1,13 @@
 """The ``BENCH_throughput.json`` artifact and the CI regression gate.
 
-Schema (version 6; version 2 added the ``route_replicas`` and
+Schema (version 7; version 2 added the ``route_replicas`` and
 ``cluster_route`` metric sections, version 3 added ``plan_migration``
 and ``migrate_execute``, version 4 added ``control_tick``, version 5
-added ``serve``, version 6 added ``epoch_close``)::
+added ``serve``, version 6 added ``epoch_close``, version 7 split
+``serve`` into ``serve_hot`` and ``serve_cold``)::
 
     {
-      "schema": 6,
+      "schema": 7,
       "kind": "repro-throughput",
       "profile": "fast",                  # measurement scale
       "seed": 0,
@@ -28,7 +29,10 @@ added ``serve``, version 6 added ``epoch_close``)::
                     {"keys_per_s": <float>, "normalized": <float>},
           "control_tick":
                     {"ticks_per_s": <float>, "normalized": <float>},
-          "serve":  {"requests_per_s": <float>, "normalized": <float>},
+          "serve_hot":
+                    {"requests_per_s": <float>, "normalized": <float>},
+          "serve_cold":
+                    {"requests_per_s": <float>, "normalized": <float>},
           "epoch_close":
                     {"keys_per_s": <float>, "normalized": <float>}
         }, ...
@@ -46,11 +50,16 @@ executor's copy/verify/commit loop over a data plane (moved keys per
 second) -- see :mod:`repro.perf.throughput`.  ``control_tick`` is
 steady-state reconciliation ticks of the control plane (health poll +
 utilization decision + no-op fleet diff) per second -- the idle
-overhead a always-on control loop adds.  ``serve`` is Zipf-popular
+overhead a always-on control loop adds.  ``serve_hot`` is Zipf-popular
 reads through the serving tier's synchronous dispatch core
 (:class:`~repro.serve.MicroBatcher` batches through a
-:class:`~repro.serve.HotKeyCache` in front of a stocked data plane) --
-the end-to-end request-serving rate of the micro-batched front-end.
+:class:`~repro.serve.HotKeyCache` in front of a stocked data plane) at
+cache steady state -- the end-to-end request rate of the micro-batched
+front-end when its columnar cache is absorbing the hot set.
+``serve_cold`` is the same batches through a cacheless batcher, so
+every request takes the routed ``get_many`` path -- the front-end's
+floor when nothing is cacheable (and the variant where routing cost
+stays visible).
 ``epoch_close`` is membership epochs (one grow, one shrink) closed over
 a million-key tracked population (tracked keys accounted per second) --
 algorithms with delta-scoped score kernels take the
@@ -84,7 +93,7 @@ __all__ = [
 ]
 
 #: Version stamp of the report layout documented above.
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 #: Maximum tolerated fractional drop in normalized throughput.
 DEFAULT_TOLERANCE = 0.30
@@ -100,19 +109,20 @@ CHURN_TOLERANCE = 0.50
 #: migration metrics, whose blocks embed the same microsecond-scale
 #: membership mutations (``plan_migration``) or per-key Python loops
 #: with clone setup (``migrate_execute``), plus ``control_tick``
-#: (microsecond-scale pure-Python reconciliation passes), plus
-#: ``serve``, whose per-request Python dispatch (cache probes, store
-#: dict hits) scatters like the other interpreter-bound loops, plus
-#: ``epoch_close``, whose blocks embed the same microsecond-scale
-#: membership mutations and per-epoch plan assembly around the
-#: array-wide accounting sweep.
+#: (microsecond-scale pure-Python reconciliation passes), plus the
+#: ``serve_hot``/``serve_cold`` pair, whose per-batch Python dispatch
+#: (chunk iteration, cache install, store dict traffic) scatters like
+#: the other interpreter-bound loops, plus ``epoch_close``, whose
+#: blocks embed the same microsecond-scale membership mutations and
+#: per-epoch plan assembly around the array-wide accounting sweep.
 NOISY_METRICS = frozenset(
     {
         "churn",
         "plan_migration",
         "migrate_execute",
         "control_tick",
-        "serve",
+        "serve_hot",
+        "serve_cold",
         "epoch_close",
     }
 )
@@ -127,7 +137,8 @@ METRICS = (
     "plan_migration",
     "migrate_execute",
     "control_tick",
-    "serve",
+    "serve_hot",
+    "serve_cold",
     "epoch_close",
 )
 
@@ -240,7 +251,7 @@ def format_report(report: Dict[str, Any]) -> str:
             report.get("calibration", {}).get("xor_popcount_gbps", 0.0),
         ),
         "{:<22} {:>13} {:>13} {:>13} {:>13} {:>11} {:>12} {:>12} "
-        "{:>10} {:>12} {:>13}".format(
+        "{:>10} {:>12} {:>12} {:>13}".format(
             "algorithm",
             "route k/s",
             "replicas k/s",
@@ -250,7 +261,8 @@ def format_report(report: Dict[str, Any]) -> str:
             "plan k/s",
             "migrate k/s",
             "ctl t/s",
-            "serve r/s",
+            "hot r/s",
+            "cold r/s",
             "close k/s",
         ),
     ]
@@ -259,7 +271,7 @@ def format_report(report: Dict[str, Any]) -> str:
         lines.append(
             "{:<22} {:>13,.0f} {:>13,.0f} {:>13,.0f} {:>13,.0f} "
             "{:>11,.0f} {:>12,.0f} {:>12,.0f} {:>10,.0f} {:>12,.0f} "
-            "{:>13,.0f}".format(
+            "{:>12,.0f} {:>13,.0f}".format(
                 name,
                 record["route"]["keys_per_s"],
                 record["route_replicas"]["keys_per_s"],
@@ -269,7 +281,8 @@ def format_report(report: Dict[str, Any]) -> str:
                 record["plan_migration"]["keys_per_s"],
                 record["migrate_execute"]["keys_per_s"],
                 record["control_tick"]["ticks_per_s"],
-                record["serve"]["requests_per_s"],
+                record["serve_hot"]["requests_per_s"],
+                record["serve_cold"]["requests_per_s"],
                 record["epoch_close"]["keys_per_s"],
             )
         )

@@ -1,6 +1,6 @@
 """The throughput harness: routing / cluster / churn / migration rates.
 
-Ten metrics per registered algorithm, all measured on live state at
+Eleven metrics per registered algorithm, all measured on live state at
 the profile's pool size:
 
 ``route``
@@ -42,12 +42,20 @@ the profile's pool size:
     decision off real byte accounting, no-op fleet diff; the rate is
     reconciliation ticks per second (the idle cost of running the
     control plane continuously).
-``serve``
+``serve_hot``
     Zipf-popular single-key reads through the serving tier's
     synchronous dispatch core -- micro-batches of the profile's
     ``serve_batch`` through a :class:`~repro.serve.HotKeyCache` in
     front of a stocked :class:`~repro.store.DataPlane`; the rate is
-    requests served per second, cache steady-state included.
+    requests served per second at cache steady state, which prices
+    the front-end itself (the columnar cache probe + install path).
+``serve_cold``
+    the same micro-batches through a *cacheless* batcher -- every
+    request takes the routed ``get_many`` path, so the rate prices
+    hashing + routing + store lookups with zero cache absorption.
+    A capacity-present cold cache would warm up across best-of-N
+    repeats; ``cache=None`` keeps the miss path fully visible and
+    the measurement stable.
 ``epoch_close``
     membership epochs (one grow, then one shrink, of a spare server)
     closed by a router tracking the profile's ``epoch_close_keys``
@@ -336,11 +344,14 @@ def measure_algorithm(
 
     control_seconds = _best_seconds(control_block, profile.repeats)
 
-    # Serving tier: Zipf-popular reads dispatched in micro-batches
-    # through the hot-key cache over the stocked control plane (its
-    # ticks above were no-ops, so membership is unchanged).  The cache
-    # stays warm across repeats -- best-of-N measures the front-end's
-    # steady state, which is where a serving tier lives.
+    # Serving tier: Zipf-popular reads dispatched in micro-batches over
+    # the stocked control plane (its ticks above were no-ops, so
+    # membership is unchanged).  Two variants bracket the front-end:
+    # ``serve_hot`` keeps the hot-key cache warm across repeats --
+    # best-of-N measures the cache steady state a serving tier lives
+    # at -- while ``serve_cold`` runs a cacheless batcher so every
+    # request pays hashing + routing + store lookup (a capacity-present
+    # cold cache would warm up across repeats and measure neither).
     serve_keys = [
         int(key)
         for key in ZipfKeys(universe=profile.serve_universe).sample(
@@ -351,17 +362,27 @@ def measure_algorithm(
         serve_keys[start : start + profile.serve_batch]
         for start in range(0, len(serve_keys), profile.serve_batch)
     ]
-    serve_batcher = MicroBatcher(
+    hot_batcher = MicroBatcher(
         control_plane,
         cache=HotKeyCache(profile.serve_cache),
         max_batch=profile.serve_batch,
     )
 
-    def serve_block():
+    def serve_hot_block():
         for chunk in serve_chunks:
-            serve_batcher.serve_gets(chunk)
+            hot_batcher.serve_gets(chunk)
 
-    serve_seconds = _best_seconds(serve_block, profile.repeats)
+    serve_hot_seconds = _best_seconds(serve_hot_block, profile.repeats)
+
+    cold_batcher = MicroBatcher(
+        control_plane, cache=None, max_batch=profile.serve_batch
+    )
+
+    def serve_cold_block():
+        for chunk in serve_chunks:
+            cold_batcher.serve_gets(chunk)
+
+    serve_cold_seconds = _best_seconds(serve_cold_block, profile.repeats)
 
     route_rate = profile.batch_words / route_seconds
     replicas_rate = profile.batch_words / replicas_seconds
@@ -371,7 +392,8 @@ def measure_algorithm(
     plan_rate = 2 * tracked / plan_seconds
     migrate_rate = max(1, plan.total_keys) / migrate_seconds
     control_rate = profile.control_ticks / control_seconds
-    serve_rate = profile.serve_requests / serve_seconds
+    serve_hot_rate = profile.serve_requests / serve_hot_seconds
+    serve_cold_rate = profile.serve_requests / serve_cold_seconds
     epoch_close_rate = 2 * profile.epoch_close_keys / epoch_close_seconds
     return {
         "servers": profile.servers,
@@ -409,9 +431,13 @@ def measure_algorithm(
             "ticks_per_s": control_rate,
             "normalized": _normalized(control_rate, calibration_gbps),
         },
-        "serve": {
-            "requests_per_s": serve_rate,
-            "normalized": _normalized(serve_rate, calibration_gbps),
+        "serve_hot": {
+            "requests_per_s": serve_hot_rate,
+            "normalized": _normalized(serve_hot_rate, calibration_gbps),
+        },
+        "serve_cold": {
+            "requests_per_s": serve_cold_rate,
+            "normalized": _normalized(serve_cold_rate, calibration_gbps),
         },
         "epoch_close": {
             "keys_per_s": epoch_close_rate,

@@ -54,9 +54,14 @@ DEFAULT_MAX_DELAY = 0.001
 _OPS = ("get", "put", "delete")
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
-    """One enqueued single-key operation awaiting its micro-batch."""
+    """One enqueued single-key operation awaiting its micro-batch.
+
+    ``__slots__``-backed: a saturated front-end materialises one of
+    these per in-flight request, and the dict-free layout keeps both
+    allocation and the dispatch loop's attribute reads cheap.
+    """
 
     op: str
     key: Key
@@ -151,57 +156,64 @@ class MicroBatcher:
         """Serve a read batch: cache first, one batched routed read after.
 
         Returns ``(values, found)`` aligned to ``keys`` (the
-        :meth:`~repro.store.DataPlane.get_many` shape).  Cache hits are
-        served without routing; the misses take one vectorized
-        ``get_many`` and every found value is installed in the cache.
+        :meth:`~repro.store.DataPlane.get_many` shape).  The whole
+        batch probes the cache in one
+        :meth:`~repro.serve.cache.HotKeyCache.get_many`; the misses
+        take one vectorized routed ``get_many`` and every found value
+        is installed back through one
+        :meth:`~repro.serve.cache.HotKeyCache.put_many` -- no per-key
+        cache traffic anywhere on the read path.
         """
-        values = np.empty(len(keys), dtype=object)
-        found = np.zeros(len(keys), dtype=bool)
-        if self._cache is None:
-            miss_positions = list(range(len(keys)))
-        else:
-            miss_positions = []
-            for position, key in enumerate(keys):
-                value = self._cache.get(key, _MISSING)
-                if value is _MISSING:
-                    miss_positions.append(position)
-                else:
-                    values[position] = value
-                    found[position] = True
+        cache = self._cache
+        if cache is None:
+            values, found = self._plane.get_many(keys)
+            self._metrics.observe_cache(hits=0, misses=len(keys))
+            return values, found
+        values, found = cache.get_many(keys, default=_MISSING)
+        miss_positions = np.flatnonzero(~found)
         self._metrics.observe_cache(
             hits=len(keys) - len(miss_positions),
             misses=len(miss_positions),
         )
-        if miss_positions:
-            missed_keys = [keys[position] for position in miss_positions]
+        if len(miss_positions):
+            missed_keys = [keys[position] for position in miss_positions.tolist()]
             fetched, present = self._plane.get_many(missed_keys)
-            for offset, position in enumerate(miss_positions):
-                if present[offset]:
-                    values[position] = fetched[offset]
-                    found[position] = True
-                    if self._cache is not None:
-                        self._cache.put(keys[position], fetched[offset])
+            values[miss_positions] = fetched
+            found[miss_positions] = present
+            present_offsets = np.flatnonzero(present)
+            if len(present_offsets):
+                cache.put_many(
+                    [missed_keys[offset] for offset in present_offsets.tolist()],
+                    fetched[present_offsets],
+                )
+        if len(miss_positions):
+            # The cache handed misses back as sentinels; the contract
+            # (and the cacheless path) reports them as None.
+            values[~found] = None
         return values, found
 
     def serve_puts(self, keys: Sequence[Key], values: Sequence[Any]) -> np.ndarray:
         """Serve a write batch (write-through); returns owner ids."""
         owners = self._plane.put_many(keys, values)
         if self._cache is not None:
-            for key, value in zip(keys, values):
-                self._cache.put(key, value)
+            self._cache.put_many(keys, values)
         return owners
 
     def serve_deletes(self, keys: Sequence[Key]) -> np.ndarray:
-        """Serve a delete batch; returns a per-key deleted mask."""
-        deleted = np.zeros(len(keys), dtype=bool)
-        for position, key in enumerate(keys):
-            try:
-                self._plane.delete(key)
-            except KeyError:
-                continue
-            deleted[position] = True
-            if self._cache is not None:
-                self._cache.invalidate(key)
+        """Serve a delete batch; returns a per-key deleted mask.
+
+        One :meth:`~repro.store.DataPlane.delete_many` routes the whole
+        batch (per-owner bulk removal, one accounting update per
+        owner); the keys actually removed are evicted from the cache in
+        one bulk invalidation, exactly as the scalar loop did per key.
+        """
+        deleted = self._plane.delete_many(keys)
+        if self._cache is not None:
+            removed = np.flatnonzero(deleted)
+            if len(removed):
+                self._cache.invalidate_many(
+                    [keys[position] for position in removed.tolist()]
+                )
         return deleted
 
     def dispatch(self, batch: Sequence[Request]) -> None:
@@ -209,34 +221,53 @@ class MicroBatcher:
 
         Op order realises the documented batch semantics: every read
         observes the pre-batch state, then deletes apply, then puts.
+        The batch is partitioned into per-op request arrays once, each
+        op is served by one bulk call, futures resolve in tight
+        slot-aligned loops, and the whole batch's latencies are one
+        vectorized subtract into
+        :meth:`~repro.serve.metrics.ServingMetrics.observe_latencies`.
         """
         if not batch:
             return
         started = self._clock()
-        gets = [request for request in batch if request.op == "get"]
-        deletes = [request for request in batch if request.op == "delete"]
-        puts = [request for request in batch if request.op == "put"]
+        gets: List[Request] = []
+        deletes: List[Request] = []
+        puts: List[Request] = []
+        buckets = {"get": gets.append, "delete": deletes.append, "put": puts.append}
+        for request in batch:
+            buckets[request.op](request)
         if gets:
             values, found = self.serve_gets([request.key for request in gets])
-            for request, value, present in zip(gets, values, found):
-                _resolve(request, (bool(present), value))
+            found_list = found.tolist()
+            for request, value, present in zip(gets, values, found_list):
+                future = request.future
+                if future is not None and not future.done():
+                    future.set_result((present, value))
         if deletes:
             removed = self.serve_deletes([request.key for request in deletes])
-            for request, present in zip(deletes, removed):
-                _resolve(request, bool(present))
+            for request, present in zip(deletes, removed.tolist()):
+                future = request.future
+                if future is not None and not future.done():
+                    future.set_result(present)
         if puts:
             owners = self.serve_puts(
                 [request.key for request in puts],
                 [request.value for request in puts],
             )
-            for request, owner in zip(puts, owners):
-                _resolve(request, owner)
+            owner_list = owners.tolist() if isinstance(owners, np.ndarray) else owners
+            for request, owner in zip(puts, owner_list):
+                future = request.future
+                if future is not None and not future.done():
+                    future.set_result(owner)
         now = self._clock()
         self._metrics.observe_ops(gets=len(gets), puts=len(puts), deletes=len(deletes))
         self._metrics.observe_batch(len(batch), busy_seconds=now - started)
-        self._metrics.observe_latencies(
-            [now - request.enqueued_at for request in batch]
+        enqueued = np.fromiter(
+            (request.enqueued_at for request in batch),
+            dtype=np.float64,
+            count=len(batch),
         )
+        self._metrics.observe_latencies(now - enqueued)
 
     def flush(self) -> int:
         """Dispatch one micro-batch from the queue head; returns its size."""

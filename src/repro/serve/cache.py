@@ -1,4 +1,4 @@
-"""The hot-key cache: an LRU read cache with *epoch-based* invalidation.
+"""The hot-key cache: an array-backed LRU with *epoch-based* invalidation.
 
 Zipfian traffic concentrates on a small hot set, so a small LRU in
 front of the :class:`~repro.store.DataPlane` absorbs most reads.  The
@@ -15,12 +15,29 @@ rest warm.  No blanket flush, no stale entry; see
 Write semantics are write-through: a put refreshes the cached value, a
 delete evicts it, so a cached read can never observe an overwritten
 value.
+
+The layout is columnar, sized to the serving tier's batch dispatch: a
+plain ``dict`` maps key -> slot, and three capacity-length arrays hold
+each slot's key, value and *recency stamp* (a monotonic counter ticked
+once per touch).  The LRU entry is simply the live slot with the lowest
+stamp, so recency refreshes are bulk fancy-index writes, batch reads
+are one C-level ``dict.get`` sweep plus one gather, and evictions pick
+victims by ``argmin``/``argpartition`` over the stamp column -- no
+per-key ``OrderedDict`` relinking anywhere on the serving hot path.
+The bulk entry points (:meth:`HotKeyCache.get_many`,
+:meth:`HotKeyCache.put_many`, :meth:`HotKeyCache.invalidate_many`) are
+bit-equivalent to issuing their scalar counterparts in sequence --
+contents, eviction order *and* hit/miss/eviction counters -- which the
+LRU-oracle property suite (``tests/serve/test_cache_oracle.py``) pins
+against an ``OrderedDict`` reference on random op schedules.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Any, Iterable, Tuple
+from itertools import repeat
+from typing import Any, Iterable, List, Sequence, Tuple
+
+import numpy as np
 
 from ..hashfn import Key
 
@@ -32,6 +49,10 @@ _ABSENT = object()
 #: Default hot-set capacity.
 DEFAULT_CAPACITY = 4_096
 
+#: Stamp parked on free slots -- above every live stamp, so victim
+#: selection over the raw stamp column can never pick an empty slot.
+_FREE = np.iinfo(np.int64).max
+
 
 class HotKeyCache:
     """Bounded LRU of hot keys with exact, epoch-driven invalidation."""
@@ -40,7 +61,14 @@ class HotKeyCache:
         if capacity < 1:
             raise ValueError("cache capacity must be at least 1")
         self._capacity = int(capacity)
-        self._entries: "OrderedDict[Key, Any]" = OrderedDict()
+        self._slots: dict = {}
+        self._keys = np.empty(self._capacity, dtype=object)
+        self._values = np.empty(self._capacity, dtype=object)
+        self._stamps = np.full(self._capacity, _FREE, dtype=np.int64)
+        #: Free slots, consumed LIFO; empty exactly when the cache is full.
+        self._free: List[int] = list(range(self._capacity - 1, -1, -1))
+        #: Monotonic recency clock; every touch (hit or put) takes a tick.
+        self._clock = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -53,14 +81,14 @@ class HotKeyCache:
         return self._capacity
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._slots)
 
     def __contains__(self, key: Key) -> bool:
-        return key in self._entries
+        return key in self._slots
 
     def __repr__(self) -> str:
         return "HotKeyCache(size={}, capacity={}, hit_rate={:.3f})".format(
-            len(self._entries), self._capacity, self.hit_rate
+            len(self._slots), self._capacity, self.hit_rate
         )
 
     @property
@@ -71,55 +99,257 @@ class HotKeyCache:
 
     def keys(self) -> Tuple[Key, ...]:
         """Cached keys, least recently used first."""
-        return tuple(self._entries)
+        if not self._slots:
+            return ()
+        live = np.fromiter(
+            self._slots.values(), dtype=np.int64, count=len(self._slots)
+        )
+        order = np.argsort(self._stamps[live])
+        return tuple(self._keys[live[order]])
+
+    def key_set(self) -> frozenset:
+        """The cached key set (no order, no copy of the arrays).
+
+        The epoch invalidator intersects each migration plan's moved
+        keys against this before evicting, so a million-key plan over a
+        few-thousand-entry cache costs one C-level membership sweep
+        instead of a million Python-level pops.
+        """
+        return frozenset(self._slots)
 
     # -- read path ---------------------------------------------------------
 
     def get(self, key: Key, default: Any = None) -> Any:
         """Cached value (refreshing recency) or ``default`` on a miss."""
-        value = self._entries.get(key, _ABSENT)
-        if value is _ABSENT:
+        slot = self._slots.get(key, -1)
+        if slot < 0:
             self.misses += 1
             return default
         self.hits += 1
-        self._entries.move_to_end(key)
-        return value
+        self._stamps[slot] = self._clock
+        self._clock += 1
+        return self._values[slot]
+
+    def get_many(
+        self, keys: Sequence[Key], default: Any = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`get`: ``(values, found)`` aligned to ``keys``.
+
+        One C-level ``dict.get`` sweep resolves slots, one gather pulls
+        the hit values, and every hit's recency stamp is assigned in
+        bulk (duplicate keys in one batch: the later position wins,
+        exactly as sequential gets would leave it).  Misses carry
+        ``default`` in ``values``.  Counter accounting matches the
+        scalar loop: one hit or miss per position.
+        """
+        n = len(keys)
+        values = np.empty(n, dtype=object)
+        if n == 0:
+            return values, np.zeros(0, dtype=bool)
+        slots = np.fromiter(
+            map(self._slots.get, keys, repeat(-1)), dtype=np.int64, count=n
+        )
+        found = slots >= 0
+        hit_count = int(np.count_nonzero(found))
+        self.hits += hit_count
+        self.misses += n - hit_count
+        if hit_count:
+            hit_slots = slots[found]
+            values[found] = self._values[hit_slots]
+            self._stamps[hit_slots] = np.arange(
+                self._clock, self._clock + hit_count, dtype=np.int64
+            )
+            self._clock += hit_count
+        if default is not None and hit_count < n:
+            values[~found] = default
+        return values, found
 
     def peek(self, key: Key, default: Any = None) -> Any:
         """Like :meth:`get` but touches neither recency nor counters."""
-        value = self._entries.get(key, _ABSENT)
-        return default if value is _ABSENT else value
+        slot = self._slots.get(key, -1)
+        return default if slot < 0 else self._values[slot]
 
     # -- write path --------------------------------------------------------
 
     def put(self, key: Key, value: Any) -> None:
-        """Insert/refresh an entry, evicting the LRU tail past capacity."""
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        """Insert/refresh an entry, evicting the LRU past capacity."""
+        slot = self._slots.get(key, -1)
+        if slot < 0:
+            if self._free:
+                slot = self._free.pop()
+            else:
+                slot = self._evict_lru()
+            self._slots[key] = slot
+            self._keys[slot] = key
+        self._values[slot] = value
+        self._stamps[slot] = self._clock
+        self._clock += 1
+
+    def put_many(self, keys: Sequence[Key], values: Sequence[Any]) -> None:
+        """Batched :meth:`put`, bit-equivalent to the sequential loop.
+
+        The common serving shapes are columnar: when no eviction can
+        occur (every key already cached, or enough free room for the
+        batch's new keys) the whole batch is one slot sweep, one value
+        scatter and one bulk stamp assignment.  Only a batch that must
+        evict takes the slot-at-a-time path -- and that path picks its
+        victims from one ``argpartition`` of the stamp column instead
+        of a per-eviction scan, while reproducing the exact sequential
+        eviction schedule (a key evicted mid-batch and re-put later is
+        re-inserted, and every eviction event counts, just as scalar
+        puts would).
+        """
+        n = len(keys)
+        if n != len(values):
+            raise ValueError(
+                "put_many needs aligned batches, got {} keys and {} "
+                "values".format(n, len(values))
+            )
+        if n == 0:
+            return
+        slots_map = self._slots
+        slots = np.fromiter(
+            map(slots_map.get, keys, repeat(-1)), dtype=np.int64, count=n
+        )
+        new_positions = np.flatnonzero(slots < 0)
+        if new_positions.size:
+            new_keys = [keys[position] for position in new_positions.tolist()]
+            if len(slots_map) + len(set(new_keys)) > self._capacity:
+                self._put_many_evicting(keys, values)
+                return
+            free = self._free
+            keys_column = self._keys
+            for position, key in zip(new_positions.tolist(), new_keys):
+                slot = slots_map.get(key, -1)
+                if slot < 0:
+                    slot = free.pop()
+                    slots_map[key] = slot
+                    keys_column[slot] = key
+                slots[position] = slot
+        values_column = self._values
+        for slot, value in zip(slots.tolist(), values):
+            values_column[slot] = value
+        self._stamps[slots] = np.arange(
+            self._clock, self._clock + n, dtype=np.int64
+        )
+        self._clock += n
+
+    def _put_many_evicting(
+        self, keys: Sequence[Key], values: Sequence[Any]
+    ) -> None:
+        """The eviction regime of :meth:`put_many` (exact LRU schedule).
+
+        Victim order is precomputed once: the batch can evict at most
+        ``len(keys)`` entries and skip at most ``len(keys)`` refreshed
+        ones, so the ``2n + 1`` lowest pre-batch stamps (one
+        ``argpartition``) cover every victim the sequential schedule
+        can reach.  Entries refreshed by the batch are recognised by
+        their stamp having moved past the batch's start tick and
+        skipped; should the pre-batch pool run dry (capacity smaller
+        than the batch), victims continue among batch-stamped slots in
+        stamp order, which is exactly the sequential LRU order again.
+        """
+        slots_map = self._slots
+        stamps = self._stamps
+        keys_column = self._keys
+        values_column = self._values
+        free = self._free
+        clock = self._clock
+        start = clock
+        live = np.fromiter(
+            slots_map.values(), dtype=np.int64, count=len(slots_map)
+        )
+        pool = 2 * len(keys) + 1
+        if live.size > pool:
+            live = live[np.argpartition(stamps[live], pool)[:pool]]
+        victims = live[np.argsort(stamps[live])].tolist()
+        victim_cursor = 0
+        #: Every stamp assigned this batch, in order -- the fallback
+        #: victim queue once all pre-batch entries are consumed.
+        stamped: List[Tuple[int, int]] = []
+        stamped_cursor = 0
+        evictions = 0
+        for key, value in zip(keys, values):
+            slot = slots_map.get(key, -1)
+            if slot < 0:
+                if free:
+                    slot = free.pop()
+                else:
+                    slot = -1
+                    while victim_cursor < len(victims):
+                        candidate = victims[victim_cursor]
+                        victim_cursor += 1
+                        if stamps[candidate] < start:
+                            slot = candidate
+                            break
+                    while slot < 0:
+                        candidate, stamp = stamped[stamped_cursor]
+                        stamped_cursor += 1
+                        if stamps[candidate] == stamp:
+                            slot = candidate
+                    del slots_map[keys_column[slot]]
+                    evictions += 1
+                slots_map[key] = slot
+                keys_column[slot] = key
+            values_column[slot] = value
+            stamps[slot] = clock
+            stamped.append((slot, clock))
+            clock += 1
+        self._clock = clock
+        self.evictions += evictions
+
+    def _evict_lru(self) -> int:
+        """Drop the lowest-stamp entry; returns its now-reusable slot.
+
+        Only called with the cache full, so every slot is live and the
+        raw ``argmin`` over the stamp column is the LRU entry.
+        """
+        slot = int(np.argmin(self._stamps))
+        del self._slots[self._keys[slot]]
+        self._keys[slot] = None
+        self._values[slot] = None
+        self.evictions += 1
+        return slot
+
+    def _release(self, slot: int) -> None:
+        """Return a slot to the free pool (invalidation/flush path)."""
+        self._keys[slot] = None
+        self._values[slot] = None
+        self._stamps[slot] = _FREE
+        self._free.append(slot)
 
     def invalidate(self, key: Key) -> bool:
         """Drop one entry; True when it was cached."""
-        if self._entries.pop(key, _ABSENT) is _ABSENT:
+        slot = self._slots.pop(key, -1)
+        if slot < 0:
             return False
+        self._release(slot)
         self.invalidations += 1
         return True
 
-    def invalidate_keys(self, keys: Iterable[Key]) -> int:
+    def invalidate_many(self, keys: Iterable[Key]) -> int:
         """Drop exactly ``keys``; returns how many were actually cached.
 
-        This is the epoch path: fed the migration plan's moved-key set,
-        it evicts precisely the entries whose routing changed and leaves
-        every other hot entry warm.
+        This is the epoch path: fed the (pre-intersected, see
+        :meth:`key_set`) moved-key set of a migration plan, it evicts
+        precisely the entries whose routing changed and leaves every
+        other hot entry warm.  One dict pop per key, one counter update
+        per call.
         """
+        pop = self._slots.pop
+        release = self._release
         evicted = 0
         for key in keys:
-            if self._entries.pop(key, _ABSENT) is not _ABSENT:
+            slot = pop(key, -1)
+            if slot >= 0:
+                release(slot)
                 evicted += 1
         self.invalidations += evicted
         return evicted
+
+    def invalidate_keys(self, keys: Iterable[Key]) -> int:
+        """Alias of :meth:`invalidate_many` (the pre-columnar name)."""
+        return self.invalidate_many(keys)
 
     def flush(self) -> int:
         """Drop everything; returns the number of entries dropped.
@@ -128,7 +358,12 @@ class HotKeyCache:
         only takes it when an epoch closes with *no* tracked probe
         population, i.e. when the remapped-key set is unknowable.
         """
-        dropped = len(self._entries)
-        self._entries.clear()
-        self.invalidations += dropped
+        dropped = len(self._slots)
+        if dropped:
+            self._slots.clear()
+            self._keys[:] = None
+            self._values[:] = None
+            self._stamps[:] = _FREE
+            self._free = list(range(self._capacity - 1, -1, -1))
+            self.invalidations += dropped
         return dropped

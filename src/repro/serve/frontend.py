@@ -66,8 +66,20 @@ class EpochInvalidator(RouterObserver):
             if self._metrics is not None:
                 self._metrics.observe_invalidation(dropped, flush=True)
             return
-        moved = [key for batch in result.plan.batches for key in batch.keys]
-        evicted = self._cache.invalidate_keys(moved)
+        # Intersect the plan's moved keys with the cached key set
+        # *before* evicting: a plan names every rerouted tracked key,
+        # but the cache holds at most ``capacity`` of them, so probing
+        # the cache per moved key is O(plan) dict traffic for a handful
+        # of hits.  The frozenset intersection is one C-level sweep per
+        # batch and the eviction loop then touches only actual
+        # residents.  A plan never repeats a key across batches, so the
+        # eviction count stays exact.
+        cached = self._cache.key_set()
+        evicted = 0
+        for batch in result.plan.batches:
+            hits = cached.intersection(batch.keys)
+            if hits:
+                evicted += self._cache.invalidate_many(hits)
         if self._metrics is not None:
             self._metrics.observe_invalidation(evicted)
 

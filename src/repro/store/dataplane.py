@@ -357,6 +357,44 @@ class DataPlane:
                 values[index] = group_values[offset]
         return values, found
 
+    def delete_many(self, keys: Sequence[Key]) -> np.ndarray:
+        """Batched routed deletes; returns a per-key deleted mask.
+
+        Bit-equivalent to looping :meth:`delete` with the ``KeyError``
+        swallowed: each key is removed at its *assigned* owner
+        (avoid-blind, like every storage mutation), absent keys --
+        including in-flight ones and duplicates already consumed
+        earlier in the batch -- come back ``False``.  One routed
+        assignment pass, then one
+        :meth:`~repro.store.store.ServerStore.delete_many` (a single
+        accounting update) per owning server.
+        """
+        n = len(keys)
+        deleted = np.zeros(n, dtype=bool)
+        if n == 0:
+            return deleted
+        owners = self._router.assign_batch(keys)
+        if isinstance(keys, np.ndarray):
+            keys = keys.tolist()
+        assigned = owners.tolist() if isinstance(owners, np.ndarray) else owners
+        grouped: Dict[Key, Tuple[List[Key], List[int]]] = {}
+        for index, (key, server_id) in enumerate(zip(keys, assigned)):
+            bucket = grouped.get(server_id)
+            if bucket is None:
+                bucket = grouped[server_id] = ([], [])
+            bucket[0].append(key)
+            bucket[1].append(index)
+        removed = 0
+        for server_id, (group_keys, indices) in grouped.items():
+            store = self._stores.get(server_id)
+            if store is None:
+                continue
+            hits = store.delete_many(group_keys)
+            deleted[np.asarray(indices, dtype=np.intp)] = hits.astype(bool)
+            removed += int(hits.sum())
+        self._mutations += removed
+        return deleted
+
     # -- migration / accounting integration --------------------------------
 
     def track(self) -> int:

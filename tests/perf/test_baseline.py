@@ -49,9 +49,13 @@ def _record(scale: float) -> dict:
             "ticks_per_s": 5e3 * scale,
             "normalized": 0.001 * scale,
         },
-        "serve": {
-            "requests_per_s": 3e6 * scale,
-            "normalized": 0.9 * scale,
+        "serve_hot": {
+            "requests_per_s": 9e6 * scale,
+            "normalized": 2.7 * scale,
+        },
+        "serve_cold": {
+            "requests_per_s": 4e6 * scale,
+            "normalized": 1.2 * scale,
         },
         "epoch_close": {
             "keys_per_s": 5e7 * scale,

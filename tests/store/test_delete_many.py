@@ -1,0 +1,120 @@
+"""``DataPlane.delete_many``: one route pass, scalar-exact semantics.
+
+The bulk delete promises bit-equivalence with the scalar loop (each
+key deleted at its *assigned* owner, ``KeyError`` swallowed into a
+``False`` mask slot) on every observable surface: the returned mask,
+per-store contents, byte accounting, and the mutation counter.  The
+equivalence is asserted across the full algorithm registry -- routing
+disagreements between ``assign`` and ``assign_batch`` would surface
+here as mask or accounting drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing import make_table, registered_algorithms
+from repro.service import Router
+from repro.store import DataPlane
+
+
+def _plane(algorithm="consistent", servers=8, seed=3):
+    router = Router(make_table(algorithm, seed=seed))
+    router.sync("srv-{}".format(index) for index in range(servers))
+    return DataPlane(router)
+
+
+def _scalar_delete_mask(plane, keys):
+    """The oracle: loop scalar ``delete``, swallowing ``KeyError``."""
+    mask = np.zeros(len(keys), dtype=bool)
+    for position, key in enumerate(keys):
+        try:
+            plane.delete(key)
+        except KeyError:
+            continue
+        mask[position] = True
+    return mask
+
+
+class TestDeleteMany:
+    def test_mask_marks_only_removed_keys(self):
+        plane = _plane()
+        plane.put_many([1, 2, 3], ["a", "b", "c"])
+        deleted = plane.delete_many([2, 99, 3])
+        assert deleted.dtype == bool
+        assert list(deleted) == [True, False, True]
+        assert plane.get(1) == "a"
+        assert plane.get(2, default=None) is None
+
+    def test_empty_batch_is_a_noop(self):
+        plane = _plane()
+        plane.put_many([1], ["a"])
+        before = plane.mutation_count
+        deleted = plane.delete_many([])
+        assert deleted.shape == (0,)
+        assert plane.mutation_count == before
+
+    def test_duplicate_key_deletes_first_position_only(self):
+        # Sequential scalar semantics: the first occurrence removes the
+        # key, the second finds it absent.
+        plane = _plane()
+        plane.put_many([7], ["v"])
+        deleted = plane.delete_many([7, 7])
+        assert list(deleted) == [True, False]
+        assert plane.mutation_count == 1 + 1  # one put + one actual removal
+
+    def test_numpy_key_batches_accepted(self):
+        plane = _plane()
+        keys = np.arange(10, dtype=np.int64)
+        plane.put_many(keys, keys)
+        deleted = plane.delete_many(keys[::2].copy())
+        assert deleted.all()
+        assert plane.key_count == 5
+
+    def test_mutations_count_only_removals(self):
+        plane = _plane()
+        plane.put_many([1, 2], ["a", "b"])
+        before = plane.mutation_count
+        plane.delete_many([1, 99, 2, 98])
+        assert plane.mutation_count == before + 2
+
+
+class TestScalarEquivalence:
+    @pytest.mark.parametrize("algorithm", sorted(registered_algorithms()))
+    def test_batch_matches_scalar_loop_everywhere(self, algorithm):
+        # Bit-exact across the registry: same mask, same per-store
+        # occupancy, same byte accounting, same mutation counter.
+        rng = np.random.default_rng(11)
+        stored = [int(key) for key in rng.choice(500, size=120, replace=False)]
+        batch_keys = [int(key) for key in rng.integers(0, 500, 90)]
+        batch_keys += batch_keys[:10]  # guaranteed duplicates
+
+        bulk = _plane(algorithm)
+        scalar = _plane(algorithm)
+        for plane in (bulk, scalar):
+            plane.put_many(stored, stored)
+
+        bulk_mask = bulk.delete_many(batch_keys)
+        scalar_mask = _scalar_delete_mask(scalar, batch_keys)
+
+        np.testing.assert_array_equal(bulk_mask, scalar_mask)
+        assert bulk.mutation_count == scalar.mutation_count
+        assert bulk.key_count == scalar.key_count
+        assert bulk.total_bytes == scalar.total_bytes
+        assert bulk.stats() == scalar.stats()
+
+    def test_in_flight_keys_stay_invisible(self):
+        # A membership change strands stored keys at their old owner;
+        # like scalar delete, the bulk path only probes the *assigned*
+        # store, so stranded keys report not-deleted and stay put.
+        plane = _plane(servers=6)
+        keys = list(range(200))
+        plane.put_many(keys, keys)
+        plane.router.sync(["srv-{}".format(index) for index in range(3)])
+        stranded = [key for key in keys if plane.get(key, default=None) is None]
+        if not stranded:
+            pytest.skip("membership change stranded no keys at this seed")
+        deleted = plane.delete_many(stranded)
+        assert not deleted.any()
+        assert plane.key_count == len(keys)

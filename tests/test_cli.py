@@ -292,3 +292,41 @@ class TestMigrateImbalance:
         )
         assert code == 0
         assert "fleet imbalance" in out.getvalue()
+
+
+class TestServeCommand:
+    def test_serve_accepts_batching_flag_spellings(self):
+        # --max-delay / --cache-capacity are the documented aliases of
+        # --max-delay-ms / --cache; both spellings must drive the run.
+        out = io.StringIO()
+        code = main(
+            ["serve", "modular", "--requests", "400", "--no-churn",
+             "--max-batch", "64", "--max-delay", "0.5",
+             "--cache-capacity", "128"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "OK: serving SLAs met" in text
+        assert "batch" in text
+
+    def test_serve_rejects_zero_max_batch(self):
+        with pytest.raises(SystemExit, match="--max-batch"):
+            main(
+                ["serve", "modular", "--max-batch", "0"],
+                out=io.StringIO(),
+            )
+
+    def test_serve_rejects_negative_delay(self):
+        with pytest.raises(SystemExit, match="--max-delay"):
+            main(
+                ["serve", "modular", "--max-delay", "-1"],
+                out=io.StringIO(),
+            )
+
+    def test_serve_rejects_zero_cache_capacity(self):
+        with pytest.raises(SystemExit, match="--cache-capacity"):
+            main(
+                ["serve", "modular", "--cache-capacity", "0"],
+                out=io.StringIO(),
+            )
